@@ -1,0 +1,82 @@
+//! Criterion: assignment algorithms and cost evaluation — what the
+//! design-support tooling (paper §III.B) runs when planning a
+//! deployment. Includes the ablation comparisons of DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zeiot_microdeep::{Assignment, CnnConfig, CostModel};
+use zeiot_net::routing::RoutingTable;
+use zeiot_net::Topology;
+
+fn setup() -> (CnnConfig, Topology) {
+    (
+        CnnConfig::new(1, 17, 25, 4, 4, 2, 32, 2).unwrap(),
+        Topology::grid(10, 5, 5.0, 7.6).unwrap(),
+    )
+}
+
+fn bench_grid_projection(c: &mut Criterion) {
+    let (config, topo) = setup();
+    let graph = config.unit_graph().unwrap();
+    c.bench_function("assignment_grid_projection", |b| {
+        b.iter(|| black_box(Assignment::grid_projection(&graph, &topo)))
+    });
+}
+
+fn bench_balanced_correspondence(c: &mut Criterion) {
+    let (config, topo) = setup();
+    let graph = config.unit_graph().unwrap();
+    c.bench_function("assignment_balanced_correspondence", |b| {
+        b.iter(|| black_box(Assignment::balanced_correspondence(&graph, &topo)))
+    });
+}
+
+fn bench_forward_cost(c: &mut Criterion) {
+    let (config, topo) = setup();
+    let graph = config.unit_graph().unwrap();
+    let assignment = Assignment::balanced_correspondence(&graph, &topo);
+    let model = CostModel::new(&topo);
+    c.bench_function("cost_forward_per_edge", |b| {
+        b.iter(|| black_box(model.forward_cost(&graph, &assignment)))
+    });
+}
+
+fn bench_forward_cost_cached(c: &mut Criterion) {
+    // Ablation 3 of DESIGN.md §5: node-level value caching.
+    let (config, topo) = setup();
+    let graph = config.unit_graph().unwrap();
+    let assignment = Assignment::balanced_correspondence(&graph, &topo);
+    let model = CostModel::new(&topo);
+    c.bench_function("cost_forward_value_cached", |b| {
+        b.iter(|| black_box(model.forward_cost_cached(&graph, &assignment)))
+    });
+}
+
+fn bench_collection_schedule(c: &mut Criterion) {
+    use zeiot_core::id::NodeId;
+    use zeiot_plan::schedule::CollectionSchedule;
+    use zeiot_plan::tree::CollectionTree;
+    let topo = Topology::grid(7, 7, 2.0, 3.0).unwrap();
+    let tree = CollectionTree::build(&topo, NodeId::new(0)).unwrap();
+    c.bench_function("collection_schedule_49_nodes_2ch", |b| {
+        b.iter(|| black_box(CollectionSchedule::build(&topo, &tree, 2).unwrap()))
+    });
+}
+
+fn bench_routing_table(c: &mut Criterion) {
+    let topo = Topology::grid(10, 10, 2.0, 3.0).unwrap();
+    c.bench_function("routing_all_pairs_100_nodes", |b| {
+        b.iter(|| black_box(RoutingTable::shortest_paths(&topo)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grid_projection,
+    bench_balanced_correspondence,
+    bench_forward_cost,
+    bench_forward_cost_cached,
+    bench_collection_schedule,
+    bench_routing_table
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion: neural-network hot paths — the compute a sensor node (or
+//! the centralized baseline) performs per sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zeiot_core::rng::SeedRng;
+use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, WeightUpdate};
+use zeiot_net::Topology;
+use zeiot_nn::layers::{Conv2d, Dense, Layer, MaxPool2d};
+use zeiot_nn::tensor::Tensor;
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = SeedRng::new(1);
+    let mut conv = Conv2d::new(1, 4, 17, 25, 4, 1, 0, &mut rng);
+    let input = Tensor::uniform(vec![1, 17, 25], 1.0, &mut rng);
+    c.bench_function("conv2d_forward_17x25_4f", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&input))))
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = SeedRng::new(2);
+    let mut conv = Conv2d::new(1, 4, 17, 25, 4, 1, 0, &mut rng);
+    let input = Tensor::uniform(vec![1, 17, 25], 1.0, &mut rng);
+    let out = conv.forward(&input);
+    let grad = Tensor::uniform(out.shape().to_vec(), 1.0, &mut rng);
+    c.bench_function("conv2d_backward_17x25_4f", |b| {
+        b.iter(|| black_box(conv.backward(black_box(&grad))))
+    });
+}
+
+fn bench_dense_forward(c: &mut Criterion) {
+    let mut rng = SeedRng::new(3);
+    let mut dense = Dense::new(308, 32, &mut rng);
+    let input = Tensor::uniform(vec![308], 1.0, &mut rng);
+    c.bench_function("dense_forward_308x32", |b| {
+        b.iter(|| black_box(dense.forward(black_box(&input))))
+    });
+}
+
+fn bench_pool_forward(c: &mut Criterion) {
+    let mut pool = MaxPool2d::new(4, 14, 22, 2);
+    let mut rng = SeedRng::new(4);
+    let input = Tensor::uniform(vec![4, 14, 22], 1.0, &mut rng);
+    c.bench_function("maxpool_forward_4x14x22", |b| {
+        b.iter(|| black_box(pool.forward(black_box(&input))))
+    });
+}
+
+fn bench_distributed_training_step(c: &mut Criterion) {
+    let mut rng = SeedRng::new(5);
+    let config = CnnConfig::new(1, 17, 25, 4, 4, 2, 32, 2).unwrap();
+    let graph = config.unit_graph().unwrap();
+    let topo = Topology::grid(10, 5, 5.0, 7.6).unwrap();
+    let assignment = Assignment::balanced_correspondence(&graph, &topo);
+    let mut net = DistributedCnn::new(config, assignment, WeightUpdate::PerUnit, &mut rng);
+    let input = Tensor::uniform(vec![1, 17, 25], 1.0, &mut rng);
+    c.bench_function("microdeep_train_step_temperature", |b| {
+        b.iter(|| {
+            let logits = net.forward(black_box(&input));
+            let (_, grad) = zeiot_nn::loss::cross_entropy(&logits, 0);
+            net.backward(&grad);
+            net.apply_gradients(0.05);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_conv_backward,
+    bench_dense_forward,
+    bench_pool_forward,
+    bench_distributed_training_step
+);
+criterion_main!(benches);

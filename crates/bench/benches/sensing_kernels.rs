@@ -1,0 +1,57 @@
+//! Criterion: wireless-sensing hot paths — the per-observation cost of
+//! each estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zeiot_core::geometry::Point2;
+use zeiot_core::rng::SeedRng;
+use zeiot_data::csi::{CsiGenerator, CsiPattern};
+use zeiot_net::rssi::RssiSampler;
+use zeiot_net::Topology;
+use zeiot_sensing::csi::CsiLocalizer;
+use zeiot_sensing::pem::Pem;
+
+fn bench_csi_localize(c: &mut Criterion) {
+    let gen = CsiGenerator::new(1).unwrap();
+    let mut rng = SeedRng::new(1);
+    let pattern = CsiPattern::all()[4];
+    let (train, test) = gen.split(pattern, 40, 1, &mut rng);
+    let pairs: Vec<(Vec<f64>, usize)> = train
+        .into_iter()
+        .map(|s| (s.features, s.position))
+        .collect();
+    let localizer = CsiLocalizer::fit(&pairs, 5).unwrap();
+    let probe = test[0].features.clone();
+    c.bench_function("csi_localize_624f_280train", |b| {
+        b.iter(|| black_box(localizer.localize(black_box(&probe))))
+    });
+}
+
+fn bench_rssi_matrix(c: &mut Criterion) {
+    let topo = Topology::grid(4, 4, 3.0, 4.5).unwrap();
+    let sampler = RssiSampler::ieee802154(topo).unwrap();
+    let mut prng = SeedRng::new(2);
+    let people: Vec<Point2> = (0..10)
+        .map(|_| Point2::new(prng.uniform_range(0.0, 9.0), prng.uniform_range(0.0, 9.0)))
+        .collect();
+    c.bench_function("rssi_inter_node_matrix_16_nodes_10_people", |b| {
+        b.iter(|| {
+            let mut rng = SeedRng::new(3);
+            black_box(sampler.inter_node_rssi(black_box(&people), &mut rng))
+        })
+    });
+}
+
+fn bench_pem(c: &mut Criterion) {
+    let pem = Pem::new(0.3).unwrap();
+    let mut rng = SeedRng::new(4);
+    let snapshots: Vec<Vec<f64>> = (0..30)
+        .map(|_| (0..624).map(|_| rng.normal()).collect())
+        .collect();
+    c.bench_function("pem_30x624", |b| {
+        b.iter(|| black_box(pem.score(black_box(&snapshots))))
+    });
+}
+
+criterion_group!(benches, bench_csi_localize, bench_rssi_matrix, bench_pem);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation-suite harness: `cargo run --release -p zeiot-bench --bin
+//! ablations [--samples N] [--epochs N] [--seed N] [--json 1]`.
+
+use zeiot_bench::experiments::ablations::{run, Params};
+use zeiot_bench::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let map = parse_args(&args, &["samples", "epochs", "mac_seconds", "seed", "json"])
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let mut params = Params::default();
+    if let Some(&v) = map.get("samples") {
+        params.samples = v as usize;
+    }
+    if let Some(&v) = map.get("epochs") {
+        params.epochs = v as usize;
+    }
+    if let Some(&v) = map.get("mac_seconds") {
+        params.mac_seconds = v as u64;
+    }
+    if let Some(&v) = map.get("seed") {
+        params.seed = v as u64;
+    }
+    let report = run(&params);
+    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+}

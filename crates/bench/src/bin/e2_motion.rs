@@ -1,0 +1,33 @@
+//! E2 harness: `cargo run --release -p zeiot-bench --bin e2_motion
+//! [--samples N] [--epochs N] [--subjects N] [--seed N] [--json 1]`.
+
+use zeiot_bench::experiments::e2_motion::{run, Params};
+use zeiot_bench::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let map =
+        parse_args(&args, &["samples", "epochs", "subjects", "seed", "json"]).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let mut params = Params::default();
+    if let Some(&v) = map.get("samples") {
+        params.samples = v as usize;
+    }
+    if let Some(&v) = map.get("epochs") {
+        params.epochs = v as usize;
+    }
+    if let Some(&v) = map.get("subjects") {
+        params.subjects = v as usize;
+    }
+    if let Some(&v) = map.get("seed") {
+        params.seed = v as u64;
+    }
+    let report = run(&params);
+    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,37 @@
+//! E5 harness: `cargo run --release -p zeiot-bench --bin e5_counting
+//! [--max_people N] [--train_rounds N] [--test_rounds N] [--seed N]
+//! [--json 1]`.
+
+use zeiot_bench::experiments::e5_counting::{run, Params};
+use zeiot_bench::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let map = parse_args(
+        &args,
+        &["max_people", "train_rounds", "test_rounds", "seed", "json"],
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut params = Params::default();
+    if let Some(&v) = map.get("max_people") {
+        params.max_people = v as usize;
+    }
+    if let Some(&v) = map.get("train_rounds") {
+        params.train_rounds = v as usize;
+    }
+    if let Some(&v) = map.get("test_rounds") {
+        params.test_rounds = v as usize;
+    }
+    if let Some(&v) = map.get("seed") {
+        params.seed = v as u64;
+    }
+    let report = run(&params);
+    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+}

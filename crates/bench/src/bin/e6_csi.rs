@@ -1,0 +1,37 @@
+//! E6 harness: `cargo run --release -p zeiot-bench --bin e6_csi
+//! [--train_per_position N] [--test_per_position N] [--k N] [--seed N]
+//! [--json 1]`.
+
+use zeiot_bench::experiments::e6_csi::{run, Params};
+use zeiot_bench::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let map = parse_args(
+        &args,
+        &["train_per_position", "test_per_position", "k", "seed", "json"],
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut params = Params::default();
+    if let Some(&v) = map.get("train_per_position") {
+        params.train_per_position = v as usize;
+    }
+    if let Some(&v) = map.get("test_per_position") {
+        params.test_per_position = v as usize;
+    }
+    if let Some(&v) = map.get("k") {
+        params.k = v as usize;
+    }
+    if let Some(&v) = map.get("seed") {
+        params.seed = v as u64;
+    }
+    let report = run(&params);
+    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,23 @@
+//! E7 harness: `cargo run --release -p zeiot-bench --bin e7_link
+//! [--exciter_to_tag_m M] [--json 1]`.
+
+use zeiot_bench::experiments::e7_link::{run, Params};
+use zeiot_bench::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let map = parse_args(&args, &["exciter_to_tag_m", "json"]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut params = Params::default();
+    if let Some(&v) = map.get("exciter_to_tag_m") {
+        params.exciter_to_tag_m = v;
+    }
+    let report = run(&params);
+    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,17 @@
+//! The eight experiment harnesses (see DESIGN.md §4 for the index).
+//!
+//! Each module exposes a `Params` struct whose `Default` is the
+//! paper-scale configuration, a `reduced()` constructor for fast CI runs,
+//! and a `run(&Params) -> ExperimentReport`.
+
+pub mod ablations;
+pub mod e1_temperature;
+pub mod e2_motion;
+pub mod e3_mac;
+pub mod e4_train;
+pub mod e5_counting;
+pub mod e6_csi;
+pub mod e7_link;
+pub mod e8_energy;
+pub mod x1_planner;
+pub mod x2_fusion;

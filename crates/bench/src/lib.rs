@@ -1,0 +1,86 @@
+//! # zeiot-bench
+//!
+//! Experiment harnesses regenerating every quantitative result in the
+//! paper's evaluation, plus Criterion micro-benchmarks of the hot paths.
+//!
+//! Each experiment is a library function (`experiments::e1_temperature`
+//! … `e8_energy`) returning an [`ExperimentReport`] of paper-vs-measured
+//! rows; the `src/bin/e*.rs` binaries are thin CLI wrappers. Integration
+//! tests run reduced-size variants of the same functions, so the harness
+//! logic itself is under test.
+//!
+//! Run everything (release mode strongly recommended):
+//!
+//! ```text
+//! cargo run --release -p zeiot-bench --bin e1_temperature
+//! cargo run --release -p zeiot-bench --bin e2_motion
+//! cargo run --release -p zeiot-bench --bin e3_mac
+//! cargo run --release -p zeiot-bench --bin e4_train
+//! cargo run --release -p zeiot-bench --bin e5_counting
+//! cargo run --release -p zeiot-bench --bin e6_csi
+//! cargo run --release -p zeiot-bench --bin e7_link
+//! cargo run --release -p zeiot-bench --bin e8_energy
+//! ```
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{ExperimentReport, Row};
+
+/// Parses `--key value` style arguments into overrides; unknown keys are
+/// rejected with a helpful message listing `allowed`.
+///
+/// # Errors
+///
+/// Returns a human-readable error string on malformed input.
+pub fn parse_args(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key}"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name}; allowed: {allowed:?}"));
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("--{name} value {value} is not a number"))?;
+        out.insert(name.to_owned(), parsed);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_happy_path() {
+        let args: Vec<String> = ["--samples", "100", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let map = parse_args(&args, &["samples", "seed"]).unwrap();
+        assert_eq!(map["samples"], 100.0);
+        assert_eq!(map["seed"], 7.0);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_and_malformed() {
+        let bad: Vec<String> = ["--nope", "1"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&bad, &["samples"]).is_err());
+        let dangling: Vec<String> = ["--samples"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&dangling, &["samples"]).is_err());
+        let not_num: Vec<String> = ["--samples", "abc"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&not_num, &["samples"]).is_err());
+        let no_dash: Vec<String> = ["samples", "5"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&no_dash, &["samples"]).is_err());
+    }
+}

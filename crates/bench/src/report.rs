@@ -1,0 +1,161 @@
+//! Paper-vs-measured reporting.
+//!
+//! Every harness emits the same structure: an experiment id, the paper's
+//! reported value per metric, and what this reproduction measured — so
+//! EXPERIMENTS.md can be regenerated mechanically and the shape of each
+//! result (who wins, by what factor) is auditable at a glance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One metric row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Metric name, e.g. `"accuracy (MicroDeep)"`.
+    pub metric: String,
+    /// The paper's reported value, if it reports one.
+    pub paper: Option<f64>,
+    /// The value this reproduction measured.
+    pub measured: f64,
+    /// Unit suffix, e.g. `"%"` or `"msgs"`.
+    pub unit: String,
+}
+
+impl Row {
+    /// Creates a row with a paper reference value.
+    pub fn with_paper(metric: impl Into<String>, paper: f64, measured: f64, unit: impl Into<String>) -> Self {
+        Self {
+            metric: metric.into(),
+            paper: Some(paper),
+            measured,
+            unit: unit.into(),
+        }
+    }
+
+    /// Creates a row the paper reports only qualitatively.
+    pub fn measured_only(metric: impl Into<String>, measured: f64, unit: impl Into<String>) -> Self {
+        Self {
+            metric: metric.into(),
+            paper: None,
+            measured,
+            unit: unit.into(),
+        }
+    }
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (E1–E8).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Metric rows.
+    pub rows: Vec<Row>,
+    /// Free-form series (e.g. per-node cost profiles for Fig. 10).
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a named series.
+    pub fn push_series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Looks up a row by metric name.
+    pub fn row(&self, metric: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.metric == metric)
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(
+            f,
+            "{:<44} {:>12} {:>12}  unit",
+            "metric", "paper", "measured"
+        )?;
+        for row in &self.rows {
+            let paper = row
+                .paper
+                .map(|p| format!("{p:.3}"))
+                .unwrap_or_else(|| "—".to_owned());
+            writeln!(
+                f,
+                "{:<44} {:>12} {:>12.3}  {}",
+                row.metric, paper, row.measured, row.unit
+            )?;
+        }
+        for (name, values) in &self.series {
+            write!(f, "series {name}: [")?;
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.1}")?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_lookup() {
+        let mut r = ExperimentReport::new("E1", "temperature");
+        r.push(Row::with_paper("accuracy", 0.97, 0.955, "fraction"));
+        r.push(Row::measured_only("epochs", 15.0, "count"));
+        assert_eq!(r.row("accuracy").unwrap().paper, Some(0.97));
+        assert!(r.row("missing").is_none());
+    }
+
+    #[test]
+    fn display_contains_all_metrics() {
+        let mut r = ExperimentReport::new("E2", "motion");
+        r.push(Row::with_paper("max cost (optimal)", 360.0, 352.0, "msgs"));
+        r.push_series("per-node", vec![1.0, 2.0, 3.0]);
+        let s = r.to_string();
+        assert!(s.contains("E2"));
+        assert!(s.contains("max cost (optimal)"));
+        assert!(s.contains("series per-node"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = ExperimentReport::new("E3", "mac");
+        r.push(Row::measured_only("per", 0.02, "fraction"));
+        let back: ExperimentReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+}

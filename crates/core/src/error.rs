@@ -1,0 +1,192 @@
+//! Workspace-wide error primitives.
+//!
+//! Crates in the workspace define their own error enums; this module only
+//! hosts [`ConfigError`], the error produced when a constructor or builder is
+//! handed an invalid parameter, because parameter validation occurs in every
+//! crate and deserves one shared, well-behaved type.
+
+use std::fmt;
+
+/// Convenient alias used by constructors across the workspace.
+pub type Result<T, E = ConfigError> = std::result::Result<T, E>;
+
+/// An invalid configuration value was supplied to a constructor or builder.
+///
+/// The message names the offending parameter first so that errors bubbling
+/// through several layers remain actionable, e.g.
+/// `"path_loss_exponent: must be positive, got -2"`.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_core::error::ConfigError;
+///
+/// let err = ConfigError::new("tx_power_dbm", "must be finite");
+/// assert_eq!(err.parameter(), "tx_power_dbm");
+/// assert_eq!(err.to_string(), "tx_power_dbm: must be finite");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    parameter: String,
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a new configuration error for `parameter` with a reason.
+    pub fn new(parameter: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            parameter: parameter.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The name of the offending parameter.
+    pub fn parameter(&self) -> &str {
+        &self.parameter
+    }
+
+    /// The human-readable reason the parameter was rejected.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.parameter, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates that `value` is finite, returning it on success.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when `value` is NaN or infinite.
+pub fn require_finite(parameter: &str, value: f64) -> Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ConfigError::new(
+            parameter,
+            format!("must be finite, got {value}"),
+        ))
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when `value` is NaN, infinite, zero or negative.
+pub fn require_positive(parameter: &str, value: f64) -> Result<f64> {
+    let value = require_finite(parameter, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ConfigError::new(
+            parameter,
+            format!("must be positive, got {value}"),
+        ))
+    }
+}
+
+/// Validates that `value` is finite and non-negative.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when `value` is NaN, infinite or negative.
+pub fn require_non_negative(parameter: &str, value: f64) -> Result<f64> {
+    let value = require_finite(parameter, value)?;
+    if value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(ConfigError::new(
+            parameter,
+            format!("must be non-negative, got {value}"),
+        ))
+    }
+}
+
+/// Validates that `value` lies in the inclusive range `[lo, hi]`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when `value` is NaN or outside the range.
+pub fn require_in_range(parameter: &str, value: f64, lo: f64, hi: f64) -> Result<f64> {
+    let value = require_finite(parameter, value)?;
+    if (lo..=hi).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ConfigError::new(
+            parameter,
+            format!("must be in [{lo}, {hi}], got {value}"),
+        ))
+    }
+}
+
+/// Validates that an integer count is non-zero.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when `value` is zero.
+pub fn require_nonzero_usize(parameter: &str, value: usize) -> Result<usize> {
+    if value > 0 {
+        Ok(value)
+    } else {
+        Err(ConfigError::new(parameter, "must be non-zero"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_parameter_then_message() {
+        let err = ConfigError::new("alpha", "must be positive, got -1");
+        assert_eq!(err.to_string(), "alpha: must be positive, got -1");
+    }
+
+    #[test]
+    fn require_finite_rejects_nan_and_inf() {
+        assert!(require_finite("x", f64::NAN).is_err());
+        assert!(require_finite("x", f64::INFINITY).is_err());
+        assert!(require_finite("x", f64::NEG_INFINITY).is_err());
+        assert_eq!(require_finite("x", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn require_positive_rejects_zero_and_negative() {
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", -1.0).is_err());
+        assert_eq!(require_positive("x", 2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn require_non_negative_accepts_zero() {
+        assert_eq!(require_non_negative("x", 0.0).unwrap(), 0.0);
+        assert!(require_non_negative("x", -0.1).is_err());
+    }
+
+    #[test]
+    fn require_in_range_is_inclusive() {
+        assert_eq!(require_in_range("x", 0.0, 0.0, 1.0).unwrap(), 0.0);
+        assert_eq!(require_in_range("x", 1.0, 0.0, 1.0).unwrap(), 1.0);
+        assert!(require_in_range("x", 1.01, 0.0, 1.0).is_err());
+        assert!(require_in_range("x", f64::NAN, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn require_nonzero_usize_rejects_zero() {
+        assert!(require_nonzero_usize("n", 0).is_err());
+        assert_eq!(require_nonzero_usize("n", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn config_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

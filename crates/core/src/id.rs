@@ -1,0 +1,187 @@
+//! Identifier newtypes for devices, network nodes and links.
+//!
+//! The paper distinguishes *IoT devices* (zero-energy endpoints such as
+//! backscatter tags) from *sensor nodes* (wireless sensor network members
+//! that carry CNN units in MicroDeep). Keeping the identifiers as distinct
+//! newtypes prevents a tag id from being used where a WSN node id is
+//! expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index as an identifier.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index backing this identifier.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, convenient for dense indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a wireless sensor network node (a MicroDeep host).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zeiot_core::id::NodeId;
+    /// let n = NodeId::new(7);
+    /// assert_eq!(n.index(), 7);
+    /// assert_eq!(n.to_string(), "node-7");
+    /// ```
+    NodeId,
+    "node-"
+);
+
+define_id!(
+    /// Identifier of a zero-energy IoT device (e.g. a backscatter tag).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zeiot_core::id::DeviceId;
+    /// let d = DeviceId::new(3);
+    /// assert_eq!(d.to_string(), "dev-3");
+    /// ```
+    DeviceId,
+    "dev-"
+);
+
+/// Identifier of a directed link between two nodes.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_core::id::{LinkId, NodeId};
+/// let l = LinkId::new(NodeId::new(0), NodeId::new(1));
+/// assert_eq!(l.to_string(), "node-0->node-1");
+/// assert_eq!(l.reversed().src(), NodeId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId {
+    src: NodeId,
+    dst: NodeId,
+}
+
+impl LinkId {
+    /// Creates a directed link identifier from `src` to `dst`.
+    pub const fn new(src: NodeId, dst: NodeId) -> Self {
+        Self { src, dst }
+    }
+
+    /// The transmitting endpoint.
+    pub const fn src(self) -> NodeId {
+        self.src
+    }
+
+    /// The receiving endpoint.
+    pub const fn dst(self) -> NodeId {
+        self.dst
+    }
+
+    /// The same link in the opposite direction.
+    pub const fn reversed(self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Whether the link is a self-loop.
+    pub const fn is_loopback(self) -> bool {
+        self.src.raw() == self.dst.raw()
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_u32() {
+        let n = NodeId::from(42u32);
+        assert_eq!(u32::from(n), 42);
+        let d = DeviceId::from(7u32);
+        assert_eq!(u32::from(d), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(DeviceId::new(0) < DeviceId::new(10));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<NodeId> = (0..10).map(NodeId::new).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn link_reversal_swaps_endpoints() {
+        let l = LinkId::new(NodeId::new(3), NodeId::new(9));
+        let r = l.reversed();
+        assert_eq!(r.src(), NodeId::new(9));
+        assert_eq!(r.dst(), NodeId::new(3));
+        assert_eq!(r.reversed(), l);
+    }
+
+    #[test]
+    fn loopback_detection() {
+        assert!(LinkId::new(NodeId::new(1), NodeId::new(1)).is_loopback());
+        assert!(!LinkId::new(NodeId::new(1), NodeId::new(2)).is_loopback());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(5).to_string(), "node-5");
+        assert_eq!(DeviceId::new(5).to_string(), "dev-5");
+        assert_eq!(
+            LinkId::new(NodeId::new(1), NodeId::new(2)).to_string(),
+            "node-1->node-2"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # zeiot-core
+//!
+//! Shared vocabulary for the `zeiot` workspace — the Rust reproduction of
+//! *"Context Recognition of Humans and Objects by Distributed Zero-Energy
+//! IoT Devices"* (Higashino et al., ICDCS 2019).
+//!
+//! Everything in this crate is deliberately small and dependency-light:
+//! identifier newtypes, planar/solid geometry for device placement, physical
+//! units with checked conversions, a simulation time axis, and deterministic
+//! random-number plumbing shared by every stochastic component in the
+//! workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use zeiot_core::geometry::Point2;
+//! use zeiot_core::units::{Dbm, MilliWatt};
+//!
+//! let tx = Point2::new(0.0, 0.0);
+//! let rx = Point2::new(3.0, 4.0);
+//! assert_eq!(tx.distance(rx), 5.0);
+//!
+//! let p = Dbm::new(0.0);
+//! assert!((p.to_milliwatt().value() - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod error;
+pub mod geometry;
+pub mod id;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use error::{ConfigError, Result};
+pub use geometry::{Grid2, Point2, Point3};
+pub use id::{DeviceId, LinkId, NodeId};
+pub use rng::SeedRng;
+pub use time::{SimDuration, SimTime};
+pub use units::{Dbm, Decibel, Hertz, Joule, MilliWatt, Watt};

@@ -1,0 +1,333 @@
+//! Synthetic IR-sensor-array gait and fall streams.
+//!
+//! Stands in for the paper's prototyped film-type infrared sensor array
+//! (Fig. 9): 55 gait samples from five subjects imitating falls, streamed
+//! at five frames per second, windowed at 10 frames (2 s) per passage and
+//! fed to the CNN as 3-D arrays (§IV.C).
+//!
+//! A walking subject appears as a vertical intensity blob translating
+//! across the array; a fall is an abrupt collapse of the blob's centre of
+//! mass to the floor rows with horizontal spreading. Per-subject speed,
+//! height and intensity vary.
+
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::rng::SeedRng;
+use zeiot_nn::tensor::Tensor;
+
+/// A labelled window: `[frames, rows, cols]` IR intensities, label
+/// 0 = walk, 1 = fall.
+pub type GaitSample = (Tensor, usize);
+
+/// Per-subject gait parameters (drawn once per subject, reused across
+/// that subject's samples — matching the paper's five subjects).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubjectProfile {
+    /// Horizontal cells traversed per frame.
+    pub speed_cells_per_frame: f64,
+    /// Body blob height in cells.
+    pub height_cells: f64,
+    /// Peak IR intensity.
+    pub intensity: f64,
+}
+
+/// Generator for IR gait/fall windows.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_data::gait::GaitGenerator;
+/// use zeiot_core::rng::SeedRng;
+///
+/// let gen = GaitGenerator::paper_array()?;
+/// let mut rng = SeedRng::new(1);
+/// let data = gen.generate(40, 5, &mut rng);
+/// assert_eq!(data.len(), 40);
+/// assert_eq!(data[0].0.shape(), &[10, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaitGenerator {
+    rows: usize,
+    cols: usize,
+    frames: usize,
+    noise_sigma: f64,
+    /// Quantization step of the film sensors (they are crude,
+    /// few-level detectors rather than precise radiometers).
+    quantization: f64,
+    /// Probability that a given sensor is dead/occluded for a window.
+    dead_sensor_prob: f64,
+}
+
+impl GaitGenerator {
+    /// Creates a generator for an array of `rows × cols` IR sensors with
+    /// windows of `frames` frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degenerate dimensions.
+    pub fn new(rows: usize, cols: usize, frames: usize) -> Result<Self> {
+        if rows < 4 || cols < 4 {
+            return Err(ConfigError::new("rows/cols", "array must be at least 4×4"));
+        }
+        if frames < 4 {
+            return Err(ConfigError::new("frames", "need at least 4 frames"));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            frames,
+            noise_sigma: 0.30,
+            quantization: 0.75,
+            dead_sensor_prob: 0.08,
+        })
+    }
+
+    /// The paper's setting: 8×8 array, 10-frame (2 s @ 5 fps) windows.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches
+    /// [`GaitGenerator::new`].
+    pub fn paper_array() -> Result<Self> {
+        Self::new(8, 8, 10)
+    }
+
+    /// Window length in frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Draws a subject profile.
+    pub fn draw_subject(&self, rng: &mut SeedRng) -> SubjectProfile {
+        SubjectProfile {
+            speed_cells_per_frame: rng.uniform_range(0.35, 1.0),
+            height_cells: rng.uniform_range(0.5, 0.85) * self.rows as f64,
+            intensity: rng.uniform_range(0.8, 1.2),
+        }
+    }
+
+    /// Generates one window for a subject; `fall` selects the label.
+    ///
+    /// Walks are not all clean: with some probability the subject crouches
+    /// mid-passage (a transient partial collapse that recovers) — the
+    /// classic fall-detection confounder. Falls may also start late in the
+    /// window and be only partially visible.
+    pub fn window(&self, subject: &SubjectProfile, fall: bool, rng: &mut SeedRng) -> Tensor {
+        let mut t = Tensor::zeros(vec![self.frames, self.rows, self.cols]);
+        let start_x = rng.uniform_range(0.0, 1.5);
+        // Sensors dead or occluded for this passage.
+        let dead: Vec<bool> = (0..self.rows * self.cols)
+            .map(|_| rng.chance(self.dead_sensor_prob))
+            .collect();
+        // Fall begins somewhere in the middle-to-late window.
+        let fall_frame = if fall {
+            rng.uniform_range(0.25, 0.75) * self.frames as f64
+        } else {
+            f64::INFINITY
+        };
+        // Fall severity varies: a soft fall onto a chair collapses less
+        // than a hard fall to the floor.
+        let severity = if fall { rng.uniform_range(0.55, 1.0) } else { 0.0 };
+        // Crouch distractor for walks: a brief dip that recovers. Deep
+        // crouches overlap with soft falls — the irreducible confusion.
+        let crouch = (!fall && rng.chance(0.35)).then(|| {
+            let onset = rng.uniform_range(0.2, 0.6) * self.frames as f64;
+            let depth = rng.uniform_range(0.3, 0.55);
+            (onset, depth)
+        });
+        for f in 0..self.frames {
+            let progress = (f as f64 - fall_frame).max(0.0); // frames since fall onset
+            let falling = fall && f as f64 >= fall_frame;
+            // Horizontal motion stops shortly after the fall.
+            let x_center = if falling {
+                start_x + subject.speed_cells_per_frame * fall_frame
+            } else {
+                start_x + subject.speed_cells_per_frame * f as f64
+            };
+            // Vertical: standing body spans from the floor up to
+            // height_cells; during a fall the top collapses toward the
+            // floor while the footprint widens.
+            let mut collapse = if falling {
+                severity * (progress / 2.0).min(1.0) // collapses within ~2 frames
+            } else {
+                0.0
+            };
+            if let Some((onset, depth)) = crouch {
+                // Rises to `depth` over a frame, holds ~2 frames, recovers.
+                let since = f as f64 - onset;
+                if (0.0..4.0).contains(&since) {
+                    let envelope = if since < 1.0 {
+                        since
+                    } else if since < 3.0 {
+                        1.0
+                    } else {
+                        4.0 - since
+                    };
+                    collapse = depth * envelope;
+                }
+            }
+            let body_height = subject.height_cells * (1.0 - 0.6 * collapse);
+            let body_width = 1.2 + 1.4 * collapse;
+            for y in 0..self.rows {
+                for x in 0..self.cols {
+                    // Row 0 is the ceiling; the floor is rows-1.
+                    let height_from_floor = (self.rows - 1 - y) as f64;
+                    let dx = (x as f64 - x_center) / body_width;
+                    let vertical = if height_from_floor <= body_height {
+                        1.0
+                    } else {
+                        (-(height_from_floor - body_height).powi(2) / 0.5).exp()
+                    };
+                    let horizontal = (-dx * dx).exp();
+                    let v = subject.intensity * vertical * horizontal
+                        + rng.normal_with(0.0, self.noise_sigma);
+                    // Crude film sensor: clipped, quantized, maybe dead.
+                    let v = if dead[y * self.cols + x] {
+                        0.0
+                    } else {
+                        (v.clamp(0.0, 1.5) / self.quantization).round() * self.quantization
+                    };
+                    let old = t.get(&[f, y, x]);
+                    t.set(&[f, y, x], old + v as f32);
+                }
+            }
+        }
+        t
+    }
+
+    /// Generates `n` balanced labelled windows over `subjects` distinct
+    /// subjects (the paper uses 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subjects` is zero.
+    pub fn generate(&self, n: usize, subjects: usize, rng: &mut SeedRng) -> Vec<GaitSample> {
+        assert!(subjects > 0, "need at least one subject");
+        let profiles: Vec<SubjectProfile> =
+            (0..subjects).map(|_| self.draw_subject(rng)).collect();
+        (0..n)
+            .map(|i| {
+                let subject = &profiles[i % subjects];
+                let fall = rng.chance(0.5);
+                (self.window(subject, fall, rng), usize::from(fall))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noise-robust centre of mass: background below 0.4 is ignored.
+    fn center_of_mass_y(frame_data: &[f32], rows: usize, cols: usize) -> f64 {
+        let mut total = 0.0f64;
+        let mut weighted = 0.0f64;
+        for y in 0..rows {
+            for x in 0..cols {
+                let v = (frame_data[y * cols + x] as f64 - 0.4).max(0.0);
+                total += v;
+                weighted += v * y as f64;
+            }
+        }
+        if total > 0.0 {
+            weighted / total
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn window_shape() {
+        let gen = GaitGenerator::paper_array().unwrap();
+        let mut rng = SeedRng::new(1);
+        let s = gen.draw_subject(&mut rng);
+        let w = gen.window(&s, false, &mut rng);
+        assert_eq!(w.shape(), &[10, 8, 8]);
+    }
+
+    #[test]
+    fn walking_blob_moves_horizontally() {
+        let gen = GaitGenerator::paper_array().unwrap();
+        let mut rng = SeedRng::new(2);
+        let s = gen.draw_subject(&mut rng);
+        let w = gen.window(&s, false, &mut rng);
+        let com_x = |f: usize| {
+            let mut total = 0.0f64;
+            let mut weighted = 0.0f64;
+            for y in 0..8 {
+                for x in 0..8 {
+                    let v = (w.get(&[f, y, x]) as f64 - 0.4).max(0.0);
+                    total += v;
+                    weighted += v * x as f64;
+                }
+            }
+            weighted / total
+        };
+        assert!(com_x(9) > com_x(0) + 1.2, "first={} last={}", com_x(0), com_x(9));
+    }
+
+    #[test]
+    fn falls_drop_center_of_mass_more_than_walks() {
+        // With crouch distractors and late falls, individual windows
+        // overlap; the *distributions* must still separate (that is the
+        // signal the CNN learns).
+        let gen = GaitGenerator::paper_array().unwrap();
+        let mut rng = SeedRng::new(3);
+        let s = gen.draw_subject(&mut rng);
+        let mean_drop = |fall: bool, rng: &mut SeedRng| {
+            let n = 60;
+            (0..n)
+                .map(|_| {
+                    let w = gen.window(&s, fall, rng);
+                    let first = center_of_mass_y(&w.data()[0..64], 8, 8);
+                    let last = center_of_mass_y(&w.data()[9 * 64..10 * 64], 8, 8);
+                    last - first
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let fall_drop = mean_drop(true, &mut rng);
+        let walk_drop = mean_drop(false, &mut rng);
+        assert!(
+            fall_drop > walk_drop + 0.5,
+            "fall={fall_drop} walk={walk_drop}"
+        );
+    }
+
+    #[test]
+    fn generate_balances_labels_and_subjects() {
+        let gen = GaitGenerator::paper_array().unwrap();
+        let mut rng = SeedRng::new(5);
+        let data = gen.generate(200, 5, &mut rng);
+        let falls = data.iter().filter(|(_, l)| *l == 1).count();
+        assert!(falls > 70 && falls < 130, "falls={falls}");
+    }
+
+    #[test]
+    fn intensities_are_non_negative() {
+        let gen = GaitGenerator::paper_array().unwrap();
+        let mut rng = SeedRng::new(6);
+        let data = gen.generate(10, 2, &mut rng);
+        for (w, _) in &data {
+            assert!(w.data().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = GaitGenerator::paper_array().unwrap();
+        let a = gen.generate(5, 2, &mut SeedRng::new(7));
+        let b = gen.generate(5, 2, &mut SeedRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(GaitGenerator::new(2, 8, 10).is_err());
+        assert!(GaitGenerator::new(8, 2, 10).is_err());
+        assert!(GaitGenerator::new(8, 8, 2).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # zeiot-data
+//!
+//! Synthetic dataset generators standing in for the paper's
+//! hardware-collected datasets (the repro-band substitution layer; see
+//! DESIGN.md §2 for the substitution table).
+//!
+//! | Paper dataset | Generator |
+//! |---|---|
+//! | 2,961 lounge temperature samples, 25×17 cells, 50 sensors | [`temperature`] |
+//! | 55 IR-array gait streams, 5 subjects, 5 fps, falls | [`gait`] |
+//! | Bluetooth RSSI among phones in multi-car trains | [`train`] |
+//! | RFID tag sightings at kindergarten base stations (scenario iv) | [`playground`] |
+//! | Perimeter IR streams: humans vs wild animals (scenario iii) | [`intruder`] |
+//! | 802.11ac compressed CSI feedback frames, 7 positions × 6 patterns | [`csi`] |
+//!
+//! Every generator is deterministic given a seed, physically motivated
+//! (diurnal cycles, body shadowing, inter-car door attenuation, multipath
+//! signatures), and calibrated so the paper's estimators land near the
+//! reported accuracy — the *shape* of each result, not its absolute
+//! value, is the reproduction target.
+
+pub mod csi;
+pub mod gait;
+pub mod intruder;
+pub mod playground;
+pub mod temperature;
+pub mod train;
+
+pub use csi::CsiGenerator;
+pub use gait::GaitGenerator;
+pub use intruder::IntruderGenerator;
+pub use playground::PlaygroundGenerator;
+pub use temperature::TemperatureFieldGenerator;
+pub use train::TrainSceneGenerator;

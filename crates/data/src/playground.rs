@@ -1,0 +1,269 @@
+//! Synthetic kindergarten contact logs.
+//!
+//! The paper's scenario (iv): "By attaching RFID tags to kindergarten
+//! children's clothes and installing multiple WiFi base stations sending
+//! out WiFi signals that can only reach certain specific areas on play
+//! equipment, classrooms, corridors ... each WiFi base station can
+//! collect children's tag IDs who play together. Then, we can estimate
+//! the friendship of kindergarten's children as a graph called
+//! sociogram."
+//!
+//! The generator simulates a day: children belong to ground-truth
+//! friendship groups; each time slot a group (mostly) moves together to
+//! one of the areas; loners drift independently. Base stations log which
+//! tags they see per slot — exactly the observable the sociogram
+//! estimator consumes.
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::rng::SeedRng;
+
+/// One base-station observation: child `child` seen in area `area`
+/// during time slot `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContactRecord {
+    /// Collection time slot.
+    pub slot: u32,
+    /// Area (base-station) id.
+    pub area: u32,
+    /// Child (tag) id.
+    pub child: u32,
+}
+
+/// A generated day of observations plus ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaygroundDay {
+    /// All base-station logs.
+    pub records: Vec<ContactRecord>,
+    /// Ground-truth friendship groups (disjoint, covering all children).
+    pub groups: Vec<Vec<u32>>,
+    /// Children with no friends (subset of singleton groups).
+    pub isolated: Vec<u32>,
+    /// Number of areas.
+    pub areas: u32,
+    /// Number of time slots.
+    pub slots: u32,
+}
+
+impl PlaygroundDay {
+    /// Total children.
+    pub fn children(&self) -> u32 {
+        self.groups.iter().map(|g| g.len() as u32).sum()
+    }
+}
+
+/// Generator for kindergarten contact days.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_data::playground::PlaygroundGenerator;
+/// use zeiot_core::rng::SeedRng;
+///
+/// let gen = PlaygroundGenerator::new(4, 5, 6, 40)?; // 4 groups of ≤5, 6 areas, 40 slots
+/// let mut rng = SeedRng::new(1);
+/// let day = gen.day(&mut rng);
+/// assert_eq!(day.areas, 6);
+/// assert!(day.children() >= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaygroundGenerator {
+    groups: usize,
+    max_group_size: usize,
+    areas: u32,
+    slots: u32,
+    /// Probability a child follows its group in a slot.
+    cohesion: f64,
+    /// Fraction of children who are isolated singletons.
+    isolation_rate: f64,
+    /// Probability a present child is actually logged (RFID read loss).
+    read_rate: f64,
+}
+
+impl PlaygroundGenerator {
+    /// Creates a generator with `groups` friendship groups of 2 to
+    /// `max_group_size` children, `areas` base stations and `slots`
+    /// collection rounds per day.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degenerate parameters.
+    pub fn new(groups: usize, max_group_size: usize, areas: u32, slots: u32) -> Result<Self> {
+        if groups == 0 {
+            return Err(ConfigError::new("groups", "must be non-zero"));
+        }
+        if max_group_size < 2 {
+            return Err(ConfigError::new("max_group_size", "must be at least 2"));
+        }
+        if areas < 2 {
+            return Err(ConfigError::new("areas", "need at least two areas"));
+        }
+        if slots == 0 {
+            return Err(ConfigError::new("slots", "must be non-zero"));
+        }
+        Ok(Self {
+            groups,
+            max_group_size,
+            areas,
+            slots,
+            cohesion: 0.85,
+            isolation_rate: 0.1,
+            read_rate: 0.92,
+        })
+    }
+
+    /// Generates one day.
+    pub fn day(&self, rng: &mut SeedRng) -> PlaygroundDay {
+        // Ground truth: friendship groups plus isolated singletons.
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut next_child = 0u32;
+        for _ in 0..self.groups {
+            let size = 2 + rng.below(self.max_group_size - 1);
+            let members: Vec<u32> = (0..size).map(|_| {
+                let id = next_child;
+                next_child += 1;
+                id
+            }).collect();
+            groups.push(members);
+        }
+        let isolated_count =
+            ((next_child as f64 * self.isolation_rate).round() as u32).max(1);
+        let mut isolated = Vec::new();
+        for _ in 0..isolated_count {
+            let id = next_child;
+            next_child += 1;
+            isolated.push(id);
+            groups.push(vec![id]);
+        }
+
+        // Simulate the day.
+        let mut records = Vec::new();
+        for slot in 0..self.slots {
+            for group in &groups {
+                // The group's chosen area this slot.
+                let group_area = rng.below(self.areas as usize) as u32;
+                for &child in group {
+                    let area = if group.len() > 1 && rng.chance(self.cohesion) {
+                        group_area
+                    } else {
+                        rng.below(self.areas as usize) as u32
+                    };
+                    if rng.chance(self.read_rate) {
+                        records.push(ContactRecord { slot, area, child });
+                    }
+                }
+            }
+        }
+        PlaygroundDay {
+            records,
+            groups,
+            isolated,
+            areas: self.areas,
+            slots: self.slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> PlaygroundGenerator {
+        PlaygroundGenerator::new(4, 5, 6, 40).unwrap()
+    }
+
+    #[test]
+    fn day_structure_is_consistent() {
+        let mut rng = SeedRng::new(1);
+        let day = generator().day(&mut rng);
+        let n = day.children();
+        // All child ids in records are valid.
+        for r in &day.records {
+            assert!(r.child < n);
+            assert!(r.area < day.areas);
+            assert!(r.slot < day.slots);
+        }
+        // Groups partition the children.
+        let mut all: Vec<u32> = day.groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Isolated children are singleton groups.
+        for iso in &day.isolated {
+            assert!(day.groups.iter().any(|g| g.len() == 1 && g[0] == *iso));
+        }
+    }
+
+    #[test]
+    fn friends_co_occur_more_than_strangers() {
+        let mut rng = SeedRng::new(2);
+        let day = generator().day(&mut rng);
+        let n = day.children() as usize;
+        // Co-presence counts.
+        let mut copresence = vec![vec![0u32; n]; n];
+        for slot in 0..day.slots {
+            let mut by_area: Vec<Vec<u32>> = vec![Vec::new(); day.areas as usize];
+            for r in day.records.iter().filter(|r| r.slot == slot) {
+                by_area[r.area as usize].push(r.child);
+            }
+            for kids in &by_area {
+                for (i, &a) in kids.iter().enumerate() {
+                    for &b in kids.iter().skip(i + 1) {
+                        copresence[a as usize][b as usize] += 1;
+                        copresence[b as usize][a as usize] += 1;
+                    }
+                }
+            }
+        }
+        let mut friend_sum = 0.0f64;
+        let mut friend_n = 0.0f64;
+        let mut stranger_sum = 0.0f64;
+        let mut stranger_n = 0.0f64;
+        let group_of = |c: u32| day.groups.iter().position(|g| g.contains(&c)).unwrap();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let v = copresence[a][b] as f64;
+                if group_of(a as u32) == group_of(b as u32) {
+                    friend_sum += v;
+                    friend_n += 1.0;
+                } else {
+                    stranger_sum += v;
+                    stranger_n += 1.0;
+                }
+            }
+        }
+        let friend_mean = friend_sum / friend_n.max(1.0);
+        let stranger_mean = stranger_sum / stranger_n.max(1.0);
+        assert!(
+            friend_mean > stranger_mean * 2.0,
+            "friends {friend_mean} vs strangers {stranger_mean}"
+        );
+    }
+
+    #[test]
+    fn read_loss_drops_some_records() {
+        let mut rng = SeedRng::new(3);
+        let day = generator().day(&mut rng);
+        let expected_max = (day.children() * day.slots) as usize;
+        assert!(day.records.len() < expected_max);
+        assert!(day.records.len() > expected_max / 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generator();
+        let a = g.day(&mut SeedRng::new(4));
+        let b = g.day(&mut SeedRng::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(PlaygroundGenerator::new(0, 5, 6, 40).is_err());
+        assert!(PlaygroundGenerator::new(4, 1, 6, 40).is_err());
+        assert!(PlaygroundGenerator::new(4, 5, 1, 40).is_err());
+        assert!(PlaygroundGenerator::new(4, 5, 6, 0).is_err());
+    }
+}

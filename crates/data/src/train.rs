@@ -1,0 +1,415 @@
+//! Synthetic multi-car train RSSI scenes.
+//!
+//! Stands in for the real train experiments of ref \[65\] (UbiComp 2014):
+//! smartphones measuring Bluetooth RSSI to each other and to reference
+//! nodes of known position, across cars whose connecting doors
+//! "significantly attenuate the signal". Car-level congestion (three
+//! levels) and user positions are the ground truth the estimators must
+//! recover.
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::rng::SeedRng;
+
+/// Three-level congestion, as estimated in the paper (F-measure 0.82).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CongestionLevel {
+    /// A handful of standing passengers.
+    Low,
+    /// Most seats taken, some standing.
+    Medium,
+    /// Crush load.
+    High,
+}
+
+impl CongestionLevel {
+    /// All levels in ascending order.
+    pub const ALL: [CongestionLevel; 3] =
+        [CongestionLevel::Low, CongestionLevel::Medium, CongestionLevel::High];
+
+    /// Ordinal index (0, 1, 2).
+    pub fn index(self) -> usize {
+        match self {
+            CongestionLevel::Low => 0,
+            CongestionLevel::Medium => 1,
+            CongestionLevel::High => 2,
+        }
+    }
+
+    /// Passenger-count range per car for this level.
+    pub fn passenger_range(self) -> (usize, usize) {
+        match self {
+            CongestionLevel::Low => (8, 25),
+            CongestionLevel::Medium => (40, 75),
+            CongestionLevel::High => (95, 150),
+        }
+    }
+}
+
+/// One generated scene: ground truth plus the RSSI observations the
+/// estimator sees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainScene {
+    /// Congestion truth per car.
+    pub congestion: Vec<CongestionLevel>,
+    /// Passenger count per car.
+    pub passengers: Vec<usize>,
+    /// Car of each participating user (phone).
+    pub user_car: Vec<usize>,
+    /// Position of each user along the train axis (metres).
+    pub user_x: Vec<f64>,
+    /// Car of each reference node.
+    pub reference_car: Vec<usize>,
+    /// RSSI from each user to each reference node (dBm; `None` = below
+    /// sensitivity).
+    pub user_to_reference: Vec<Vec<Option<f64>>>,
+    /// Pairwise RSSI among users (`None` on the diagonal and below
+    /// sensitivity).
+    pub user_to_user: Vec<Vec<Option<f64>>>,
+}
+
+impl TrainScene {
+    /// Number of cars.
+    pub fn cars(&self) -> usize {
+        self.congestion.len()
+    }
+
+    /// Number of participating users.
+    pub fn users(&self) -> usize {
+        self.user_car.len()
+    }
+}
+
+/// Generator for train RSSI scenes.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_data::train::TrainSceneGenerator;
+/// use zeiot_core::rng::SeedRng;
+///
+/// let gen = TrainSceneGenerator::paper_train()?;
+/// let mut rng = SeedRng::new(1);
+/// let scene = gen.scene(&mut rng);
+/// assert_eq!(scene.cars(), 6);
+/// assert!(scene.users() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSceneGenerator {
+    cars: usize,
+    car_length_m: f64,
+    references_per_car: usize,
+    tx_power_dbm: f64,
+    ref_loss_1m_db: f64,
+    path_loss_exponent: f64,
+    door_attenuation_db: f64,
+    crowd_db_per_person_per_m: f64,
+    noise_sigma_db: f64,
+    sensitivity_dbm: f64,
+    phone_penetration: f64,
+}
+
+impl TrainSceneGenerator {
+    /// Creates a generator for `cars` cars of `car_length_m` metres with
+    /// `references_per_car` reference nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degenerate parameters.
+    pub fn new(cars: usize, car_length_m: f64, references_per_car: usize) -> Result<Self> {
+        if cars < 2 {
+            return Err(ConfigError::new("cars", "need at least two cars"));
+        }
+        if !(car_length_m > 5.0) {
+            return Err(ConfigError::new("car_length_m", "must exceed 5 m"));
+        }
+        if references_per_car == 0 {
+            return Err(ConfigError::new("references_per_car", "must be non-zero"));
+        }
+        Ok(Self {
+            cars,
+            car_length_m,
+            references_per_car,
+            tx_power_dbm: 0.0,
+            ref_loss_1m_db: 45.0,
+            path_loss_exponent: 2.2,
+            door_attenuation_db: 3.5,
+            crowd_db_per_person_per_m: 0.012,
+            noise_sigma_db: 7.0,
+            sensitivity_dbm: -95.0,
+            phone_penetration: 0.12,
+        })
+    }
+
+    /// A six-car commuter train, 20 m cars, two reference nodes per car
+    /// (matching the paper's experimental setting).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches
+    /// [`TrainSceneGenerator::new`].
+    pub fn paper_train() -> Result<Self> {
+        Self::new(6, 20.0, 2)
+    }
+
+    /// Number of cars.
+    pub fn cars(&self) -> usize {
+        self.cars
+    }
+
+    /// RSSI between two axial positions given the per-car passenger
+    /// counts (deterministic part; the caller adds measurement noise).
+    fn mean_rssi(&self, x1: f64, x2: f64, passengers: &[usize]) -> f64 {
+        let d = (x1 - x2).abs().max(0.5);
+        let mut loss =
+            self.ref_loss_1m_db + 10.0 * self.path_loss_exponent * d.log10();
+        // Door crossings between the two positions.
+        let car1 = (x1 / self.car_length_m).floor() as usize;
+        let car2 = (x2 / self.car_length_m).floor() as usize;
+        let crossings = car1.abs_diff(car2);
+        loss += self.door_attenuation_db * crossings as f64;
+        // Crowd attenuation: bodies along the path, proportional to the
+        // local density of each traversed car segment.
+        let (lo, hi) = if x1 < x2 { (x1, x2) } else { (x2, x1) };
+        for (car, &count) in passengers.iter().enumerate() {
+            let car_start = car as f64 * self.car_length_m;
+            let car_end = car_start + self.car_length_m;
+            let overlap = (hi.min(car_end) - lo.max(car_start)).max(0.0);
+            let density = count as f64 / self.car_length_m;
+            loss += self.crowd_db_per_person_per_m * density * overlap * count as f64 / 10.0;
+        }
+        self.tx_power_dbm - loss
+    }
+
+    /// Generates one scene with uniformly random per-car congestion.
+    pub fn scene(&self, rng: &mut SeedRng) -> TrainScene {
+        let congestion: Vec<CongestionLevel> = (0..self.cars)
+            .map(|_| *rng.choose(&CongestionLevel::ALL).expect("non-empty"))
+            .collect();
+        self.scene_with_congestion(&congestion, rng)
+    }
+
+    /// Generates one scene with specified per-car congestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `congestion.len()` differs from the car count.
+    pub fn scene_with_congestion(
+        &self,
+        congestion: &[CongestionLevel],
+        rng: &mut SeedRng,
+    ) -> TrainScene {
+        assert_eq!(congestion.len(), self.cars, "congestion per car");
+        let passengers: Vec<usize> = congestion
+            .iter()
+            .map(|c| {
+                let (lo, hi) = c.passenger_range();
+                lo + rng.below(hi - lo + 1)
+            })
+            .collect();
+
+        // Users: phones among passengers.
+        let mut user_car = Vec::new();
+        let mut user_x = Vec::new();
+        for (car, &count) in passengers.iter().enumerate() {
+            let phones = ((count as f64 * self.phone_penetration).round() as usize).max(1);
+            for _ in 0..phones {
+                user_car.push(car);
+                user_x.push(
+                    car as f64 * self.car_length_m
+                        + rng.uniform_range(0.5, self.car_length_m - 0.5),
+                );
+            }
+        }
+
+        // Reference nodes at fixed positions within each car.
+        let mut reference_car = Vec::new();
+        let mut reference_x = Vec::new();
+        for car in 0..self.cars {
+            for r in 0..self.references_per_car {
+                reference_car.push(car);
+                reference_x.push(
+                    car as f64 * self.car_length_m
+                        + (r as f64 + 0.5) / self.references_per_car as f64
+                            * self.car_length_m,
+                );
+            }
+        }
+
+        let sample = |mean: f64, rng: &mut SeedRng| -> Option<f64> {
+            let v = mean + rng.normal_with(0.0, self.noise_sigma_db);
+            (v >= self.sensitivity_dbm).then_some(v)
+        };
+
+        let user_to_reference: Vec<Vec<Option<f64>>> = user_x
+            .iter()
+            .map(|&ux| {
+                reference_x
+                    .iter()
+                    .map(|&rx| sample(self.mean_rssi(ux, rx, &passengers), rng))
+                    .collect()
+            })
+            .collect();
+
+        let n = user_x.len();
+        let mut user_to_user = vec![vec![None; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = sample(self.mean_rssi(user_x[i], user_x[j], &passengers), rng);
+                user_to_user[i][j] = v;
+                user_to_user[j][i] = v;
+            }
+        }
+
+        TrainScene {
+            congestion: congestion.to_vec(),
+            passengers,
+            user_car,
+            user_x,
+            reference_car,
+            user_to_reference,
+            user_to_user,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> TrainSceneGenerator {
+        TrainSceneGenerator::paper_train().unwrap()
+    }
+
+    #[test]
+    fn scene_dimensions_are_consistent() {
+        let g = gen();
+        let mut rng = SeedRng::new(1);
+        let s = g.scene(&mut rng);
+        assert_eq!(s.cars(), 6);
+        assert_eq!(s.user_car.len(), s.user_x.len());
+        assert_eq!(s.user_to_reference.len(), s.users());
+        assert_eq!(s.user_to_reference[0].len(), 12); // 6 cars × 2 refs
+        assert_eq!(s.user_to_user.len(), s.users());
+    }
+
+    #[test]
+    fn same_car_rssi_stronger_than_cross_car() {
+        let g = gen();
+        let mut rng = SeedRng::new(2);
+        let levels = [CongestionLevel::Low; 6];
+        let s = g.scene_with_congestion(&levels, &mut rng);
+        // Average same-car vs different-car user→reference RSSI.
+        let (mut same, mut same_n, mut diff, mut diff_n) = (0.0, 0, 0.0, 0);
+        for (u, row) in s.user_to_reference.iter().enumerate() {
+            for (r, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    if s.reference_car[r] == s.user_car[u] {
+                        same += v;
+                        same_n += 1;
+                    } else {
+                        diff += v;
+                        diff_n += 1;
+                    }
+                }
+            }
+        }
+        assert!(same_n > 0 && diff_n > 0);
+        assert!(
+            same / same_n as f64 > diff / diff_n as f64 + 10.0,
+            "same={} diff={}",
+            same / same_n as f64,
+            diff / diff_n as f64
+        );
+    }
+
+    #[test]
+    fn congestion_attenuates_in_car_links() {
+        let g = gen();
+        let mut rng = SeedRng::new(3);
+        let low = g.scene_with_congestion(&[CongestionLevel::Low; 6], &mut rng);
+        let high = g.scene_with_congestion(&[CongestionLevel::High; 6], &mut rng);
+        let mean_same_car = |s: &TrainScene| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for (u, row) in s.user_to_reference.iter().enumerate() {
+                for (r, v) in row.iter().enumerate() {
+                    if let Some(v) = v {
+                        if s.reference_car[r] == s.user_car[u] {
+                            total += v;
+                            n += 1;
+                        }
+                    }
+                }
+            }
+            total / n as f64
+        };
+        assert!(
+            mean_same_car(&low) > mean_same_car(&high) + 2.0,
+            "low={} high={}",
+            mean_same_car(&low),
+            mean_same_car(&high)
+        );
+    }
+
+    #[test]
+    fn passenger_counts_match_levels() {
+        let g = gen();
+        let mut rng = SeedRng::new(4);
+        let s = g.scene_with_congestion(
+            &[
+                CongestionLevel::Low,
+                CongestionLevel::Medium,
+                CongestionLevel::High,
+                CongestionLevel::Low,
+                CongestionLevel::Medium,
+                CongestionLevel::High,
+            ],
+            &mut rng,
+        );
+        for (car, level) in s.congestion.iter().enumerate() {
+            let (lo, hi) = level.passenger_range();
+            assert!((lo..=hi).contains(&s.passengers[car]));
+        }
+    }
+
+    #[test]
+    fn high_congestion_means_more_users() {
+        let g = gen();
+        let mut rng = SeedRng::new(5);
+        let low = g.scene_with_congestion(&[CongestionLevel::Low; 6], &mut rng);
+        let high = g.scene_with_congestion(&[CongestionLevel::High; 6], &mut rng);
+        assert!(high.users() > low.users() * 2);
+    }
+
+    #[test]
+    fn user_to_user_matrix_is_symmetric() {
+        let g = gen();
+        let mut rng = SeedRng::new(6);
+        let s = g.scene(&mut rng);
+        for i in 0..s.users() {
+            assert!(s.user_to_user[i][i].is_none());
+            for j in 0..s.users() {
+                assert_eq!(s.user_to_user[i][j], s.user_to_user[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen();
+        let a = g.scene(&mut SeedRng::new(7));
+        let b = g.scene(&mut SeedRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(TrainSceneGenerator::new(1, 20.0, 2).is_err());
+        assert!(TrainSceneGenerator::new(6, 3.0, 2).is_err());
+        assert!(TrainSceneGenerator::new(6, 20.0, 0).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! The storage element of a zero-energy device.
+//!
+//! Harvested charge accumulates in a capacitor; the device turns on when
+//! the voltage reaches a turn-on threshold and browns out when it falls to
+//! a turn-off threshold (hysteresis, as in real power-management ICs such
+//! as the BQ25570 family). Energy accounting uses `E = ½CV²`.
+
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::time::SimDuration;
+use zeiot_core::units::{Joule, Watt};
+
+/// A capacitor energy store with turn-on/turn-off hysteresis.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_energy::capacitor::Capacitor;
+/// use zeiot_core::units::Watt;
+/// use zeiot_core::time::SimDuration;
+///
+/// // 100 µF, turn on at 2.4 V, brown out at 1.8 V, max 3.0 V.
+/// let mut cap = Capacitor::new(100e-6, 2.4, 1.8, 3.0)?;
+/// assert!(!cap.is_on());
+/// cap.charge(Watt::new(1e-3), SimDuration::from_secs(1));
+/// assert!(cap.is_on());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    capacitance_f: f64,
+    turn_on_v: f64,
+    turn_off_v: f64,
+    max_v: f64,
+    voltage_v: f64,
+    on: bool,
+    total_harvested: Joule,
+    total_consumed: Joule,
+    total_wasted: Joule,
+    brownouts: u64,
+}
+
+impl Capacitor {
+    /// Creates an empty capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `capacitance_f > 0` and
+    /// `0 < turn_off_v < turn_on_v <= max_v`.
+    pub fn new(capacitance_f: f64, turn_on_v: f64, turn_off_v: f64, max_v: f64) -> Result<Self> {
+        if !(capacitance_f > 0.0 && capacitance_f.is_finite()) {
+            return Err(ConfigError::new("capacitance_f", "must be positive"));
+        }
+        if !(turn_off_v > 0.0 && turn_off_v < turn_on_v && turn_on_v <= max_v) {
+            return Err(ConfigError::new(
+                "thresholds",
+                format!(
+                    "need 0 < turn_off ({turn_off_v}) < turn_on ({turn_on_v}) <= max ({max_v})"
+                ),
+            ));
+        }
+        Ok(Self {
+            capacitance_f,
+            turn_on_v,
+            turn_off_v,
+            max_v,
+            voltage_v: 0.0,
+            on: false,
+            total_harvested: Joule::new(0.0),
+            total_consumed: Joule::new(0.0),
+            total_wasted: Joule::new(0.0),
+            brownouts: 0,
+        })
+    }
+
+    /// Current capacitor voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Stored energy (`½CV²`).
+    pub fn stored(&self) -> Joule {
+        Joule::new(0.5 * self.capacitance_f * self.voltage_v * self.voltage_v)
+    }
+
+    /// Usable energy above the turn-off threshold — what the device can
+    /// actually spend before browning out.
+    pub fn usable(&self) -> Joule {
+        let floor = 0.5 * self.capacitance_f * self.turn_off_v * self.turn_off_v;
+        Joule::new((self.stored().value() - floor).max(0.0))
+    }
+
+    /// Whether the device is powered (past turn-on, not browned out).
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Number of brownouts (on→off transitions) so far.
+    pub fn brownouts(&self) -> u64 {
+        self.brownouts
+    }
+
+    /// Total energy harvested into the store.
+    pub fn total_harvested(&self) -> Joule {
+        self.total_harvested
+    }
+
+    /// Total energy discharged for useful work.
+    pub fn total_consumed(&self) -> Joule {
+        self.total_consumed
+    }
+
+    /// Energy that arrived while the capacitor was full and was lost.
+    pub fn total_wasted(&self) -> Joule {
+        self.total_wasted
+    }
+
+    /// Accumulates `power` for `duration`, clipping at the maximum
+    /// voltage. Returns the energy actually stored.
+    pub fn charge(&mut self, power: Watt, duration: SimDuration) -> Joule {
+        assert!(power.value() >= 0.0, "charge power must be non-negative");
+        let offered = power.energy_over(duration);
+        let cap_energy = 0.5 * self.capacitance_f * self.max_v * self.max_v;
+        let headroom = (cap_energy - self.stored().value()).max(0.0);
+        let stored = offered.value().min(headroom);
+        let wasted = offered.value() - stored;
+        self.total_harvested += Joule::new(stored);
+        self.total_wasted += Joule::new(wasted);
+        let new_energy = self.stored().value() + stored;
+        self.voltage_v = (2.0 * new_energy / self.capacitance_f).sqrt();
+        if !self.on && self.voltage_v >= self.turn_on_v {
+            self.on = true;
+        }
+        Joule::new(stored)
+    }
+
+    /// Attempts to spend `energy`; succeeds only while the device is on
+    /// and the withdrawal would not push the voltage below turn-off.
+    /// On failure nothing is withdrawn.
+    pub fn try_discharge(&mut self, energy: Joule) -> bool {
+        assert!(energy.value() >= 0.0, "discharge energy must be non-negative");
+        if !self.on {
+            return false;
+        }
+        if energy.value() > self.usable().value() {
+            return false;
+        }
+        let new_energy = self.stored().value() - energy.value();
+        self.voltage_v = (2.0 * new_energy / self.capacitance_f).sqrt();
+        self.total_consumed += energy;
+        true
+    }
+
+    /// Spends `energy` unconditionally (used to model idle leakage or a
+    /// load the device cannot gate); brownout occurs if the voltage falls
+    /// to the turn-off threshold. Returns the energy actually withdrawn.
+    pub fn drain(&mut self, energy: Joule) -> Joule {
+        assert!(energy.value() >= 0.0, "drain energy must be non-negative");
+        let available = self.stored().value();
+        let taken = energy.value().min(available);
+        let new_energy = available - taken;
+        self.voltage_v = (2.0 * new_energy / self.capacitance_f).sqrt();
+        self.total_consumed += Joule::new(taken);
+        if self.on && self.voltage_v <= self.turn_off_v {
+            self.on = false;
+            self.brownouts += 1;
+        }
+        Joule::new(taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> Capacitor {
+        Capacitor::new(100e-6, 2.4, 1.8, 3.0).unwrap()
+    }
+
+    #[test]
+    fn starts_empty_and_off() {
+        let c = cap();
+        assert_eq!(c.voltage(), 0.0);
+        assert_eq!(c.stored().value(), 0.0);
+        assert!(!c.is_on());
+    }
+
+    #[test]
+    fn rejects_invalid_thresholds() {
+        assert!(Capacitor::new(0.0, 2.4, 1.8, 3.0).is_err());
+        assert!(Capacitor::new(100e-6, 1.8, 2.4, 3.0).is_err()); // on < off
+        assert!(Capacitor::new(100e-6, 3.5, 1.8, 3.0).is_err()); // on > max
+        assert!(Capacitor::new(100e-6, 2.4, 0.0, 3.0).is_err()); // off == 0
+    }
+
+    #[test]
+    fn charging_raises_voltage_and_turns_on() {
+        let mut c = cap();
+        // Energy to reach 2.4 V: ½·100µF·2.4² = 288 µJ.
+        c.charge(Watt::new(288e-6), SimDuration::from_secs(1));
+        assert!((c.voltage() - 2.4).abs() < 1e-9);
+        assert!(c.is_on());
+    }
+
+    #[test]
+    fn voltage_clips_at_max() {
+        let mut c = cap();
+        c.charge(Watt::new(1.0), SimDuration::from_secs(1)); // way too much
+        assert!((c.voltage() - 3.0).abs() < 1e-9);
+        assert!(c.total_wasted().value() > 0.9);
+    }
+
+    #[test]
+    fn energy_conservation() {
+        let mut c = cap();
+        c.charge(Watt::new(400e-6), SimDuration::from_secs(1));
+        let stored_before = c.stored().value();
+        assert!(c.try_discharge(Joule::from_microjoules(50.0)));
+        let stored_after = c.stored().value();
+        assert!((stored_before - stored_after - 50e-6).abs() < 1e-12);
+        // harvested == stored + consumed (no waste in this scenario).
+        assert!(
+            (c.total_harvested().value()
+                - (c.stored().value() + c.total_consumed().value()))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn discharge_fails_when_off() {
+        let mut c = cap();
+        c.charge(Watt::new(100e-6), SimDuration::from_secs(1)); // 100 µJ < 288 µJ
+        assert!(!c.is_on());
+        assert!(!c.try_discharge(Joule::from_microjoules(1.0)));
+    }
+
+    #[test]
+    fn discharge_fails_rather_than_browning_out() {
+        let mut c = cap();
+        c.charge(Watt::new(288e-6), SimDuration::from_secs(1)); // exactly 2.4 V
+        let usable = c.usable();
+        assert!(!c.try_discharge(Joule::new(usable.value() + 1e-6)));
+        assert!(c.try_discharge(usable));
+        // Still on: voltage exactly at turn-off is allowed by try_discharge.
+        assert!((c.voltage() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_causes_brownout_and_hysteresis() {
+        let mut c = cap();
+        c.charge(Watt::new(288e-6), SimDuration::from_secs(1));
+        assert!(c.is_on());
+        c.drain(Joule::from_microjoules(200.0));
+        assert!(!c.is_on());
+        assert_eq!(c.brownouts(), 1);
+        // Re-charging past turn-off but below turn-on must NOT turn on.
+        // (After the drain ~88 µJ remain; +100 µJ lands between the 162 µJ
+        // turn-off level and the 288 µJ turn-on level.)
+        c.charge(Watt::new(100e-6), SimDuration::from_secs(1));
+        assert!(c.voltage() > 1.8 && c.voltage() < 2.4);
+        assert!(!c.is_on());
+        // Reaching turn-on again powers the device.
+        c.charge(Watt::new(288e-6), SimDuration::from_secs(1));
+        assert!(c.is_on());
+    }
+
+    #[test]
+    fn drain_cannot_take_more_than_stored() {
+        let mut c = cap();
+        c.charge(Watt::new(10e-6), SimDuration::from_secs(1));
+        let taken = c.drain(Joule::new(1.0));
+        assert!(taken.value() <= 10e-6 + 1e-12);
+        assert_eq!(c.voltage(), 0.0);
+    }
+
+    #[test]
+    fn usable_is_zero_below_turn_off() {
+        let mut c = cap();
+        c.charge(Watt::new(50e-6), SimDuration::from_secs(1)); // < 162 µJ floor
+        assert_eq!(c.usable().value(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn conservation_under_random_ops(
+            ops in proptest::collection::vec((0u8..3, 0.0f64..500.0), 1..100)
+        ) {
+            let mut c = Capacitor::new(100e-6, 2.4, 1.8, 3.0).unwrap();
+            for (kind, amount_uj) in ops {
+                let e = Joule::from_microjoules(amount_uj);
+                match kind {
+                    0 => {
+                        c.charge(Watt::new(e.value()), SimDuration::from_secs(1));
+                    }
+                    1 => {
+                        let _ = c.try_discharge(e);
+                    }
+                    _ => {
+                        c.drain(e);
+                    }
+                }
+                // Invariants: voltage within [0, max]; books balance.
+                prop_assert!(c.voltage() >= 0.0 && c.voltage() <= 3.0 + 1e-9);
+                let books = c.total_harvested().value()
+                    - c.total_consumed().value()
+                    - c.stored().value();
+                prop_assert!(books.abs() < 1e-9, "books off by {books}");
+            }
+        }
+    }
+}

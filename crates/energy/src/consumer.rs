@@ -1,0 +1,253 @@
+//! Power-draw profiles of IoT device classes.
+//!
+//! The paper's §I energy taxonomy, encoded: sensing runs at µW to tens of
+//! µW; conventional radio burns tens to hundreds of mW; BLE is in the mW
+//! range; ambient backscatter is ~10 µW — about 1/10,000 of active radio.
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::time::SimDuration;
+use zeiot_core::units::{Joule, Watt};
+
+/// Operating states a zero-energy device cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceState {
+    /// Deep sleep: retention only.
+    Sleep,
+    /// Sampling a sensor.
+    Sense,
+    /// Local computation (e.g. one CNN unit's forward step).
+    Compute,
+    /// Backscatter transmission (RF-switch toggling).
+    Backscatter,
+    /// Active radio transmission (802.15.4 / BLE / Wi-Fi class).
+    ActiveRadio,
+}
+
+impl DeviceState {
+    /// All states, for iteration in tests and reports.
+    pub const ALL: [DeviceState; 5] = [
+        DeviceState::Sleep,
+        DeviceState::Sense,
+        DeviceState::Compute,
+        DeviceState::Backscatter,
+        DeviceState::ActiveRadio,
+    ];
+}
+
+/// Per-state power draw of a device class.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_energy::consumer::{DeviceState, PowerProfile};
+/// use zeiot_core::time::SimDuration;
+///
+/// let tag = PowerProfile::backscatter_tag()?;
+/// let radio = PowerProfile::active_802154_node()?;
+/// let ratio = radio.draw(DeviceState::ActiveRadio).value()
+///     / tag.draw(DeviceState::Backscatter).value();
+/// assert!(ratio > 1_000.0); // the paper's ~1/10,000 claim, order-of-magnitude
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    sleep: Watt,
+    sense: Watt,
+    compute: Watt,
+    backscatter: Watt,
+    active_radio: Watt,
+}
+
+impl PowerProfile {
+    /// Creates a profile from per-state draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any draw is negative or not finite.
+    pub fn new(
+        sleep: Watt,
+        sense: Watt,
+        compute: Watt,
+        backscatter: Watt,
+        active_radio: Watt,
+    ) -> Result<Self> {
+        for (name, w) in [
+            ("sleep", sleep),
+            ("sense", sense),
+            ("compute", compute),
+            ("backscatter", backscatter),
+            ("active_radio", active_radio),
+        ] {
+            if !(w.value().is_finite() && w.value() >= 0.0) {
+                return Err(ConfigError::new(name, "must be non-negative and finite"));
+            }
+        }
+        Ok(Self {
+            sleep,
+            sense,
+            compute,
+            backscatter,
+            active_radio,
+        })
+    }
+
+    /// A minimal backscatter tag: 0.1 µW sleep, 5 µW sense, 20 µW compute,
+    /// 10 µW backscatter; it has no active radio (modelled as a
+    /// prohibitive 100 mW so budgets expose the mistake).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`PowerProfile::new`].
+    pub fn backscatter_tag() -> Result<Self> {
+        Self::new(
+            Watt::new(0.1e-6),
+            Watt::new(5e-6),
+            Watt::new(20e-6),
+            Watt::new(10e-6),
+            Watt::new(100e-3),
+        )
+    }
+
+    /// A conventional 802.15.4 sensor node: 3 µW sleep, 10 µW sense,
+    /// 5 mW compute (MCU active), 10 µW backscatter-equivalent (not used),
+    /// 60 mW radio.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`PowerProfile::new`].
+    pub fn active_802154_node() -> Result<Self> {
+        Self::new(
+            Watt::new(3e-6),
+            Watt::new(10e-6),
+            Watt::new(5e-3),
+            Watt::new(10e-6),
+            Watt::new(60e-3),
+        )
+    }
+
+    /// A BLE-class node: mW-order radio (paper: "Even BLE consumes the
+    /// order of mW").
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`PowerProfile::new`].
+    pub fn ble_node() -> Result<Self> {
+        Self::new(
+            Watt::new(1e-6),
+            Watt::new(10e-6),
+            Watt::new(3e-3),
+            Watt::new(10e-6),
+            Watt::new(5e-3),
+        )
+    }
+
+    /// Power draw in a given state.
+    pub fn draw(&self, state: DeviceState) -> Watt {
+        match state {
+            DeviceState::Sleep => self.sleep,
+            DeviceState::Sense => self.sense,
+            DeviceState::Compute => self.compute,
+            DeviceState::Backscatter => self.backscatter,
+            DeviceState::ActiveRadio => self.active_radio,
+        }
+    }
+
+    /// Energy for spending `duration` in `state`.
+    pub fn energy(&self, state: DeviceState, duration: SimDuration) -> Joule {
+        self.draw(state).energy_over(duration)
+    }
+
+    /// Energy to transmit `bits` at `bit_rate_bps` in `state`
+    /// (Backscatter or ActiveRadio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate_bps` is not strictly positive.
+    pub fn tx_energy(&self, state: DeviceState, bits: usize, bit_rate_bps: f64) -> Joule {
+        assert!(bit_rate_bps > 0.0, "bit rate must be positive");
+        let duration = SimDuration::from_secs_f64(bits as f64 / bit_rate_bps);
+        self.energy(state, duration)
+    }
+
+    /// Energy per transmitted bit in `state` at `bit_rate_bps`.
+    pub fn energy_per_bit(&self, state: DeviceState, bit_rate_bps: f64) -> Joule {
+        self.tx_energy(state, 1, bit_rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_construct() {
+        assert!(PowerProfile::backscatter_tag().is_ok());
+        assert!(PowerProfile::active_802154_node().is_ok());
+        assert!(PowerProfile::ble_node().is_ok());
+    }
+
+    #[test]
+    fn rejects_negative_draw() {
+        assert!(PowerProfile::new(
+            Watt::new(-1.0),
+            Watt::new(0.0),
+            Watt::new(0.0),
+            Watt::new(0.0),
+            Watt::new(0.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paper_power_taxonomy_holds() {
+        let tag = PowerProfile::backscatter_tag().unwrap();
+        let node = PowerProfile::active_802154_node().unwrap();
+        let ble = PowerProfile::ble_node().unwrap();
+        // Sensing: µW to tens of µW.
+        assert!(tag.draw(DeviceState::Sense).value() <= 50e-6);
+        // Active radio: tens of mW or more.
+        assert!(node.draw(DeviceState::ActiveRadio).value() >= 10e-3);
+        // BLE: order of mW.
+        let ble_radio = ble.draw(DeviceState::ActiveRadio).value();
+        assert!((1e-3..10e-3).contains(&ble_radio));
+        // Backscatter ~10 µW: about 1/10,000 of a 100 mW radio.
+        let ratio = tag.draw(DeviceState::Backscatter).value() / 100e-3;
+        assert!((ratio - 1e-4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn energy_scales_with_duration() {
+        let tag = PowerProfile::backscatter_tag().unwrap();
+        let e1 = tag.energy(DeviceState::Compute, SimDuration::from_millis(10));
+        let e2 = tag.energy(DeviceState::Compute, SimDuration::from_millis(20));
+        assert!((e2.value() - 2.0 * e1.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tx_energy_at_rate() {
+        let tag = PowerProfile::backscatter_tag().unwrap();
+        // 250 kbps backscatter, 1000-bit packet = 4 ms at 10 µW = 40 nJ.
+        let e = tag.tx_energy(DeviceState::Backscatter, 1_000, 250e3);
+        assert!((e.value() - 40e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_bit_comparison_favors_backscatter() {
+        let tag = PowerProfile::backscatter_tag().unwrap();
+        let node = PowerProfile::active_802154_node().unwrap();
+        let bs = tag.energy_per_bit(DeviceState::Backscatter, 250e3).value();
+        let ar = node.energy_per_bit(DeviceState::ActiveRadio, 250e3).value();
+        assert!(ar / bs > 1_000.0, "ratio={}", ar / bs);
+    }
+
+    #[test]
+    fn all_states_are_covered() {
+        let tag = PowerProfile::backscatter_tag().unwrap();
+        for s in DeviceState::ALL {
+            assert!(tag.draw(s).value() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,745 @@
+//! Distributed training semantics.
+//!
+//! MicroDeep executes the canonical CNN *in place* on the mesh. Dense
+//! units own their weight rows, so their updates are local and exact. The
+//! convolution is different: its kernel is shared by every spatial unit,
+//! but those units live on many nodes — keeping one shared kernel would
+//! require gradient aggregation traffic every step. MicroDeep instead
+//! gives each hosting node a *replica* of the kernel and lets it update
+//! the replica **independently** from the gradients of its own units only
+//! (paper §IV.C: "Weights of units are updated independently by each
+//! sensor node to avoid communication overhead, sacrificing some
+//! accuracy").
+//!
+//! [`DistributedCnn`] implements both semantics:
+//!
+//! * [`WeightUpdate::Synchronized`] — replica gradients are summed and a
+//!   common update applied everywhere; numerically identical to the
+//!   centralized baseline (used to verify the machinery and as the
+//!   ablation's upper bound);
+//! * [`WeightUpdate::Independent`] — each replica applies only its own
+//!   accumulated gradient; replicas drift apart and accuracy typically
+//!   lands a couple of points below the baseline, with zero
+//!   weight-synchronization traffic.
+
+use crate::assignment::Assignment;
+use crate::config::CnnConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use zeiot_core::id::NodeId;
+use zeiot_core::rng::SeedRng;
+use zeiot_nn::loss::cross_entropy;
+use zeiot_nn::tensor::Tensor;
+
+/// How convolution kernel replicas are updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightUpdate {
+    /// Sum replica gradients, apply one common update (exact SGD).
+    Synchronized,
+    /// Each node updates its kernel replica from local gradients only —
+    /// replicas drift apart.
+    Independent,
+    /// Every conv unit owns its kernel (locally-connected layer): weight
+    /// sharing is dropped so each unit's update is complete with zero
+    /// communication — the most faithful reading of the paper's "weights
+    /// of units are updated independently by each sensor node".
+    PerUnit,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct UnitKernels {
+    /// `[units, in_channels, k, k]` — one kernel per conv output unit.
+    weights: Tensor,
+    /// `[units]`.
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ConvReplica {
+    weights: Tensor, // [oc, ic, k, k]
+    bias: Tensor,    // [oc]
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    /// Number of conv units hosted by this replica's node.
+    units: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DenseParams {
+    weights: Tensor, // [out, in]
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+}
+
+impl DenseParams {
+    fn new(in_len: usize, out_len: usize, rng: &mut SeedRng) -> Self {
+        let scale = (6.0 / in_len as f32).sqrt();
+        Self {
+            weights: Tensor::uniform(vec![out_len, in_len], scale, rng),
+            bias: Tensor::zeros(vec![out_len]),
+            grad_weights: Tensor::zeros(vec![out_len, in_len]),
+            grad_bias: Tensor::zeros(vec![out_len]),
+        }
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let out_len = self.bias.len();
+        let in_len = x.len();
+        (0..out_len)
+            .map(|o| {
+                let row = &self.weights.data()[o * in_len..(o + 1) * in_len];
+                self.bias.data()[o]
+                    + row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>()
+            })
+            .collect()
+    }
+
+    fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        let in_len = x.len();
+        let mut grad_in = vec![0.0f32; in_len];
+        for (o, &g) in grad_out.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            self.grad_bias.data_mut()[o] += g;
+            let row_start = o * in_len;
+            for i in 0..in_len {
+                self.grad_weights.data_mut()[row_start + i] += g * x[i];
+                grad_in[i] += g * self.weights.data()[row_start + i];
+            }
+        }
+        grad_in
+    }
+
+    fn apply(&mut self, lr: f32) {
+        self.weights.add_scaled(&self.grad_weights, -lr);
+        self.bias.add_scaled(&self.grad_bias, -lr);
+        self.grad_weights.fill_zero();
+        self.grad_bias.fill_zero();
+    }
+}
+
+/// The canonical CNN executed with per-node convolution replicas.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, WeightUpdate};
+/// use zeiot_net::Topology;
+/// use zeiot_core::rng::SeedRng;
+/// use zeiot_nn::tensor::Tensor;
+///
+/// let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2)?;
+/// let topo = Topology::grid(3, 3, 2.0, 3.0)?;
+/// let graph = config.unit_graph()?;
+/// let assignment = Assignment::balanced_correspondence(&graph, &topo);
+/// let mut rng = SeedRng::new(1);
+/// let mut net = DistributedCnn::new(config, assignment, WeightUpdate::Independent, &mut rng);
+/// let logits = net.forward(&Tensor::zeros(vec![1, 8, 8]));
+/// assert_eq!(logits.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributedCnn {
+    config: CnnConfig,
+    update: WeightUpdate,
+    /// Host node of each conv output unit (layer-1 unit order).
+    conv_unit_host: Vec<NodeId>,
+    replicas: BTreeMap<NodeId, ConvReplica>,
+    per_unit: Option<UnitKernels>,
+    dense1: DenseParams,
+    dense2: DenseParams,
+    // Forward caches.
+    last_input: Option<Tensor>,
+    conv_pre_relu: Vec<f32>,
+    pool_out: Vec<f32>,
+    pool_argmax: Vec<usize>,
+    hidden_pre_relu: Vec<f32>,
+    hidden_out: Vec<f32>,
+}
+
+impl DistributedCnn {
+    /// Builds a distributed CNN over `assignment`. All replicas start
+    /// from one common initialization (the initial broadcast every
+    /// distributed learner performs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's layer sizes disagree with the config.
+    pub fn new(
+        config: CnnConfig,
+        assignment: Assignment,
+        update: WeightUpdate,
+        rng: &mut SeedRng,
+    ) -> Self {
+        let graph = config.unit_graph().expect("validated config");
+        assert_eq!(
+            assignment.layer_count(),
+            graph.layer_count(),
+            "assignment does not match config"
+        );
+        let conv_units = graph.units_in_layer(1);
+        let conv_unit_host: Vec<NodeId> =
+            (0..conv_units).map(|u| assignment.host_of(1, u)).collect();
+
+        // Common initial parameters.
+        let (oc, ic, k) = (config.conv_channels(), config.in_channels(), config.kernel());
+        let fan_in = (ic * k * k) as f32;
+        let init_w = Tensor::uniform(vec![oc, ic, k, k], (6.0 / fan_in).sqrt(), rng);
+        let init_b = Tensor::zeros(vec![oc]);
+
+        let mut replicas = BTreeMap::new();
+        for host in &conv_unit_host {
+            replicas
+                .entry(*host)
+                .or_insert_with(|| ConvReplica {
+                    weights: init_w.clone(),
+                    bias: init_b.clone(),
+                    grad_weights: Tensor::zeros(vec![oc, ic, k, k]),
+                    grad_bias: Tensor::zeros(vec![oc]),
+                    units: 0,
+                })
+                .units += 1;
+        }
+
+        // Per-unit kernels start from the shared initialization of their
+        // output channel (the one-time broadcast every node receives).
+        let per_unit = (update == WeightUpdate::PerUnit).then(|| {
+            let per_ch = conv_units / oc;
+            let mut weights = Tensor::zeros(vec![conv_units, ic, k, k]);
+            let kernel_len = ic * k * k;
+            for unit in 0..conv_units {
+                let o = unit / per_ch;
+                let src = &init_w.data()[o * kernel_len..(o + 1) * kernel_len];
+                weights.data_mut()[unit * kernel_len..(unit + 1) * kernel_len]
+                    .copy_from_slice(src);
+            }
+            UnitKernels {
+                weights,
+                bias: Tensor::zeros(vec![conv_units]),
+                grad_weights: Tensor::zeros(vec![conv_units, ic, k, k]),
+                grad_bias: Tensor::zeros(vec![conv_units]),
+            }
+        });
+
+        let dense1 = DenseParams::new(config.feature_len(), config.hidden(), rng);
+        let dense2 = DenseParams::new(config.hidden(), config.classes(), rng);
+        Self {
+            config,
+            update,
+            conv_unit_host,
+            replicas,
+            per_unit,
+            dense1,
+            dense2,
+            last_input: None,
+            conv_pre_relu: Vec::new(),
+            pool_out: Vec::new(),
+            pool_argmax: Vec::new(),
+            hidden_pre_relu: Vec::new(),
+            hidden_out: Vec::new(),
+        }
+    }
+
+    /// The configuration this network was built from.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Serializes the full model (placement + every node's weights) to
+    /// JSON — what a gateway would persist so a re-deployed mesh can
+    /// resume without retraining.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if serialization fails (it cannot for
+    /// well-formed models).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Restores a model from [`DistributedCnn::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Number of convolution replicas (nodes hosting conv units).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Mean pairwise L2 distance between replica kernels — 0 under
+    /// synchronized updates, growing under independent updates. In
+    /// PerUnit mode, the mean L2 distance of each unit's kernel to its
+    /// output channel's mean kernel (how far weight sharing has been
+    /// abandoned).
+    pub fn replica_divergence(&self) -> f64 {
+        if let Some(pk) = &self.per_unit {
+            let units = pk.bias.len();
+            let oc = self.config.conv_channels();
+            let per_ch = units / oc;
+            let kernel_len = pk.weights.len() / units;
+            let mut total = 0.0f64;
+            for o in 0..oc {
+                let mut mean = vec![0.0f64; kernel_len];
+                for u in 0..per_ch {
+                    let unit = o * per_ch + u;
+                    let w = &pk.weights.data()[unit * kernel_len..(unit + 1) * kernel_len];
+                    for (m, &x) in mean.iter_mut().zip(w) {
+                        *m += x as f64 / per_ch as f64;
+                    }
+                }
+                for u in 0..per_ch {
+                    let unit = o * per_ch + u;
+                    let w = &pk.weights.data()[unit * kernel_len..(unit + 1) * kernel_len];
+                    let d: f64 = w
+                        .iter()
+                        .zip(&mean)
+                        .map(|(&x, &m)| (x as f64 - m).powi(2))
+                        .sum();
+                    total += d.sqrt();
+                }
+            }
+            return total / units as f64;
+        }
+        let replicas: Vec<&ConvReplica> = self.replicas.values().collect();
+        if replicas.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..replicas.len() {
+            for j in (i + 1)..replicas.len() {
+                let d: f32 = replicas[i]
+                    .weights
+                    .data()
+                    .iter()
+                    .zip(replicas[j].weights.data())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                total += (d as f64).sqrt();
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+
+    /// Forward pass; numerically identical to the centralized baseline
+    /// whenever all replicas are equal.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let c = &self.config;
+        assert_eq!(
+            input.shape(),
+            &[c.in_channels(), c.in_height(), c.in_width()],
+            "input shape mismatch"
+        );
+        let (oh, ow) = c.conv_dims();
+        let (ph, pw) = c.pool_dims();
+        let oc = c.conv_channels();
+        let k = c.kernel();
+        let (ih, iw) = (c.in_height(), c.in_width());
+
+        // Convolution with per-node replicas or per-unit kernels, ReLU
+        // fused afterwards.
+        let kernel_len = c.in_channels() * k * k;
+        let mut conv = vec![0.0f32; oc * oh * ow];
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let unit = o * oh * ow + oy * ow + ox;
+                    let (weights, bias): (&[f32], f32) = match &self.per_unit {
+                        Some(pk) => (
+                            &pk.weights.data()[unit * kernel_len..(unit + 1) * kernel_len],
+                            pk.bias.data()[unit],
+                        ),
+                        None => {
+                            let rep = &self.replicas[&self.conv_unit_host[unit]];
+                            (
+                                &rep.weights.data()[o * kernel_len..(o + 1) * kernel_len],
+                                rep.bias.data()[o],
+                            )
+                        }
+                    };
+                    let mut acc = bias;
+                    let mut w_off = 0;
+                    for icn in 0..c.in_channels() {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy + ky;
+                                let ix = ox + kx;
+                                acc += weights[w_off]
+                                    * input.data()[icn * ih * iw + iy * iw + ix];
+                                w_off += 1;
+                            }
+                        }
+                    }
+                    conv[unit] = acc;
+                }
+            }
+        }
+        self.conv_pre_relu = conv.clone();
+        let relu: Vec<f32> = conv.iter().map(|&v| v.max(0.0)).collect();
+
+        // Max pooling.
+        let mut pooled = vec![0.0f32; oc * ph * pw];
+        let mut argmax = vec![0usize; oc * ph * pw];
+        let p = c.pool();
+        for ch in 0..oc {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = 0;
+                    for ky in 0..p {
+                        for kx in 0..p {
+                            let y = py * p + ky;
+                            let x = px * p + kx;
+                            let off = ch * oh * ow + y * ow + x;
+                            if relu[off] > best {
+                                best = relu[off];
+                                best_off = off;
+                            }
+                        }
+                    }
+                    pooled[ch * ph * pw + py * pw + px] = best;
+                    argmax[ch * ph * pw + py * pw + px] = best_off;
+                }
+            }
+        }
+        self.pool_out = pooled.clone();
+        self.pool_argmax = argmax;
+
+        // Dense 1 + ReLU, dense 2.
+        let hidden_pre = self.dense1.forward(&pooled);
+        self.hidden_pre_relu = hidden_pre.clone();
+        let hidden: Vec<f32> = hidden_pre.iter().map(|&v| v.max(0.0)).collect();
+        self.hidden_out = hidden.clone();
+        let logits = self.dense2.forward(&hidden);
+        self.last_input = Some(input.clone());
+        Tensor::from_vec(vec![c.classes()], logits).expect("logit shape")
+    }
+
+    /// Predicted class for an input.
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        self.forward(input).argmax()
+    }
+
+    /// Backward pass from a loss gradient on the logits, accumulating
+    /// per-replica convolution gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DistributedCnn::forward`].
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        let input = self
+            .last_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        let c = &self.config;
+        let (oh, ow) = c.conv_dims();
+        let oc = c.conv_channels();
+        let k = c.kernel();
+        let (ih, iw) = (c.in_height(), c.in_width());
+
+        // Dense 2 ← logits.
+        let hidden_out = self.hidden_out.clone();
+        let grad_hidden = self.dense2.backward(&hidden_out, grad_logits.data());
+        // ReLU on hidden.
+        let grad_hidden_pre: Vec<f32> = grad_hidden
+            .iter()
+            .zip(&self.hidden_pre_relu)
+            .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+            .collect();
+        // Dense 1 ← hidden.
+        let pool_out = self.pool_out.clone();
+        let grad_pool = self.dense1.backward(&pool_out, &grad_hidden_pre);
+        // Un-pool: gradient flows to argmax positions.
+        let mut grad_relu = vec![0.0f32; oc * oh * ow];
+        for (i, &src) in self.pool_argmax.iter().enumerate() {
+            grad_relu[src] += grad_pool[i];
+        }
+        // ReLU on conv.
+        let grad_conv: Vec<f32> = grad_relu
+            .iter()
+            .zip(&self.conv_pre_relu)
+            .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+            .collect();
+        // Convolution: accumulate into the owning kernel (the hosting
+        // node's replica, or the unit's own kernel in PerUnit mode).
+        let kernel_len = c.in_channels() * k * k;
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let unit = o * oh * ow + oy * ow + ox;
+                    let g = grad_conv[unit];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let (grad_w, grad_b_slot): (&mut [f32], &mut f32) =
+                        match &mut self.per_unit {
+                            Some(pk) => (
+                                &mut pk.grad_weights.data_mut()
+                                    [unit * kernel_len..(unit + 1) * kernel_len],
+                                &mut pk.grad_bias.data_mut()[unit],
+                            ),
+                            None => {
+                                let rep = self
+                                    .replicas
+                                    .get_mut(&self.conv_unit_host[unit])
+                                    .expect("replica exists");
+                                (
+                                    &mut rep.grad_weights.data_mut()
+                                        [o * kernel_len..(o + 1) * kernel_len],
+                                    &mut rep.grad_bias.data_mut()[o],
+                                )
+                            }
+                        };
+                    *grad_b_slot += g;
+                    let mut w_off = 0;
+                    for icn in 0..c.in_channels() {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy + ky;
+                                let ix = ox + kx;
+                                grad_w[w_off] +=
+                                    g * input.data()[icn * ih * iw + iy * iw + ix];
+                                w_off += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies accumulated gradients according to the update mode.
+    pub fn apply_gradients(&mut self, lr: f32) {
+        if let Some(pk) = &mut self.per_unit {
+            // Locally-connected: each unit's gradient is complete for its
+            // own kernel, but carries ~1/positions of the gradient mass a
+            // shared kernel would accumulate; compensate so the units
+            // learn at the shared-kernel pace.
+            let positions =
+                (self.conv_unit_host.len() / self.config.conv_channels()) as f32;
+            pk.weights.add_scaled(&pk.grad_weights, -lr * positions);
+            pk.bias.add_scaled(&pk.grad_bias, -lr * positions);
+            pk.grad_weights.fill_zero();
+            pk.grad_bias.fill_zero();
+            self.dense1.apply(lr);
+            self.dense2.apply(lr);
+            return;
+        }
+        match self.update {
+            WeightUpdate::Synchronized => {
+                // Sum replica gradients (each unit contributed to exactly
+                // one replica, so the sum is the full-batch gradient) and
+                // apply the common update to every replica.
+                let oc = self.config.conv_channels();
+                let ic = self.config.in_channels();
+                let k = self.config.kernel();
+                let mut total_w = Tensor::zeros(vec![oc, ic, k, k]);
+                let mut total_b = Tensor::zeros(vec![oc]);
+                for rep in self.replicas.values() {
+                    total_w.add_scaled(&rep.grad_weights, 1.0);
+                    total_b.add_scaled(&rep.grad_bias, 1.0);
+                }
+                for rep in self.replicas.values_mut() {
+                    rep.weights.add_scaled(&total_w, -lr);
+                    rep.bias.add_scaled(&total_b, -lr);
+                    rep.grad_weights.fill_zero();
+                    rep.grad_bias.fill_zero();
+                }
+            }
+            WeightUpdate::PerUnit => unreachable!("handled by the early return above"),
+            WeightUpdate::Independent => {
+                for rep in self.replicas.values_mut() {
+                    // Mild compensation for seeing only a fraction of the
+                    // units' gradients: scale by the square root of the
+                    // hosting ratio. Full compensation (the raw ratio)
+                    // makes sparse replicas take huge noisy steps and
+                    // destroys accuracy; none makes them learn too
+                    // slowly.
+                    let boost = if rep.units > 0 {
+                        (self.conv_unit_host.len() as f32 / rep.units as f32).sqrt()
+                    } else {
+                        0.0
+                    };
+                    rep.weights.add_scaled(&rep.grad_weights, -lr * boost);
+                    rep.bias.add_scaled(&rep.grad_bias, -lr * boost);
+                    rep.grad_weights.fill_zero();
+                    rep.grad_bias.fill_zero();
+                }
+            }
+        }
+        self.dense1.apply(lr);
+        self.dense2.apply(lr);
+    }
+
+    /// Trains one epoch; returns the mean loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `batch_size` is zero.
+    pub fn train_epoch(
+        &mut self,
+        data: &[(Tensor, usize)],
+        lr: f32,
+        batch_size: usize,
+        rng: &mut SeedRng,
+    ) -> f32 {
+        assert!(!data.is_empty() && batch_size > 0, "invalid training call");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        rng.shuffle(&mut order);
+        let mut total = 0.0;
+        for batch in order.chunks(batch_size) {
+            for &i in batch {
+                let (x, t) = &data[i];
+                let logits = self.forward(x);
+                let (loss, grad) = cross_entropy(&logits, *t);
+                total += loss;
+                self.backward(&grad);
+            }
+            self.apply_gradients(lr / batch.len() as f32);
+        }
+        total / data.len() as f32
+    }
+
+    /// Accuracy over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn accuracy(&mut self, data: &[(Tensor, usize)]) -> f64 {
+        assert!(!data.is_empty(), "empty evaluation set");
+        let correct = data.iter().filter(|(x, t)| self.predict(x) == *t).count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_net::Topology;
+
+    fn setup(update: WeightUpdate, seed: u64) -> (DistributedCnn, Vec<(Tensor, usize)>) {
+        let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2).unwrap();
+        let topo = Topology::grid(3, 3, 2.0, 3.0).unwrap();
+        let graph = config.unit_graph().unwrap();
+        let assignment = Assignment::balanced_correspondence(&graph, &topo);
+        let mut rng = SeedRng::new(seed);
+        let net = DistributedCnn::new(config, assignment, update, &mut rng);
+
+        // Spatial two-class task: bright top-left vs bright bottom-right.
+        let mut data = Vec::new();
+        let mut drng = SeedRng::new(99);
+        for _ in 0..30 {
+            for class in 0..2usize {
+                let mut img = Tensor::zeros(vec![1, 8, 8]);
+                for y in 0..4 {
+                    for x in 0..4 {
+                        let (yy, xx) = if class == 0 { (y, x) } else { (y + 4, x + 4) };
+                        img.set(&[0, yy, xx], 1.0 + drng.normal_with(0.0, 0.1) as f32);
+                    }
+                }
+                data.push((img, class));
+            }
+        }
+        (net, data)
+    }
+
+    #[test]
+    fn synchronized_matches_centralized_forward() {
+        // With equal replicas, the distributed forward equals a
+        // centralized conv with the same weights — verified by checking
+        // determinism across update modes before any training.
+        let (mut a, data) = setup(WeightUpdate::Synchronized, 7);
+        let (mut b, _) = setup(WeightUpdate::Independent, 7);
+        for (x, _) in data.iter().take(5) {
+            assert_eq!(a.forward(x).data(), b.forward(x).data());
+        }
+    }
+
+    #[test]
+    fn synchronized_replicas_never_diverge() {
+        let (mut net, data) = setup(WeightUpdate::Synchronized, 8);
+        let mut rng = SeedRng::new(1);
+        for _ in 0..3 {
+            net.train_epoch(&data, 0.05, 8, &mut rng);
+        }
+        assert!(net.replica_divergence() < 1e-6);
+    }
+
+    #[test]
+    fn independent_replicas_diverge() {
+        let (mut net, data) = setup(WeightUpdate::Independent, 8);
+        let mut rng = SeedRng::new(1);
+        for _ in 0..3 {
+            net.train_epoch(&data, 0.05, 8, &mut rng);
+        }
+        assert!(net.replica_divergence() > 1e-4, "{}", net.replica_divergence());
+    }
+
+    #[test]
+    fn both_modes_learn_the_task() {
+        for update in [WeightUpdate::Synchronized, WeightUpdate::Independent] {
+            let (mut net, data) = setup(update, 9);
+            let mut rng = SeedRng::new(2);
+            for _ in 0..20 {
+                net.train_epoch(&data, 0.08, 8, &mut rng);
+            }
+            let acc = net.accuracy(&data);
+            assert!(acc > 0.85, "{update:?}: acc={acc}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (mut net, data) = setup(WeightUpdate::Independent, 10);
+        let mut rng = SeedRng::new(3);
+        let first = net.train_epoch(&data, 0.05, 8, &mut rng);
+        let mut last = first;
+        for _ in 0..10 {
+            last = net.train_epoch(&data, 0.05, 8, &mut rng);
+        }
+        assert!(last < first, "first={first} last={last}");
+    }
+
+    #[test]
+    fn replica_count_matches_hosting_nodes() {
+        let (net, _) = setup(WeightUpdate::Independent, 11);
+        assert!(net.replica_count() > 1);
+        assert!(net.replica_count() <= 9);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_model() {
+        let (mut net, data) = setup(WeightUpdate::PerUnit, 21);
+        let mut rng = SeedRng::new(9);
+        for _ in 0..3 {
+            net.train_epoch(&data, 0.05, 8, &mut rng);
+        }
+        let json = net.to_json().unwrap();
+        let mut restored = DistributedCnn::from_json(&json).unwrap();
+        for (x, _) in data.iter().take(10) {
+            assert_eq!(net.forward(x).data(), restored.forward(x).data());
+        }
+        assert!(DistributedCnn::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_before_forward_panics() {
+        let (mut net, _) = setup(WeightUpdate::Independent, 12);
+        let g = Tensor::zeros(vec![2]);
+        net.backward(&g);
+    }
+}

@@ -1,0 +1,66 @@
+//! # zeiot-microdeep
+//!
+//! MicroDeep: distributed CNN execution on wireless sensor networks — the
+//! primary contribution of Higashino et al. (ICDCS 2019, §IV.C; originally
+//! SMARTCOMP 2018 \[7\]).
+//!
+//! A mesh of sensor nodes continuously produces 2-D sensing data (a
+//! temperature field, an IR intensity image). Instead of shipping raw
+//! data to a server, the CNN's *units* (neurons) are assigned to the
+//! sensor nodes themselves; forward and backward propagation travel as
+//! radio messages between nodes. The engineering problem is the
+//! assignment: every CNN edge whose endpoints live on different nodes
+//! costs transmissions, and the node with the *maximum* communication
+//! cost is the one that dies first on harvested energy.
+//!
+//! The crate provides:
+//!
+//! - [`config`] — the canonical MicroDeep CNN (1 conv + 1 pool + 2 dense,
+//!   the architecture of both paper experiments) and its centralized
+//!   baseline;
+//! - [`assignment`] — unit-to-node assignment algorithms: the
+//!   all-on-sink centralized baseline, spatial grid projection, and the
+//!   paper's load-equalizing link-correspondence heuristic;
+//! - [`cost`] — per-node communication-cost evaluation of an assignment
+//!   (regenerates Fig. 10);
+//! - [`distributed`] — distributed training semantics: per-node kernel
+//!   replicas updated *independently* (the paper's
+//!   communication-avoiding strategy, which "sacrific\[es\] some
+//!   accuracy") or synchronized (exact SGD);
+//! - [`resilience`] — unit re-assignment around failed nodes (§V).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), zeiot_core::ConfigError> {
+//! use zeiot_microdeep::config::CnnConfig;
+//! use zeiot_microdeep::assignment::Assignment;
+//! use zeiot_microdeep::cost::CostModel;
+//! use zeiot_net::Topology;
+//!
+//! let config = CnnConfig::new(1, 8, 8, 4, 3, 2, 16, 2)?;
+//! let graph = config.unit_graph()?;
+//! let topo = Topology::grid(4, 4, 2.0, 3.0)?;
+//!
+//! let central = Assignment::centralized(&graph, &topo);
+//! let balanced = Assignment::balanced_correspondence(&graph, &topo);
+//!
+//! let cost = CostModel::new(&topo);
+//! let c1 = cost.forward_cost(&graph, &central);
+//! let c2 = cost.forward_cost(&graph, &balanced);
+//! // Equalized assignment lowers the hottest node's traffic.
+//! assert!(c2.max_cost() < c1.max_cost());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assignment;
+pub mod config;
+pub mod cost;
+pub mod distributed;
+pub mod resilience;
+
+pub use assignment::Assignment;
+pub use config::CnnConfig;
+pub use cost::CostModel;
+pub use distributed::{DistributedCnn, WeightUpdate};

@@ -1,0 +1,210 @@
+//! Resilience to node failures.
+//!
+//! Paper §V: "A part of tiny IoT devices may be broken. The development
+//! of resilient distributed machine learning mechanisms in the
+//! environments containing such broken IoT devices is also important."
+//!
+//! This module re-assigns units orphaned by node failures to surviving
+//! neighbours (respecting the balance cap) and quantifies the cost and
+//! coverage consequences.
+
+use crate::assignment::Assignment;
+use zeiot_core::id::NodeId;
+use zeiot_net::routing::RoutingTable;
+use zeiot_net::topology::Topology;
+use zeiot_nn::topology::UnitGraph;
+
+/// Outcome of a failure-recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Units that had to move.
+    pub moved_units: usize,
+    /// Units that could not be re-hosted (no reachable survivor with
+    /// capacity).
+    pub stranded_units: usize,
+    /// Input (sensor) units lost with their nodes — their readings are
+    /// simply gone.
+    pub lost_inputs: usize,
+}
+
+impl RecoveryReport {
+    /// Whether every computational unit found a new home.
+    pub fn fully_recovered(&self) -> bool {
+        self.stranded_units == 0
+    }
+}
+
+/// Re-assigns units hosted on `failed` nodes to the nearest surviving
+/// node with spare capacity (cap = ⌈units / surviving nodes⌉); input
+/// units on failed sensors are counted as lost.
+///
+/// Returns the repaired assignment and a report.
+///
+/// # Panics
+///
+/// Panics if every node failed.
+pub fn reassign_after_failures(
+    graph: &UnitGraph,
+    topo: &Topology,
+    assignment: &Assignment,
+    failed: &[NodeId],
+) -> (Assignment, RecoveryReport) {
+    let surviving: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|n| !failed.contains(n))
+        .collect();
+    assert!(!surviving.is_empty(), "all nodes failed");
+
+    // Routes over the degraded topology (failed nodes cannot relay).
+    let degraded = topo.without_nodes(failed);
+    let routes = RoutingTable::shortest_paths(&degraded);
+    let cap = graph.total_units().div_ceil(surviving.len());
+
+    let mut repaired = assignment.clone();
+    let mut load = vec![0usize; topo.len()];
+    for l in 1..graph.layer_count() {
+        for u in 0..graph.units_in_layer(l) {
+            let h = assignment.host_of(l, u);
+            if !failed.contains(&h) {
+                load[h.index()] += 1;
+            }
+        }
+    }
+
+    let mut moved = 0usize;
+    let mut stranded = 0usize;
+    for l in 1..graph.layer_count() {
+        for u in 0..graph.units_in_layer(l) {
+            let host = assignment.host_of(l, u);
+            if !failed.contains(&host) {
+                continue;
+            }
+            // Nearest surviving node (by hops in the degraded mesh from
+            // any of this unit's producer hosts — fall back to id order).
+            let candidate = surviving
+                .iter()
+                .filter(|n| load[n.index()] < cap)
+                .min_by_key(|n| {
+                    let d = graph
+                        .dependencies(l, u)
+                        .iter()
+                        .map(|&dep| {
+                            let src = repaired.host_of(l - 1, dep);
+                            routes.hop_distance(src, **n).unwrap_or(1_000)
+                        })
+                        .sum::<usize>();
+                    (d, n.raw())
+                })
+                .copied();
+            match candidate {
+                Some(new_host) => {
+                    repaired.set_host(l, u, new_host);
+                    load[new_host.index()] += 1;
+                    moved += 1;
+                }
+                None => stranded += 1,
+            }
+        }
+    }
+
+    let lost_inputs = (0..graph.units_in_layer(0))
+        .filter(|&i| failed.contains(&assignment.host_of(0, i)))
+        .count();
+
+    (
+        repaired,
+        RecoveryReport {
+            moved_units: moved,
+            stranded_units: stranded,
+            lost_inputs,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CnnConfig;
+
+    fn setup() -> (UnitGraph, Topology, Assignment) {
+        let config = CnnConfig::new(1, 8, 8, 4, 3, 2, 16, 2).unwrap();
+        let graph = config.unit_graph().unwrap();
+        let topo = Topology::grid(4, 4, 2.0, 3.0).unwrap();
+        let assignment = Assignment::balanced_correspondence(&graph, &topo);
+        (graph, topo, assignment)
+    }
+
+    #[test]
+    fn no_failures_is_identity() {
+        let (graph, topo, assignment) = setup();
+        let (repaired, report) = reassign_after_failures(&graph, &topo, &assignment, &[]);
+        assert_eq!(repaired, assignment);
+        assert_eq!(report.moved_units, 0);
+        assert_eq!(report.stranded_units, 0);
+        assert_eq!(report.lost_inputs, 0);
+        assert!(report.fully_recovered());
+    }
+
+    #[test]
+    fn single_failure_moves_its_units() {
+        let (graph, topo, assignment) = setup();
+        let victim = NodeId::new(5);
+        let victim_units: usize = (1..graph.layer_count())
+            .map(|l| {
+                (0..graph.units_in_layer(l))
+                    .filter(|&u| assignment.host_of(l, u) == victim)
+                    .count()
+            })
+            .sum();
+        assert!(victim_units > 0, "victim hosted nothing — bad test setup");
+        let (repaired, report) =
+            reassign_after_failures(&graph, &topo, &assignment, &[victim]);
+        assert_eq!(report.moved_units, victim_units);
+        assert!(report.fully_recovered());
+        // No unit remains on the victim.
+        for l in 1..graph.layer_count() {
+            for u in 0..graph.units_in_layer(l) {
+                assert_ne!(repaired.host_of(l, u), victim);
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_assignment_respects_survivor_cap() {
+        let (graph, topo, assignment) = setup();
+        let failed = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let (repaired, report) =
+            reassign_after_failures(&graph, &topo, &assignment, &failed);
+        assert!(report.fully_recovered());
+        let cap = graph.total_units().div_ceil(topo.len() - failed.len());
+        let loads = repaired.units_per_node();
+        for f in &failed {
+            assert_eq!(loads[f.index()], 0);
+        }
+        for n in topo.node_ids() {
+            if !failed.contains(&n) {
+                assert!(loads[n.index()] <= cap, "node {n} over cap: {}", loads[n.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn lost_inputs_counted() {
+        let (graph, topo, assignment) = setup();
+        let victim = NodeId::new(0);
+        let expected: usize = (0..graph.units_in_layer(0))
+            .filter(|&i| assignment.host_of(0, i) == victim)
+            .count();
+        let (_, report) = reassign_after_failures(&graph, &topo, &assignment, &[victim]);
+        assert_eq!(report.lost_inputs, expected);
+        assert!(expected > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn total_failure_panics() {
+        let (graph, topo, assignment) = setup();
+        let all: Vec<NodeId> = topo.node_ids().collect();
+        let _ = reassign_after_failures(&graph, &topo, &assignment, &all);
+    }
+}

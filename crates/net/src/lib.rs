@@ -1,0 +1,49 @@
+//! # zeiot-net
+//!
+//! The wireless-sensor-network substrate MicroDeep runs on.
+//!
+//! The paper (§IV.C) installs sensor nodes "in 2D (or 3D) space ... close
+//! to each other to form a mesh-like network" and assigns CNN units to
+//! them; every cross-node data dependency costs radio messages, possibly
+//! over multiple hops. This crate provides:
+//!
+//! - [`topology`] — node placement (grids, random layouts) and
+//!   range-based connectivity;
+//! - [`routing`] — shortest-path routes and hop-distance matrices
+//!   (Dijkstra over link costs);
+//! - [`traffic`] — per-node communication-cost accounting, the metric of
+//!   the paper's Fig. 10;
+//! - [`flooding`] — Choco-style synchronized flooding rounds (ref \[66\])
+//!   with the two RSSI kinds (inter-node and surrounding) used for
+//!   crowd counting;
+//! - [`rssi`] — RSSI sampling over links with body shadowing, feeding the
+//!   wireless-sensing estimators.
+//!
+//! # Example: a 5×5 mesh and a multi-hop message
+//!
+//! ```
+//! # fn main() -> Result<(), zeiot_core::ConfigError> {
+//! use zeiot_net::topology::Topology;
+//! use zeiot_net::routing::RoutingTable;
+//! use zeiot_core::id::NodeId;
+//!
+//! let topo = Topology::grid(5, 5, 2.0, 2.9)?; // 2 m spacing, 2.9 m range
+//! let routes = RoutingTable::shortest_paths(&topo);
+//! let path = routes.path(NodeId::new(0), NodeId::new(24)).unwrap();
+//! assert_eq!(path.first(), Some(&NodeId::new(0)));
+//! assert_eq!(path.last(), Some(&NodeId::new(24)));
+//! // Diagonal links (2√2 ≈ 2.83 m < 2.9 m) make the diagonal 4 hops.
+//! assert_eq!(path.len() - 1, 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod flooding;
+pub mod routing;
+pub mod rssi;
+pub mod topology;
+pub mod traffic;
+
+pub use routing::RoutingTable;
+pub use topology::Topology;
+pub use traffic::TrafficLedger;

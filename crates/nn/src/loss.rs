@@ -1,0 +1,167 @@
+//! Loss functions.
+//!
+//! Classification across the workspace (discomfort detection, fall
+//! detection, CSI localization) uses softmax cross-entropy; its combined
+//! gradient `softmax(x) − onehot(t)` is numerically stable and cheap.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax over a rank-1 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert!(!logits.is_empty(), "softmax of empty tensor");
+    let max = logits.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(
+        logits.shape().to_vec(),
+        exps.into_iter().map(|e| e / sum).collect(),
+    )
+    .expect("same shape")
+}
+
+/// Softmax cross-entropy loss and its gradient with respect to the logits.
+///
+/// Returns `(loss, grad)` where `grad = softmax(logits) − onehot(target)`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_nn::loss::cross_entropy;
+/// use zeiot_nn::tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![3], vec![2.0, 0.5, -1.0]).unwrap();
+/// let (loss, grad) = cross_entropy(&logits, 0);
+/// assert!(loss > 0.0 && loss < 1.0);     // confident & correct: small loss
+/// assert!(grad.data()[0] < 0.0);         // pushes class-0 logit up
+/// ```
+pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert!(target < logits.len(), "target {target} out of range");
+    let probs = softmax(logits);
+    let p_target = probs.data()[target].max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.data_mut()[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Mean squared error and its gradient: `L = Σ(y−t)²/n`,
+/// `∂L/∂y = 2(y−t)/n`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(output: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(output.shape(), target.shape(), "mse shape mismatch");
+    let n = output.len() as f32;
+    let mut grad = Tensor::zeros(output.shape().to_vec());
+    let mut loss = 0.0;
+    for i in 0..output.len() {
+        let d = output.data()[i] - target.data()[i];
+        loss += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = softmax(&t);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![1001.0, 1002.0, 1003.0]).unwrap();
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for i in 0..3 {
+            assert!((pa.data()[i] - pb.data()[i]).abs() < 1e-6);
+            assert!(pb.data()[i].is_finite());
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let t = Tensor::from_vec(vec![4], vec![0.0; 4]).unwrap();
+        let (loss, _) = cross_entropy(&t, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero() {
+        let t = Tensor::from_vec(vec![3], vec![0.3, -1.0, 2.0]).unwrap();
+        let (_, grad) = cross_entropy(&t, 1);
+        assert!(grad.sum().abs() < 1e-6);
+        assert!(grad.data()[1] < 0.0);
+        assert!(grad.data()[0] > 0.0 && grad.data()[2] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let t = Tensor::from_vec(vec![3], vec![0.5, -0.2, 1.3]).unwrap();
+        let (_, grad) = cross_entropy(&t, 0);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = t.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = t.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = cross_entropy(&plus, 0);
+            let (lm, _) = cross_entropy(&minus, 0);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "grad mismatch at {i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_entropy_rejects_bad_target() {
+        let t = Tensor::from_vec(vec![2], vec![0.0, 0.0]).unwrap();
+        let _ = cross_entropy(&t, 2);
+    }
+
+    #[test]
+    fn mse_zero_at_match() {
+        let y = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let (loss, grad) = mse(&y, &y);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let y = Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap();
+        let t = Tensor::from_vec(vec![2], vec![0.0, 0.5]).unwrap();
+        let (_, grad) = mse(&y, &t);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut plus = y.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = y.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = mse(&plus, &t);
+            let (lm, _) = mse(&minus, &t);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((grad.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! A minimal dense tensor.
+//!
+//! Row-major `f32` storage with an explicit shape. Only the operations the
+//! workspace's networks need are provided; everything is bounds-checked in
+//! debug builds and shape-checked always.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::rng::SeedRng;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_nn::tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        assert!(
+            !shape.is_empty() && shape.iter().all(|&d| d > 0),
+            "invalid shape {shape:?}"
+        );
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len()` does not match the shape's element
+    /// count, or the shape is degenerate.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        if shape.is_empty() || shape.contains(&0) {
+            return Err(ConfigError::new("shape", format!("invalid shape {shape:?}")));
+        }
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(ConfigError::new(
+                "data",
+                format!("expected {expected} elements for {shape:?}, got {}", data.len()),
+            ));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor with values drawn uniformly from `[-scale, scale]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape or negative scale.
+    pub fn uniform(shape: Vec<usize>, scale: f32, rng: &mut SeedRng) -> Self {
+        assert!(scale >= 0.0, "scale must be non-negative");
+        let mut t = Self::zeros(shape);
+        for v in &mut t.data {
+            *v = rng.uniform_range(-scale as f64, scale as f64 + f64::MIN_POSITIVE) as f32;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true for a valid tensor).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "rank mismatch");
+        let mut off = 0;
+        for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(idx < dim, "index {idx} out of range for axis {i} (dim {dim})");
+            off = off * dim + idx;
+        }
+        off
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the element counts differ.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Self> {
+        Self::from_vec(shape, self.data.clone())
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Element-wise in-place addition of `other` scaled by `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, k: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Multiplies every element by `k`, in place.
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// The index of the largest element (ties broken by first occurrence).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// L2 norm of the data.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elems)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_size() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec(vec![2, 0], vec![]).is_err());
+        assert!(Tensor::from_vec(vec![], vec![]).is_err());
+        assert!(Tensor::from_vec(vec![4], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+        assert_eq!(t.get(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor::zeros(vec![3, 3]);
+        t.set(&[1, 1], 42.0);
+        assert_eq!(t.get(&[1, 1]), 42.0);
+        assert_eq!(t.sum(), 42.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_mismatch_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        let _ = t.get(&[1]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.get(&[2, 1]), 5.0);
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![10.0, 20.0, 30.0]).unwrap();
+        let c = a.add(&b);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0]);
+        let mut d = a.clone();
+        d.add_scaled(&b, 0.5);
+        assert_eq!(d.data(), &[6.0, 12.0, 18.0]);
+        let mut e = a.clone();
+        e.scale(2.0);
+        assert_eq!(e.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        let t = Tensor::from_vec(vec![4], vec![1.0, 5.0, 5.0, 0.0]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = SeedRng::new(3);
+        let t = Tensor::uniform(vec![1000], 0.5, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        // Values are not all identical.
+        assert!(t.data().iter().any(|&v| v != t.data()[0]));
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let t = Tensor::from_vec(vec![2], vec![3.0, 4.0]).unwrap();
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,59 @@
+//! # zeiot-plan
+//!
+//! Design-support tooling for zero-energy IoT device networks — the
+//! capability the paper calls for in §III.B and restates as a research
+//! challenge in §V:
+//!
+//! > "if (i) the 3D map and obstacle information of a target IoT device
+//! > network, (ii) the required information collection cycle, and (iii)
+//! > the recovery method at the time of errors are designated, it is
+//! > desirable that we can devise a mechanism to estimate the appropriate
+//! > information collection mechanism \[and\] automatically generate the
+//! > necessary information collection algorithm"
+//!
+//! Given a deployed [`zeiot_net::Topology`], a sink, and an application
+//! requirement (collection cycle, payload, bit rate, available radio
+//! channels), the [`planner::Planner`] automatically generates a
+//! complete, collision-free converge-cast schedule:
+//!
+//! - [`tree`] — a BFS collection tree rooted at the sink, with per-node
+//!   forwarding loads;
+//! - [`schedule`] — packet-level TDMA slot assignment under the protocol
+//!   interference model, with multi-channel support (§III.B: "it may be
+//!   necessary to construct a mechanism for transmitting and receiving
+//!   data concurrently using multiple radio channels");
+//! - [`planner`] — requirements in, feasibility verdict and schedule
+//!   out, plus automatic re-planning around failed nodes (the "(iii)
+//!   recovery methods" input).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), zeiot_core::ConfigError> {
+//! use zeiot_plan::planner::{Planner, Requirements};
+//! use zeiot_net::Topology;
+//! use zeiot_core::id::NodeId;
+//! use zeiot_core::time::SimDuration;
+//!
+//! let topo = Topology::grid(5, 5, 2.0, 3.0)?;
+//! let planner = Planner::new(&topo, NodeId::new(0))?;
+//! let req = Requirements {
+//!     cycle: SimDuration::from_secs(1),
+//!     payload_bits: 256,
+//!     bit_rate_bps: 250e3,
+//!     channels: 1,
+//! };
+//! let plan = planner.plan(&req)?;
+//! assert!(plan.feasible);
+//! assert!(plan.schedule.length() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod planner;
+pub mod schedule;
+pub mod tree;
+
+pub use planner::{CollectionPlan, Planner, Requirements};
+pub use schedule::CollectionSchedule;
+pub use tree::CollectionTree;

@@ -1,0 +1,384 @@
+//! Packet-level converge-cast TDMA scheduling.
+//!
+//! Every node's report must reach the sink each collection round; every
+//! hop is one slot-transmission. The scheduler assigns each hop a
+//! `(slot, channel)` such that:
+//!
+//! * **precedence** — a packet's hop `i+1` is scheduled strictly after
+//!   hop `i` (store-and-forward);
+//! * **half-duplex** — a node neither transmits twice, nor transmits and
+//!   receives, in the same slot (across all channels: single radio);
+//! * **protocol interference** — on a given channel and slot, no
+//!   receiver is within range of a second transmitter.
+//!
+//! Multiple channels shorten the schedule by letting non-conflicting
+//! link sets overlap in time — the paper's §III.B multi-channel
+//! requirement.
+
+use crate::tree::CollectionTree;
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::id::NodeId;
+use zeiot_core::time::SimDuration;
+use zeiot_net::Topology;
+
+/// One scheduled transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledTx {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node (the tree parent).
+    pub to: NodeId,
+    /// Originating node of the packet being forwarded.
+    pub origin: NodeId,
+    /// Radio channel.
+    pub channel: usize,
+}
+
+/// A complete collision-free converge-cast schedule.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionSchedule {
+    /// `slots[s]` = transmissions in slot `s` (across channels).
+    slots: Vec<Vec<ScheduledTx>>,
+    channels: usize,
+}
+
+impl CollectionSchedule {
+    /// Builds a schedule for one full collection round over `tree`,
+    /// using up to `channels` radio channels.
+    ///
+    /// Packets from deeper origins are scheduled first (they have the
+    /// longest chains); each hop takes the earliest feasible slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `channels` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` was built over a different topology size.
+    pub fn build(topo: &Topology, tree: &CollectionTree, channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(ConfigError::new("channels", "must be non-zero"));
+        }
+        // Packets: one per reachable non-sink node, deepest first.
+        let mut origins: Vec<NodeId> = topo
+            .node_ids()
+            .filter(|&n| n != tree.sink() && tree.depth(n).is_some())
+            .collect();
+        origins.sort_by_key(|&n| {
+            (
+                std::cmp::Reverse(tree.depth(n).expect("reachable")),
+                n.raw(),
+            )
+        });
+
+        let mut schedule = Self {
+            slots: Vec::new(),
+            channels,
+        };
+        for origin in origins {
+            let path = tree.path_to_sink(origin).expect("reachable");
+            let mut earliest = 0usize; // first slot this packet's next hop may use
+            for hop in path.windows(2) {
+                let (from, to) = (hop[0], hop[1]);
+                let slot = schedule.first_feasible(topo, from, to, earliest);
+                let channel = schedule
+                    .feasible_channel(topo, from, to, slot)
+                    .expect("first_feasible guarantees a channel");
+                schedule.insert(
+                    slot,
+                    ScheduledTx {
+                        from,
+                        to,
+                        origin,
+                        channel,
+                    },
+                );
+                earliest = slot + 1;
+            }
+        }
+        Ok(schedule)
+    }
+
+    fn insert(&mut self, slot: usize, tx: ScheduledTx) {
+        while self.slots.len() <= slot {
+            self.slots.push(Vec::new());
+        }
+        self.slots[slot].push(tx);
+    }
+
+    /// Earliest slot ≥ `from_slot` where `from → to` fits on some
+    /// channel.
+    fn first_feasible(&self, topo: &Topology, from: NodeId, to: NodeId, from_slot: usize) -> usize {
+        let mut slot = from_slot;
+        loop {
+            if self.feasible_channel(topo, from, to, slot).is_some() {
+                return slot;
+            }
+            slot += 1;
+        }
+    }
+
+    /// A channel on which `from → to` can go in `slot`, if any.
+    fn feasible_channel(
+        &self,
+        topo: &Topology,
+        from: NodeId,
+        to: NodeId,
+        slot: usize,
+    ) -> Option<usize> {
+        let existing: &[ScheduledTx] = self
+            .slots
+            .get(slot)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        // Half-duplex (single radio): node busy in this slot on any
+        // channel blocks all channels.
+        for tx in existing {
+            if tx.from == from || tx.to == from || tx.from == to || tx.to == to {
+                return None;
+            }
+        }
+        'channel: for ch in 0..self.channels {
+            for tx in existing.iter().filter(|t| t.channel == ch) {
+                // Protocol interference: our receiver in range of their
+                // transmitter, or their receiver in range of ours.
+                if topo.connected(tx.from, to) || topo.connected(from, tx.to) {
+                    continue 'channel;
+                }
+            }
+            return Some(ch);
+        }
+        None
+    }
+
+    /// Number of slots in the round.
+    pub fn length(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Channels used.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Transmissions in a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= length()`.
+    pub fn slot(&self, slot: usize) -> &[ScheduledTx] {
+        &self.slots[slot]
+    }
+
+    /// Total scheduled transmissions.
+    pub fn total_transmissions(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Wall-clock duration of the round given the per-slot airtime.
+    pub fn round_duration(&self, slot_airtime: SimDuration) -> SimDuration {
+        slot_airtime * self.length() as u64
+    }
+
+    /// Mean number of parallel transmissions per non-empty slot — the
+    /// spatial-reuse factor the multi-channel design buys.
+    pub fn parallelism(&self) -> f64 {
+        let busy = self.slots.iter().filter(|s| !s.is_empty()).count();
+        if busy == 0 {
+            0.0
+        } else {
+            self.total_transmissions() as f64 / busy as f64
+        }
+    }
+
+    /// Validates all three scheduling invariants; used by tests and by
+    /// the planner's self-check.
+    pub fn verify(&self, topo: &Topology, tree: &CollectionTree) -> std::result::Result<(), String> {
+        // Precedence per packet.
+        use std::collections::HashMap;
+        let mut hop_slots: HashMap<(NodeId, NodeId), usize> = HashMap::new(); // (origin, from) -> slot
+        for (s, txs) in self.slots.iter().enumerate() {
+            for tx in txs {
+                hop_slots.insert((tx.origin, tx.from), s);
+            }
+        }
+        for ((origin, from), &slot) in &hop_slots {
+            if *from != *origin {
+                // The packet must have been received by `from` earlier:
+                // find the previous hop (tree child on the origin's path).
+                let path = tree
+                    .path_to_sink(*origin)
+                    .ok_or_else(|| format!("{origin} unreachable"))?;
+                let idx = path
+                    .iter()
+                    .position(|n| n == from)
+                    .ok_or_else(|| format!("{from} not on {origin}'s path"))?;
+                let prev = path[idx - 1];
+                let prev_slot = hop_slots
+                    .get(&(*origin, prev))
+                    .ok_or_else(|| format!("missing hop {prev} of {origin}"))?;
+                if *prev_slot >= slot {
+                    return Err(format!(
+                        "precedence violated for {origin}: {prev}@{prev_slot} !< {from}@{slot}"
+                    ));
+                }
+            }
+        }
+        // Half-duplex + interference per slot.
+        for (s, txs) in self.slots.iter().enumerate() {
+            for (i, a) in txs.iter().enumerate() {
+                for b in txs.iter().skip(i + 1) {
+                    let nodes_a = [a.from, a.to];
+                    if nodes_a.contains(&b.from) || nodes_a.contains(&b.to) {
+                        return Err(format!("half-duplex violated in slot {s}"));
+                    }
+                    if a.channel == b.channel
+                        && (topo.connected(a.from, b.to) || topo.connected(b.from, a.to))
+                    {
+                        return Err(format!("interference in slot {s} on ch {}", a.channel));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_setup(sink: u32) -> (Topology, CollectionTree) {
+        let topo = Topology::grid(4, 4, 1.0, 1.1).unwrap();
+        let tree = CollectionTree::build(&topo, NodeId::new(sink)).unwrap();
+        (topo, tree)
+    }
+
+    #[test]
+    fn schedule_is_valid() {
+        let (topo, tree) = grid_setup(0);
+        let schedule = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        schedule.verify(&topo, &tree).unwrap();
+    }
+
+    #[test]
+    fn every_report_reaches_the_sink() {
+        let (topo, tree) = grid_setup(0);
+        let schedule = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        // One transmission into the sink per non-sink node.
+        let into_sink = schedule
+            .slots
+            .iter()
+            .flatten()
+            .filter(|tx| tx.to == NodeId::new(0))
+            .count();
+        assert_eq!(into_sink, 15);
+        // Total transmissions = sum of depths.
+        assert_eq!(
+            schedule.total_transmissions(),
+            tree.transmissions_per_round()
+        );
+    }
+
+    #[test]
+    fn sink_bottleneck_lower_bound() {
+        let (topo, tree) = grid_setup(0);
+        let schedule = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        // The sink can receive at most one packet per slot: the round
+        // cannot be shorter than n−1 slots.
+        assert!(schedule.length() >= 15);
+    }
+
+    #[test]
+    fn more_channels_never_lengthen_the_schedule() {
+        let (topo, tree) = grid_setup(5);
+        let one = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        let two = CollectionSchedule::build(&topo, &tree, 2).unwrap();
+        let four = CollectionSchedule::build(&topo, &tree, 4).unwrap();
+        assert!(two.length() <= one.length());
+        assert!(four.length() <= two.length());
+        for s in [&one, &two, &four] {
+            s.verify(&topo, &tree).unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_channel_increases_parallelism_on_a_large_mesh() {
+        let topo = Topology::grid(6, 6, 1.0, 1.1).unwrap();
+        let tree = CollectionTree::build(&topo, NodeId::new(0)).unwrap();
+        let one = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        let three = CollectionSchedule::build(&topo, &tree, 3).unwrap();
+        assert!(
+            three.parallelism() >= one.parallelism(),
+            "3ch {} vs 1ch {}",
+            three.parallelism(),
+            one.parallelism()
+        );
+    }
+
+    #[test]
+    fn round_duration_scales_with_slot_airtime() {
+        let (topo, tree) = grid_setup(0);
+        let schedule = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        let slot = SimDuration::from_millis(2);
+        assert_eq!(
+            schedule.round_duration(slot).as_millis(),
+            2 * schedule.length() as u64
+        );
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        let (topo, tree) = grid_setup(0);
+        assert!(CollectionSchedule::build(&topo, &tree, 0).is_err());
+    }
+
+    #[test]
+    fn chain_schedule_matches_theory() {
+        // A 4-node chain 0←1←2←3: packets from 3,2,1 need 3+2+1 = 6
+        // transmissions; the chain's half-duplex pipeline admits no
+        // overlap near the sink, so length is at least 5 (classic
+        // converge-cast bound 3N/... — here just check validity + totals).
+        let positions = (0..4)
+            .map(|i| zeiot_core::geometry::Point2::new(i as f64, 0.0))
+            .collect();
+        let topo = Topology::from_positions(positions, 1.1).unwrap();
+        let tree = CollectionTree::build(&topo, NodeId::new(0)).unwrap();
+        let schedule = CollectionSchedule::build(&topo, &tree, 1).unwrap();
+        schedule.verify(&topo, &tree).unwrap();
+        assert_eq!(schedule.total_transmissions(), 6);
+        assert!(schedule.length() >= 5, "len={}", schedule.length());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use zeiot_core::rng::SeedRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_topologies_yield_valid_schedules(
+            seed in 0u64..500,
+            n in 4usize..30,
+            channels in 1usize..4,
+        ) {
+            let mut rng = SeedRng::new(seed);
+            let topo = Topology::random(n, 12.0, 12.0, 5.0, &mut rng).unwrap();
+            let tree = CollectionTree::build(&topo, NodeId::new(0)).unwrap();
+            let schedule = CollectionSchedule::build(&topo, &tree, channels).unwrap();
+            prop_assert!(schedule.verify(&topo, &tree).is_ok());
+            // Reachable non-sink nodes each contribute depth transmissions.
+            prop_assert_eq!(
+                schedule.total_transmissions(),
+                tree.transmissions_per_round()
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Human-body shadowing.
+//!
+//! The paper's wireless-sensing systems (§IV.B) all exploit the same
+//! physical fact: a human body crossing or standing near a 2.4 GHz link
+//! attenuates it by several dB. This module models that attenuation as a
+//! function of how many bodies obstruct the first Fresnel zone of a link,
+//! with diminishing marginal attenuation (bodies behind bodies shadow less)
+//! — matching the saturation observed in crowd-RSSI measurement campaigns.
+
+use zeiot_core::error::{require_non_negative, require_positive, Result};
+use zeiot_core::geometry::Point2;
+use zeiot_core::units::Decibel;
+
+/// Attenuation model for human bodies obstructing a radio link.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_rf::body::BodyShadowing;
+/// use zeiot_core::geometry::Point2;
+///
+/// let model = BodyShadowing::default_2_4ghz()?;
+/// let tx = Point2::new(0.0, 0.0);
+/// let rx = Point2::new(10.0, 0.0);
+/// // One person standing right on the line of sight.
+/// let people = vec![Point2::new(5.0, 0.1)];
+/// let loss = model.attenuation(tx, rx, &people);
+/// assert!(loss.value() > 1.0);
+/// // Nobody near the link: negligible loss.
+/// let empty: Vec<Point2> = vec![];
+/// assert!(model.attenuation(tx, rx, &empty).value() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyShadowing {
+    per_body_db: f64,
+    saturation_db: f64,
+    obstruction_radius_m: f64,
+}
+
+impl BodyShadowing {
+    /// Creates a body-shadowing model.
+    ///
+    /// * `per_body_db` — attenuation contributed by the first obstructing
+    ///   body;
+    /// * `saturation_db` — asymptotic total attenuation as bodies pile up;
+    /// * `obstruction_radius_m` — how close to the line of sight a body
+    ///   must stand to obstruct (roughly the first Fresnel-zone radius,
+    ///   ~0.3–0.6 m for indoor 2.4 GHz links).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `per_body_db` is negative, `saturation_db` is
+    /// not strictly positive, or the radius is not strictly positive.
+    pub fn new(per_body_db: f64, saturation_db: f64, obstruction_radius_m: f64) -> Result<Self> {
+        let per_body_db = require_non_negative("per_body_db", per_body_db)?;
+        let saturation_db = require_positive("saturation_db", saturation_db)?;
+        let obstruction_radius_m = require_positive("obstruction_radius_m", obstruction_radius_m)?;
+        Ok(Self {
+            per_body_db,
+            saturation_db,
+            obstruction_radius_m,
+        })
+    }
+
+    /// Literature-typical values for indoor 2.4 GHz: 3 dB per body,
+    /// saturating at 15 dB, 0.55 m obstruction radius (the first
+    /// Fresnel-zone radius √(λd/4) ≈ 0.56 m at mid-span of a 10 m link).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`BodyShadowing::new`].
+    pub fn default_2_4ghz() -> Result<Self> {
+        Self::new(3.0, 15.0, 0.55)
+    }
+
+    /// Attenuation from the first obstructing body.
+    pub fn per_body_db(&self) -> f64 {
+        self.per_body_db
+    }
+
+    /// Counts how many of `people` obstruct the `tx`–`rx` segment (within
+    /// the obstruction radius of it, between the endpoints).
+    pub fn obstructing_count(&self, tx: Point2, rx: Point2, people: &[Point2]) -> usize {
+        people
+            .iter()
+            .filter(|&&p| self.distance_to_segment(tx, rx, p) <= self.obstruction_radius_m)
+            .count()
+    }
+
+    /// Total attenuation caused by `people` on the `tx`–`rx` link.
+    ///
+    /// Attenuation saturates: with `k` obstructing bodies the loss is
+    /// `S·(1 − exp(−a·k/S))` where `a` is the per-body attenuation and `S`
+    /// the saturation ceiling. The first body contributes ≈`a` dB; later
+    /// bodies progressively less.
+    pub fn attenuation(&self, tx: Point2, rx: Point2, people: &[Point2]) -> Decibel {
+        let k = self.obstructing_count(tx, rx, people) as f64;
+        self.attenuation_for_count(k)
+    }
+
+    /// The saturating attenuation for an obstructing-body count directly.
+    pub fn attenuation_for_count(&self, count: f64) -> Decibel {
+        assert!(count >= 0.0, "count must be non-negative");
+        let s = self.saturation_db;
+        let a = self.per_body_db;
+        Decibel::new(s * (1.0 - (-a * count / s).exp()))
+    }
+
+    fn distance_to_segment(&self, a: Point2, b: Point2, p: Point2) -> f64 {
+        let len2 = a.distance_squared(b);
+        if len2 == 0.0 {
+            return a.distance(p);
+        }
+        let t = (((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len2).clamp(0.0, 1.0);
+        let proj = Point2::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+        proj.distance(p)
+    }
+}
+
+/// A fixed attenuation applied when a link crosses a structural boundary,
+/// such as the inter-car doors in the train-congestion scenario (paper
+/// §IV.B: "doors between train cars significantly attenuate the signal").
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_rf::body::BoundaryAttenuation;
+///
+/// let doors = BoundaryAttenuation::new(12.0)?;
+/// assert_eq!(doors.loss_for_crossings(0).value(), 0.0);
+/// assert_eq!(doors.loss_for_crossings(2).value(), 24.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryAttenuation {
+    per_crossing_db: f64,
+}
+
+impl BoundaryAttenuation {
+    /// Creates a boundary-attenuation model of `per_crossing_db` per
+    /// crossed boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `per_crossing_db` is negative.
+    pub fn new(per_crossing_db: f64) -> Result<Self> {
+        let per_crossing_db = require_non_negative("per_crossing_db", per_crossing_db)?;
+        Ok(Self { per_crossing_db })
+    }
+
+    /// Attenuation per crossing.
+    pub fn per_crossing_db(&self) -> f64 {
+        self.per_crossing_db
+    }
+
+    /// Total attenuation for a link crossing `crossings` boundaries.
+    pub fn loss_for_crossings(&self, crossings: usize) -> Decibel {
+        Decibel::new(self.per_crossing_db * crossings as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BodyShadowing {
+        BodyShadowing::default_2_4ghz().unwrap()
+    }
+
+    #[test]
+    fn no_people_no_loss() {
+        let m = model();
+        let loss = m.attenuation(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), &[]);
+        assert_eq!(loss.value(), 0.0);
+    }
+
+    #[test]
+    fn person_off_the_line_does_not_obstruct() {
+        let m = model();
+        let tx = Point2::new(0.0, 0.0);
+        let rx = Point2::new(10.0, 0.0);
+        let far = vec![Point2::new(5.0, 3.0)];
+        assert_eq!(m.obstructing_count(tx, rx, &far), 0);
+    }
+
+    #[test]
+    fn person_behind_endpoint_does_not_obstruct() {
+        let m = model();
+        let tx = Point2::new(0.0, 0.0);
+        let rx = Point2::new(10.0, 0.0);
+        let behind = vec![Point2::new(-2.0, 0.0), Point2::new(12.0, 0.0)];
+        assert_eq!(m.obstructing_count(tx, rx, &behind), 0);
+    }
+
+    #[test]
+    fn first_body_contributes_roughly_per_body_db() {
+        let m = model();
+        let one = m.attenuation_for_count(1.0).value();
+        // S(1 − e^{−a/S}) ≈ a for a ≪ S; with a=3, S=15: 2.72 dB.
+        assert!(one > 2.0 && one < 3.0, "one={one}");
+    }
+
+    #[test]
+    fn attenuation_saturates() {
+        let m = model();
+        let many = m.attenuation_for_count(100.0).value();
+        assert!(many <= 15.0 + 1e-9);
+        assert!(many > 14.5);
+    }
+
+    #[test]
+    fn attenuation_monotone_in_count() {
+        let m = model();
+        let mut prev = -1.0;
+        for k in 0..30 {
+            let v = m.attenuation_for_count(k as f64).value();
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn counts_multiple_obstructors() {
+        let m = model();
+        let tx = Point2::new(0.0, 0.0);
+        let rx = Point2::new(10.0, 0.0);
+        let crowd = vec![
+            Point2::new(2.0, 0.1),
+            Point2::new(5.0, -0.2),
+            Point2::new(8.0, 0.3),
+            Point2::new(5.0, 2.0), // too far off-axis
+        ];
+        assert_eq!(m.obstructing_count(tx, rx, &crowd), 3);
+    }
+
+    #[test]
+    fn degenerate_zero_length_link() {
+        let m = model();
+        let p = Point2::new(1.0, 1.0);
+        let near = vec![Point2::new(1.2, 1.0)];
+        assert_eq!(m.obstructing_count(p, p, &near), 1);
+    }
+
+    #[test]
+    fn boundary_attenuation_is_linear() {
+        let doors = BoundaryAttenuation::new(12.0).unwrap();
+        assert_eq!(doors.loss_for_crossings(0).value(), 0.0);
+        assert_eq!(doors.loss_for_crossings(1).value(), 12.0);
+        assert_eq!(doors.loss_for_crossings(3).value(), 36.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BodyShadowing::new(-1.0, 15.0, 0.4).is_err());
+        assert!(BodyShadowing::new(3.0, 0.0, 0.4).is_err());
+        assert!(BodyShadowing::new(3.0, 15.0, 0.0).is_err());
+        assert!(BoundaryAttenuation::new(-1.0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn attenuation_bounded_by_saturation(count in 0.0f64..1000.0) {
+            let m = BodyShadowing::default_2_4ghz().unwrap();
+            let v = m.attenuation_for_count(count).value();
+            prop_assert!((0.0..=15.0 + 1e-9).contains(&v));
+        }
+
+        #[test]
+        fn obstruction_count_never_exceeds_population(
+            people in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 0..50)
+        ) {
+            let m = BodyShadowing::default_2_4ghz().unwrap();
+            let pts: Vec<Point2> = people.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let k = m.obstructing_count(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), &pts);
+            prop_assert!(k <= pts.len());
+        }
+    }
+}

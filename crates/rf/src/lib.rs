@@ -1,0 +1,54 @@
+//! # zeiot-rf
+//!
+//! RF propagation substrate for the `zeiot` workspace.
+//!
+//! The paper's systems all ride on 2.4 GHz radio behaviour: ambient
+//! backscatter links (double path loss), Bluetooth RSSI attenuated by human
+//! bodies, 802.15.4 inter-node RSSI, 802.11 CSI. None of the original
+//! hardware is available, so this crate provides the physically grounded
+//! models the rest of the workspace simulates against:
+//!
+//! - [`pathloss`] — free-space, log-distance and two-ray ground models;
+//! - `shadowing` is folded into [`fading`] — log-normal large-scale
+//!   shadowing plus Rayleigh/Rician small-scale fading draws;
+//! - [`noise`] — thermal noise floor and SNR;
+//! - [`ber`] — modulation BER curves and packet error rates;
+//! - [`link`] — end-to-end link budgets composing the above;
+//! - [`body`] — human-body shadowing for crowd/congestion sensing;
+//! - [`obstacle`] — floor plans of attenuating walls (paper §III.B's
+//!   "obstacle information" input to deployment design).
+//!
+//! # Example: a 2.4 GHz link budget
+//!
+//! ```
+//! # fn main() -> Result<(), zeiot_core::ConfigError> {
+//! use zeiot_rf::link::LinkBudget;
+//! use zeiot_rf::pathloss::LogDistance;
+//! use zeiot_core::units::{Dbm, Hertz};
+//!
+//! let budget = LinkBudget::builder()
+//!     .tx_power(Dbm::new(0.0))
+//!     .frequency(Hertz::from_ghz(2.4))
+//!     .path_loss(LogDistance::indoor_2_4ghz()?)
+//!     .build()?;
+//! let rx = budget.received_power(10.0);
+//! assert!(rx.value() < -50.0 && rx.value() > -90.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ber;
+pub mod body;
+pub mod fading;
+pub mod link;
+pub mod noise;
+pub mod obstacle;
+pub mod pathloss;
+
+pub use ber::{Modulation, PacketErrorModel};
+pub use body::BodyShadowing;
+pub use fading::{Fading, LogNormalShadowing, RayleighFading, RicianFading};
+pub use link::{BackscatterBudget, LinkBudget};
+pub use noise::NoiseModel;
+pub use obstacle::{ObstacleMap, Wall};
+pub use pathloss::{FreeSpace, LogDistance, PathLoss, TwoRayGround};

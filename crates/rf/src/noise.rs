@@ -1,0 +1,135 @@
+//! Thermal noise and SNR.
+//!
+//! The noise floor bounds every link in the workspace: `N = kTB·NF`. At
+//! room temperature this is the familiar −174 dBm/Hz density.
+
+use zeiot_core::error::{require_non_negative, require_positive, Result};
+use zeiot_core::units::{Dbm, Decibel, Hertz};
+
+/// Boltzmann noise density at 290 K in dBm/Hz.
+pub const THERMAL_NOISE_DENSITY_DBM_HZ: f64 = -173.98;
+
+/// A receiver noise model: thermal floor over a bandwidth plus a noise
+/// figure.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_rf::noise::NoiseModel;
+/// use zeiot_core::units::{Dbm, Hertz};
+///
+/// // A 2 MHz 802.15.4 receiver with a 7 dB noise figure.
+/// let noise = NoiseModel::new(Hertz::from_mhz(2.0), 7.0)?;
+/// assert!((noise.floor().value() - (-103.97)).abs() < 0.1);
+///
+/// let snr = noise.snr(Dbm::new(-90.0));
+/// assert!((snr.value() - 13.97).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    bandwidth: Hertz,
+    noise_figure_db: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model for a receiver of the given bandwidth and
+    /// noise figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bandwidth` is not strictly positive or the
+    /// noise figure is negative.
+    pub fn new(bandwidth: Hertz, noise_figure_db: f64) -> Result<Self> {
+        require_positive("bandwidth", bandwidth.value())?;
+        let noise_figure_db = require_non_negative("noise_figure_db", noise_figure_db)?;
+        Ok(Self {
+            bandwidth,
+            noise_figure_db,
+        })
+    }
+
+    /// An IEEE 802.15.4 (2 MHz channel, 7 dB NF) receiver profile.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`NoiseModel::new`].
+    pub fn ieee802154() -> Result<Self> {
+        Self::new(Hertz::from_mhz(2.0), 7.0)
+    }
+
+    /// An IEEE 802.11 (20 MHz channel, 6 dB NF) receiver profile.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`NoiseModel::new`].
+    pub fn ieee80211_20mhz() -> Result<Self> {
+        Self::new(Hertz::from_mhz(20.0), 6.0)
+    }
+
+    /// The receiver bandwidth.
+    pub fn bandwidth(&self) -> Hertz {
+        self.bandwidth
+    }
+
+    /// The receiver noise figure in dB.
+    pub fn noise_figure_db(&self) -> f64 {
+        self.noise_figure_db
+    }
+
+    /// The total noise floor: `kTB + NF`.
+    pub fn floor(&self) -> Dbm {
+        Dbm::new(
+            THERMAL_NOISE_DENSITY_DBM_HZ
+                + 10.0 * self.bandwidth.value().log10()
+                + self.noise_figure_db,
+        )
+    }
+
+    /// Signal-to-noise ratio for a received power.
+    pub fn snr(&self, received: Dbm) -> Decibel {
+        received - self.floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_at_1hz_is_thermal_density_plus_nf() {
+        let n = NoiseModel::new(Hertz::new(1.0), 0.0).unwrap();
+        assert!((n.floor().value() - THERMAL_NOISE_DENSITY_DBM_HZ).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_bandwidth_raises_floor() {
+        let narrow = NoiseModel::new(Hertz::from_mhz(2.0), 6.0).unwrap();
+        let wide = NoiseModel::new(Hertz::from_mhz(20.0), 6.0).unwrap();
+        let delta = wide.floor().value() - narrow.floor().value();
+        assert!((delta - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiles_have_expected_floors() {
+        let zig = NoiseModel::ieee802154().unwrap();
+        assert!((zig.floor().value() - (-103.96)).abs() < 0.1);
+        let wifi = NoiseModel::ieee80211_20mhz().unwrap();
+        assert!((wifi.floor().value() - (-94.96)).abs() < 0.1);
+    }
+
+    #[test]
+    fn snr_is_signal_minus_floor() {
+        let n = NoiseModel::ieee802154().unwrap();
+        let snr = n.snr(Dbm::new(-80.0));
+        assert!((snr.value() - (n.floor().value().abs() - 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NoiseModel::new(Hertz::new(0.0), 6.0).is_err());
+        assert!(NoiseModel::new(Hertz::from_mhz(2.0), -1.0).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Large-scale path-loss models.
+//!
+//! All models map a transmitter–receiver distance (metres) to an attenuation
+//! in [`Decibel`]. Distances below each model's reference distance are
+//! clamped to it — path-loss formulas are not meaningful in the reactive
+//! near field, and clamping keeps attenuation monotone and finite.
+
+use zeiot_core::error::{require_positive, Result};
+use zeiot_core::units::{Decibel, Hertz};
+
+/// A large-scale path-loss model: attenuation as a function of distance.
+///
+/// Implementations must be monotone non-decreasing in distance at and
+/// beyond their reference distance (property-tested in this module).
+pub trait PathLoss {
+    /// Attenuation over `distance_m` metres.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `distance_m` is negative or NaN.
+    fn loss(&self, distance_m: f64) -> Decibel;
+
+    /// The reference distance in metres below which `loss` is clamped.
+    fn reference_distance_m(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Free-space (Friis) path loss.
+///
+/// `L(d) = 20 log10(d) + 20 log10(f) − 147.55 dB`.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_rf::pathloss::{FreeSpace, PathLoss};
+/// use zeiot_core::units::Hertz;
+///
+/// let fs = FreeSpace::new(Hertz::from_ghz(2.4));
+/// // 2.4 GHz at 1 m is almost exactly 40 dB.
+/// assert!((fs.loss(1.0).value() - 40.05).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreeSpace {
+    frequency: Hertz,
+}
+
+impl FreeSpace {
+    /// Creates a free-space model at carrier frequency `frequency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive.
+    pub fn new(frequency: Hertz) -> Self {
+        assert!(frequency.value() > 0.0, "frequency must be positive");
+        Self { frequency }
+    }
+
+    /// The carrier frequency.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+}
+
+impl PathLoss for FreeSpace {
+    fn loss(&self, distance_m: f64) -> Decibel {
+        assert!(
+            distance_m.is_finite() && distance_m >= 0.0,
+            "distance must be finite and non-negative, got {distance_m}"
+        );
+        let d = distance_m.max(self.reference_distance_m());
+        let f = self.frequency.value();
+        Decibel::new(20.0 * d.log10() + 20.0 * f.log10() - 147.55)
+    }
+}
+
+/// Log-distance path loss: free-space up to a reference distance, then a
+/// configurable exponent.
+///
+/// `L(d) = L(d0) + 10 n log10(d / d0)`.
+///
+/// The exponent `n` is ≈2 in free space, 2.7–4 indoors with obstructions.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_rf::pathloss::{LogDistance, PathLoss};
+///
+/// let model = LogDistance::indoor_2_4ghz()?;
+/// assert!(model.loss(10.0) > model.loss(5.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    reference_loss_db: f64,
+    reference_distance_m: f64,
+    exponent: f64,
+}
+
+impl LogDistance {
+    /// Creates a log-distance model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `reference_distance_m` or `exponent` is not
+    /// strictly positive, or `reference_loss_db` is not finite.
+    pub fn new(reference_loss_db: f64, reference_distance_m: f64, exponent: f64) -> Result<Self> {
+        let reference_loss_db =
+            zeiot_core::error::require_finite("reference_loss_db", reference_loss_db)?;
+        let reference_distance_m = require_positive("reference_distance_m", reference_distance_m)?;
+        let exponent = require_positive("exponent", exponent)?;
+        Ok(Self {
+            reference_loss_db,
+            reference_distance_m,
+            exponent,
+        })
+    }
+
+    /// A typical 2.4 GHz indoor profile: 40 dB at 1 m, exponent 3.0
+    /// (furnished office with people).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`LogDistance::new`].
+    pub fn indoor_2_4ghz() -> Result<Self> {
+        Self::new(40.05, 1.0, 3.0)
+    }
+
+    /// A 2.4 GHz open-hall profile: 40 dB at 1 m, exponent 2.2 (the
+    /// tens-of-metres Wi-Fi backscatter setting from paper §I).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches [`LogDistance::new`].
+    pub fn open_hall_2_4ghz() -> Result<Self> {
+        Self::new(40.05, 1.0, 2.2)
+    }
+
+    /// The path-loss exponent `n`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl PathLoss for LogDistance {
+    fn loss(&self, distance_m: f64) -> Decibel {
+        assert!(
+            distance_m.is_finite() && distance_m >= 0.0,
+            "distance must be finite and non-negative, got {distance_m}"
+        );
+        let d = distance_m.max(self.reference_distance_m);
+        Decibel::new(
+            self.reference_loss_db
+                + 10.0 * self.exponent * (d / self.reference_distance_m).log10(),
+        )
+    }
+
+    fn reference_distance_m(&self) -> f64 {
+        self.reference_distance_m
+    }
+}
+
+/// Two-ray ground-reflection model: free-space up to the crossover
+/// distance, `40 log10(d) − 20 log10(ht·hr)` beyond it.
+///
+/// Captures the steeper (n = 4) roll-off of long outdoor links, relevant to
+/// the paper's outdoor scenarios (wild-animal intrusion, sloping lands).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_rf::pathloss::{TwoRayGround, PathLoss};
+/// use zeiot_core::units::Hertz;
+///
+/// let model = TwoRayGround::new(Hertz::from_ghz(2.4), 1.5, 1.5)?;
+/// // Beyond the crossover the slope is 40 dB/decade.
+/// let l1 = model.loss(1_000.0).value();
+/// let l2 = model.loss(10_000.0).value();
+/// assert!((l2 - l1 - 40.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoRayGround {
+    free_space: FreeSpace,
+    tx_height_m: f64,
+    rx_height_m: f64,
+    crossover_m: f64,
+}
+
+impl TwoRayGround {
+    /// Creates a two-ray model with antenna heights in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either height is not strictly positive.
+    pub fn new(frequency: Hertz, tx_height_m: f64, rx_height_m: f64) -> Result<Self> {
+        let tx_height_m = require_positive("tx_height_m", tx_height_m)?;
+        let rx_height_m = require_positive("rx_height_m", rx_height_m)?;
+        let wavelength = frequency.wavelength_m();
+        // Standard crossover: 4 π ht hr / λ.
+        let crossover_m =
+            4.0 * std::f64::consts::PI * tx_height_m * rx_height_m / wavelength;
+        Ok(Self {
+            free_space: FreeSpace::new(frequency),
+            tx_height_m,
+            rx_height_m,
+            crossover_m,
+        })
+    }
+
+    /// The crossover distance where the model switches from free-space to
+    /// fourth-power roll-off.
+    pub fn crossover_m(&self) -> f64 {
+        self.crossover_m
+    }
+}
+
+impl PathLoss for TwoRayGround {
+    fn loss(&self, distance_m: f64) -> Decibel {
+        assert!(
+            distance_m.is_finite() && distance_m >= 0.0,
+            "distance must be finite and non-negative, got {distance_m}"
+        );
+        let d = distance_m.max(self.reference_distance_m());
+        if d <= self.crossover_m {
+            // Continuity at the crossover is guaranteed by construction of
+            // the two-ray formula; use free space below.
+            self.free_space.loss(d)
+        } else {
+            let base = self.free_space.loss(self.crossover_m).value();
+            // 40 dB/decade beyond the crossover, anchored for continuity.
+            Decibel::new(base + 40.0 * (d / self.crossover_m).log10())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_matches_friis_at_known_points() {
+        let fs = FreeSpace::new(Hertz::from_ghz(2.4));
+        // Friis at 2.4 GHz: 40.05 dB at 1 m, +20 dB per decade.
+        assert!((fs.loss(1.0).value() - 40.05).abs() < 0.05);
+        assert!((fs.loss(10.0).value() - 60.05).abs() < 0.05);
+        assert!((fs.loss(100.0).value() - 80.05).abs() < 0.05);
+    }
+
+    #[test]
+    fn free_space_clamps_below_reference() {
+        let fs = FreeSpace::new(Hertz::from_ghz(2.4));
+        assert_eq!(fs.loss(0.0), fs.loss(1.0));
+        assert_eq!(fs.loss(0.5), fs.loss(1.0));
+    }
+
+    #[test]
+    fn log_distance_slope_matches_exponent() {
+        let m = LogDistance::new(40.0, 1.0, 3.0).unwrap();
+        let per_decade = m.loss(100.0).value() - m.loss(10.0).value();
+        assert!((per_decade - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_rejects_bad_parameters() {
+        assert!(LogDistance::new(f64::NAN, 1.0, 2.0).is_err());
+        assert!(LogDistance::new(40.0, 0.0, 2.0).is_err());
+        assert!(LogDistance::new(40.0, 1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn two_ray_continuous_at_crossover() {
+        let m = TwoRayGround::new(Hertz::from_ghz(2.4), 1.5, 1.5).unwrap();
+        let d = m.crossover_m();
+        let below = m.loss(d * 0.999).value();
+        let above = m.loss(d * 1.001).value();
+        assert!((below - above).abs() < 0.1, "below={below} above={above}");
+    }
+
+    #[test]
+    fn two_ray_steeper_than_free_space_far_out() {
+        let f = Hertz::from_ghz(2.4);
+        let two_ray = TwoRayGround::new(f, 1.5, 1.5).unwrap();
+        let fs = FreeSpace::new(f);
+        let d = two_ray.crossover_m() * 100.0;
+        assert!(two_ray.loss(d).value() > fs.loss(d).value());
+    }
+
+    #[test]
+    fn models_are_monotone_in_distance() {
+        let models: Vec<Box<dyn PathLoss>> = vec![
+            Box::new(FreeSpace::new(Hertz::from_ghz(2.4))),
+            Box::new(LogDistance::indoor_2_4ghz().unwrap()),
+            Box::new(TwoRayGround::new(Hertz::from_ghz(2.4), 1.5, 1.5).unwrap()),
+        ];
+        for m in &models {
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..400 {
+                let d = 0.5 + i as f64 * 2.5;
+                let l = m.loss(d).value();
+                assert!(l >= prev - 1e-9, "non-monotone at d={d}");
+                prev = l;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_distance_panics() {
+        let fs = FreeSpace::new(Hertz::from_ghz(2.4));
+        let _ = fs.loss(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn log_distance_monotone(
+            d1 in 0.1f64..1_000.0,
+            d2 in 0.1f64..1_000.0,
+            n in 1.5f64..5.0,
+        ) {
+            let m = LogDistance::new(40.0, 1.0, n).unwrap();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(m.loss(lo).value() <= m.loss(hi).value() + 1e-9);
+        }
+
+        #[test]
+        fn free_space_loss_is_finite(d in 0.0f64..1.0e6) {
+            let fs = FreeSpace::new(Hertz::from_ghz(2.4));
+            prop_assert!(fs.loss(d).value().is_finite());
+        }
+
+        #[test]
+        fn two_ray_never_below_free_space_beyond_crossover(d in 1.0f64..1.0e5) {
+            let f = Hertz::from_ghz(2.4);
+            let tr = TwoRayGround::new(f, 1.5, 1.5).unwrap();
+            let fs = FreeSpace::new(f);
+            if d > tr.crossover_m() {
+                prop_assert!(tr.loss(d).value() >= fs.loss(d).value() - 0.1);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Device-free CSI localization (ref \[8\]).
+//!
+//! The learning system: capture 802.11ac explicit-feedback frames,
+//! extract the 624 compressed-angle features, fit a supervised classifier
+//! with labelled positions, then infer labels from live captures. This
+//! module wraps the shared [`KnnClassifier`] with the CSI workflow and
+//! evaluation helpers (accuracy per behaviour/antenna pattern).
+
+use crate::knn::KnnClassifier;
+use zeiot_core::error::Result;
+use zeiot_nn::eval::ConfusionMatrix;
+
+/// A fitted CSI localizer.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sensing::csi::CsiLocalizer;
+///
+/// let train = vec![
+///     (vec![0.0, 1.0, 0.0], 0),
+///     (vec![0.1, 0.9, 0.0], 0),
+///     (vec![1.0, 0.0, 1.0], 1),
+///     (vec![0.9, 0.1, 1.1], 1),
+/// ];
+/// let loc = CsiLocalizer::fit(&train, 1).unwrap();
+/// assert_eq!(loc.localize(&[0.05, 0.95, 0.0]), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsiLocalizer {
+    knn: KnnClassifier,
+}
+
+impl CsiLocalizer {
+    /// Fits the localizer on `(features, position)` pairs with a `k`-NN
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KnnClassifier::fit`] validation errors.
+    pub fn fit(training: &[(Vec<f64>, usize)], k: usize) -> Result<Self> {
+        Ok(Self {
+            knn: KnnClassifier::fit(training, k)?,
+        })
+    }
+
+    /// Number of distinct positions seen during fitting.
+    pub fn positions(&self) -> usize {
+        self.knn.classes()
+    }
+
+    /// Infers the position label for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature-dimension mismatch.
+    pub fn localize(&self, features: &[f64]) -> usize {
+        self.knn.predict(features)
+    }
+
+    /// Evaluates over a labelled test set, returning the confusion
+    /// matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test` is empty.
+    pub fn evaluate(&self, test: &[(Vec<f64>, usize)]) -> ConfusionMatrix {
+        assert!(!test.is_empty(), "empty test set");
+        let mut cm = ConfusionMatrix::new(self.positions());
+        for (f, truth) in test {
+            cm.record(*truth, self.localize(f));
+        }
+        cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::rng::SeedRng;
+    use zeiot_data::csi::{CsiGenerator, CsiPattern};
+
+    fn to_pairs(samples: Vec<zeiot_data::csi::CsiSample>) -> Vec<(Vec<f64>, usize)> {
+        samples
+            .into_iter()
+            .map(|s| (s.features, s.position))
+            .collect()
+    }
+
+    #[test]
+    fn best_pattern_hits_paper_accuracy() {
+        // Walking + divergent antennas: the paper's ≈96 % case.
+        let gen = CsiGenerator::new(77).unwrap();
+        let pattern = CsiPattern::all()[4];
+        assert!(pattern.walking);
+        let mut rng = SeedRng::new(1);
+        let (train, test) = gen.split(pattern, 30, 12, &mut rng);
+        let loc = CsiLocalizer::fit(&to_pairs(train), 5).unwrap();
+        let cm = loc.evaluate(&to_pairs(test));
+        assert!(cm.accuracy() > 0.9, "acc={}", cm.accuracy());
+    }
+
+    #[test]
+    fn pattern_difficulty_ordering_holds() {
+        let gen = CsiGenerator::new(78).unwrap();
+        let acc_of = |pattern: CsiPattern, seed: u64| {
+            let mut rng = SeedRng::new(seed);
+            let (train, test) = gen.split(pattern, 30, 12, &mut rng);
+            let loc = CsiLocalizer::fit(&to_pairs(train), 5).unwrap();
+            loc.evaluate(&to_pairs(test)).accuracy()
+        };
+        let best = acc_of(
+            CsiPattern {
+                walking: true,
+                antenna: zeiot_data::csi::AntennaOrientation::Divergent,
+            },
+            2,
+        );
+        let worst = acc_of(
+            CsiPattern {
+                walking: false,
+                antenna: zeiot_data::csi::AntennaOrientation::Aligned,
+            },
+            2,
+        );
+        assert!(best >= worst, "best={best} worst={worst}");
+    }
+
+    #[test]
+    fn positions_count_matches_data() {
+        let gen = CsiGenerator::new(79).unwrap();
+        let mut rng = SeedRng::new(3);
+        let (train, _) = gen.split(CsiPattern::all()[4], 5, 1, &mut rng);
+        let loc = CsiLocalizer::fit(&to_pairs(train), 3).unwrap();
+        assert_eq!(loc.positions(), 7);
+    }
+
+    #[test]
+    fn confusion_matrix_totals_match_test_size() {
+        let gen = CsiGenerator::new(80).unwrap();
+        let mut rng = SeedRng::new(4);
+        let (train, test) = gen.split(CsiPattern::all()[4], 10, 5, &mut rng);
+        let loc = CsiLocalizer::fit(&to_pairs(train), 3).unwrap();
+        let cm = loc.evaluate(&to_pairs(test));
+        assert_eq!(cm.total(), 35);
+    }
+}

@@ -1,0 +1,236 @@
+//! k-nearest-neighbour classification with feature standardization.
+//!
+//! The CSI learning system of ref \[8\] trains a supervised classifier on
+//! 624-dimensional feature vectors; a standardized k-NN is a strong,
+//! assumption-free choice at the paper's sample sizes and is what this
+//! workspace uses wherever a generic vector classifier is needed.
+
+use zeiot_core::error::{ConfigError, Result};
+
+/// A k-NN classifier over `f64` feature vectors with per-dimension
+/// z-score standardization learned from the training set.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sensing::knn::KnnClassifier;
+///
+/// let train = vec![
+///     (vec![0.0, 0.0], 0),
+///     (vec![0.1, -0.1], 0),
+///     (vec![5.0, 5.0], 1),
+///     (vec![4.9, 5.2], 1),
+/// ];
+/// let knn = KnnClassifier::fit(&train, 3).unwrap();
+/// assert_eq!(knn.predict(&[0.05, 0.0]), 0);
+/// assert_eq!(knn.predict(&[5.1, 4.8]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    dims: usize,
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+    points: Vec<(Vec<f64>, usize)>,
+    classes: usize,
+}
+
+impl KnnClassifier {
+    /// Fits (memorizes + standardizes) the training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the training set is empty, `k` is zero, or
+    /// feature lengths are inconsistent.
+    pub fn fit(training: &[(Vec<f64>, usize)], k: usize) -> Result<Self> {
+        if training.is_empty() {
+            return Err(ConfigError::new("training", "must be non-empty"));
+        }
+        if k == 0 {
+            return Err(ConfigError::new("k", "must be non-zero"));
+        }
+        let dims = training[0].0.len();
+        if dims == 0 {
+            return Err(ConfigError::new("features", "must be non-empty"));
+        }
+        if training.iter().any(|(f, _)| f.len() != dims) {
+            return Err(ConfigError::new("training", "inconsistent feature lengths"));
+        }
+        let n = training.len() as f64;
+        let mut mean = vec![0.0; dims];
+        for (f, _) in training {
+            for (m, v) in mean.iter_mut().zip(f) {
+                *m += v / n;
+            }
+        }
+        let mut var = vec![0.0; dims];
+        for (f, _) in training {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(f) {
+                *v += (x - m).powi(2) / n;
+            }
+        }
+        let inv_std: Vec<f64> = var.iter().map(|v| 1.0 / v.sqrt().max(1e-9)).collect();
+        let points: Vec<(Vec<f64>, usize)> = training
+            .iter()
+            .map(|(f, label)| {
+                let z: Vec<f64> = f
+                    .iter()
+                    .zip(&mean)
+                    .zip(&inv_std)
+                    .map(|((x, m), s)| (x - m) * s)
+                    .collect();
+                (z, *label)
+            })
+            .collect();
+        let classes = training.iter().map(|&(_, l)| l).max().unwrap_or(0) + 1;
+        Ok(Self {
+            k,
+            dims,
+            mean,
+            inv_std,
+            points,
+            classes,
+        })
+    }
+
+    /// Number of classes seen during fitting.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Predicts the majority class among the `k` nearest training points
+    /// (ties broken toward the smaller class index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training dimension.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.dims, "feature dimension mismatch");
+        let z: Vec<f64> = features
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.inv_std)
+            .map(|((x, m), s)| (x - m) * s)
+            .collect();
+        // Partial selection of the k nearest.
+        let mut dists: Vec<(f64, usize)> = self
+            .points
+            .iter()
+            .map(|(p, label)| {
+                let d: f64 = p.iter().zip(&z).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, *label)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let mut votes = vec![0usize; self.classes];
+        for &(_, label) in &dists[..k] {
+            votes[label] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, usize::MAX - i))
+            .map(|(i, _)| i)
+            .expect("non-empty votes")
+    }
+
+    /// Accuracy over a labelled test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test` is empty.
+    pub fn accuracy(&self, test: &[(Vec<f64>, usize)]) -> f64 {
+        assert!(!test.is_empty(), "empty test set");
+        let correct = test
+            .iter()
+            .filter(|(f, l)| self.predict(f) == *l)
+            .count();
+        correct as f64 / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::rng::SeedRng;
+
+    #[test]
+    fn fit_validation() {
+        assert!(KnnClassifier::fit(&[], 3).is_err());
+        assert!(KnnClassifier::fit(&[(vec![1.0], 0)], 0).is_err());
+        assert!(KnnClassifier::fit(&[(vec![], 0)], 1).is_err());
+        assert!(KnnClassifier::fit(&[(vec![1.0], 0), (vec![1.0, 2.0], 1)], 1).is_err());
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_points() {
+        let train = vec![
+            (vec![0.0, 0.0], 0),
+            (vec![1.0, 1.0], 1),
+            (vec![2.0, 2.0], 2),
+        ];
+        let knn = KnnClassifier::fit(&train, 1).unwrap();
+        for (f, l) in &train {
+            assert_eq!(knn.predict(f), *l);
+        }
+        assert_eq!(knn.classes(), 3);
+    }
+
+    #[test]
+    fn standardization_makes_scales_comparable() {
+        // Dimension 0 has tiny scale but carries the class; dimension 1
+        // is huge noise. Without standardization, 1-NN fails.
+        let mut rng = SeedRng::new(1);
+        let mut train = Vec::new();
+        for _ in 0..50 {
+            train.push((vec![0.001 + 0.0001 * rng.normal(), 1000.0 * rng.normal()], 0));
+            train.push((vec![-0.001 + 0.0001 * rng.normal(), 1000.0 * rng.normal()], 1));
+        }
+        let knn = KnnClassifier::fit(&train, 5).unwrap();
+        let mut correct = 0;
+        for _ in 0..100 {
+            if knn.predict(&[0.001, 1000.0 * rng.normal()]) == 0 {
+                correct += 1;
+            }
+        }
+        assert!(correct > 90, "correct={correct}");
+    }
+
+    #[test]
+    fn majority_voting_overrides_single_outlier() {
+        let train = vec![
+            (vec![0.0], 0),
+            (vec![0.2], 0),
+            (vec![0.4], 0),
+            (vec![0.1], 1), // outlier inside class-0 territory
+            (vec![10.0], 1),
+        ];
+        let knn = KnnClassifier::fit(&train, 3).unwrap();
+        assert_eq!(knn.predict(&[0.15]), 0);
+    }
+
+    #[test]
+    fn accuracy_on_separable_gaussians() {
+        let mut rng = SeedRng::new(2);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for set in [&mut train, &mut test] {
+            for _ in 0..100 {
+                set.push((vec![rng.normal() - 3.0, rng.normal()], 0));
+                set.push((vec![rng.normal() + 3.0, rng.normal()], 1));
+            }
+        }
+        let knn = KnnClassifier::fit(&train, 5).unwrap();
+        assert!(knn.accuracy(&test) > 0.95);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let knn = KnnClassifier::fit(&[(vec![1.0, 2.0], 0)], 1).unwrap();
+        let _ = knn.predict(&[1.0]);
+    }
+}

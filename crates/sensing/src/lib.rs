@@ -1,0 +1,54 @@
+//! # zeiot-sensing
+//!
+//! The paper's wireless-sensing estimators (§IV.B), implemented against
+//! plain observation types so they run on either synthetic scenes
+//! (`zeiot-data`) or real captures:
+//!
+//! - [`train`] — car-level positioning and three-level congestion
+//!   estimation from Bluetooth RSSI (ref \[65\]): likelihood functions per
+//!   car-hop distance, then reliability-weighted majority voting per car;
+//! - [`counting`] — people counting from synchronized inter-node and
+//!   surrounding RSSI on an 802.15.4 WSN (ref \[66\]);
+//! - [`csi`] — device-free localization from 802.11ac compressed-CSI
+//!   feature vectors (ref \[8\]): standardization + k-nearest-neighbour
+//!   classification over the 624-feature space;
+//! - [`pem`] — the Percentage-of-nonzero-Elements crowd feature
+//!   (ref \[29\]), quantifying propagation-path fluctuation;
+//! - [`sociogram`] — friendship-graph estimation from co-presence logs
+//!   (the paper's scenario (iv): kindergarten sociograms from tag IDs
+//!   collected by area-limited base stations);
+//! - [`trajectory`] — blob tracking and human/animal intrusion
+//!   classification from perimeter IR arrays (scenario (iii));
+//! - [`knn`] — the shared k-NN machinery.
+//!
+//! # Example: fit and apply a people counter
+//!
+//! ```
+//! use zeiot_sensing::counting::{CountingFeatures, PeopleCounter};
+//!
+//! // Feature vectors (mean inter-node RSSI, mean surrounding RSSI)
+//! // observed at known occupancy.
+//! let training = vec![
+//!     (CountingFeatures::new(-60.0, -95.0), 0),
+//!     (CountingFeatures::new(-63.0, -90.0), 2),
+//!     (CountingFeatures::new(-66.0, -86.0), 4),
+//! ];
+//! let counter = PeopleCounter::fit(&training).unwrap();
+//! let estimate = counter.predict(&CountingFeatures::new(-62.8, -90.2));
+//! assert_eq!(estimate, 2);
+//! ```
+
+pub mod counting;
+pub mod csi;
+pub mod knn;
+pub mod pem;
+pub mod sociogram;
+pub mod train;
+pub mod trajectory;
+
+pub use counting::{CountingFeatures, PeopleCounter};
+pub use csi::CsiLocalizer;
+pub use knn::KnnClassifier;
+pub use sociogram::{Sociogram, SociogramBuilder};
+pub use trajectory::{BlobTracker, IntruderVerdict, Trajectory};
+pub use train::{CongestionEstimator, TrainObservation};

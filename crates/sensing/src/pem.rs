@@ -1,0 +1,137 @@
+//! The Percentage-of-nonzero-Elements (PEM) feature (ref \[29\],
+//! "Electronic Frog Eye").
+//!
+//! PEM quantifies how strongly the propagation environment fluctuates:
+//! take consecutive channel snapshots (CSI amplitude vectors, or any
+//! per-link measurement vector), difference them, and report the fraction
+//! of entries whose change exceeds a threshold. An empty room scores near
+//! zero; each moving person perturbs more propagation paths and raises
+//! the score — the raw feature behind crowd-counting estimators.
+
+use zeiot_core::error::{ConfigError, Result};
+
+/// PEM feature extractor.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sensing::pem::Pem;
+///
+/// let pem = Pem::new(0.5).unwrap();
+/// let quiet = vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.1, 1.0]];
+/// let busy = vec![vec![1.0, 1.0, 1.0], vec![3.0, -1.0, 2.0]];
+/// assert_eq!(pem.score(&quiet).unwrap(), 0.0);
+/// assert_eq!(pem.score(&busy).unwrap(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pem {
+    threshold: f64,
+}
+
+impl Pem {
+    /// Creates an extractor flagging element changes above `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `threshold` is not strictly positive.
+    pub fn new(threshold: f64) -> Result<Self> {
+        if !(threshold > 0.0 && threshold.is_finite()) {
+            return Err(ConfigError::new("threshold", "must be positive"));
+        }
+        Ok(Self { threshold })
+    }
+
+    /// The change threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// PEM over a window of snapshots: mean fraction of elements whose
+    /// successive difference exceeds the threshold. Returns `None` with
+    /// fewer than two snapshots or inconsistent lengths.
+    pub fn score(&self, snapshots: &[Vec<f64>]) -> Option<f64> {
+        if snapshots.len() < 2 {
+            return None;
+        }
+        let dim = snapshots[0].len();
+        if dim == 0 || snapshots.iter().any(|s| s.len() != dim) {
+            return None;
+        }
+        let mut fractions = Vec::with_capacity(snapshots.len() - 1);
+        for pair in snapshots.windows(2) {
+            let changed = pair[0]
+                .iter()
+                .zip(&pair[1])
+                .filter(|(a, b)| (**a - **b).abs() > self.threshold)
+                .count();
+            fractions.push(changed as f64 / dim as f64);
+        }
+        Some(fractions.iter().sum::<f64>() / fractions.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::rng::SeedRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Pem::new(0.0).is_err());
+        assert!(Pem::new(-1.0).is_err());
+        assert!(Pem::new(f64::NAN).is_err());
+        assert!(Pem::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn needs_two_snapshots_and_consistent_dims() {
+        let pem = Pem::new(0.5).unwrap();
+        assert!(pem.score(&[vec![1.0]]).is_none());
+        assert!(pem.score(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+        assert!(pem.score(&[vec![], vec![]]).is_none());
+    }
+
+    #[test]
+    fn static_environment_scores_zero() {
+        let pem = Pem::new(0.2).unwrap();
+        let snaps = vec![vec![2.0; 16]; 10];
+        assert_eq!(pem.score(&snaps), Some(0.0));
+    }
+
+    #[test]
+    fn score_grows_with_fluctuation_magnitude() {
+        let pem = Pem::new(0.3).unwrap();
+        let mut rng = SeedRng::new(1);
+        let score_for = |sigma: f64, rng: &mut SeedRng| {
+            let snaps: Vec<Vec<f64>> = (0..30)
+                .map(|_| (0..64).map(|_| rng.normal_with(0.0, sigma)).collect())
+                .collect();
+            pem.score(&snaps).unwrap()
+        };
+        let calm = score_for(0.05, &mut rng);
+        let lively = score_for(0.5, &mut rng);
+        assert!(lively > calm + 0.3, "calm={calm} lively={lively}");
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let pem = Pem::new(0.1).unwrap();
+        let mut rng = SeedRng::new(2);
+        let snaps: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..32).map(|_| rng.normal()).collect())
+            .collect();
+        let s = pem.score(&snaps).unwrap();
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let mut rng = SeedRng::new(3);
+        let snaps: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..32).map(|_| rng.normal()).collect())
+            .collect();
+        let loose = Pem::new(0.1).unwrap().score(&snaps).unwrap();
+        let strict = Pem::new(2.0).unwrap().score(&snaps).unwrap();
+        assert!(strict <= loose);
+    }
+}

@@ -1,0 +1,358 @@
+//! Sociogram construction from co-presence logs.
+//!
+//! The paper's scenario (iv): base stations log which RFID tags appear
+//! together in each area; from those logs we "estimate the friendship of
+//! kindergarten's children as a graph called sociogram. Some children
+//! might interact with various friends and others might be isolated."
+//!
+//! The estimator builds a co-presence count matrix, compares each pair's
+//! count against its expectation under independent movement, keeps the
+//! significantly elevated pairs as friendship edges, clusters the
+//! resulting graph into friend groups by label propagation, and flags
+//! isolated children.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use zeiot_core::error::{ConfigError, Result};
+
+/// One co-presence observation: `(slot, area, child)` — deliberately a
+/// plain tuple-like struct so any logging source can feed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sighting {
+    /// Collection time slot.
+    pub slot: u32,
+    /// Area (base-station) id.
+    pub area: u32,
+    /// Child (tag) id.
+    pub child: u32,
+}
+
+/// The estimated sociogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sociogram {
+    children: u32,
+    /// Friendship edges with their affinity scores (observed/expected
+    /// co-presence ratio), `a < b`.
+    edges: Vec<(u32, u32, f64)>,
+    /// Estimated friend groups (disjoint; singletons omitted).
+    groups: Vec<Vec<u32>>,
+    /// Children with no friendship edge.
+    isolated: Vec<u32>,
+}
+
+impl Sociogram {
+    /// Number of children observed.
+    pub fn children(&self) -> u32 {
+        self.children
+    }
+
+    /// Friendship edges `(a, b, affinity)` with `a < b`.
+    pub fn edges(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// Estimated friend groups (each with ≥2 members).
+    pub fn groups(&self) -> &[Vec<u32>] {
+        &self.groups
+    }
+
+    /// Children without any friendship edge — the isolation signal the
+    /// paper highlights.
+    pub fn isolated(&self) -> &[u32] {
+        &self.isolated
+    }
+
+    /// Whether `a` and `b` are connected by a friendship edge.
+    pub fn are_friends(&self, a: u32, b: u32) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.edges.iter().any(|&(x, y, _)| x == lo && y == hi)
+    }
+
+    /// Pairwise agreement with ground-truth groups: the Rand index over
+    /// all child pairs (1.0 = perfect grouping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` does not cover exactly the observed children.
+    pub fn rand_index(&self, truth: &[Vec<u32>]) -> f64 {
+        let n = self.children;
+        let truth_of = |c: u32| -> usize {
+            truth
+                .iter()
+                .position(|g| g.contains(&c))
+                .expect("truth covers all children")
+        };
+        let mine_of = |c: u32| -> Option<usize> {
+            self.groups.iter().position(|g| g.contains(&c))
+        };
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let same_truth = truth_of(a) == truth_of(b);
+                let same_mine = match (mine_of(a), mine_of(b)) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false, // ungrouped children pair with nobody
+                };
+                agree += u64::from(same_truth == same_mine);
+                total += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            agree as f64 / total as f64
+        }
+    }
+}
+
+/// The sociogram estimator.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sensing::sociogram::{Sighting, SociogramBuilder};
+///
+/// // Two inseparable children and one loner over three slots.
+/// let mut sightings = Vec::new();
+/// for slot in 0..10 {
+///     sightings.push(Sighting { slot, area: 0, child: 0 });
+///     sightings.push(Sighting { slot, area: 0, child: 1 });
+///     sightings.push(Sighting { slot, area: 1 + (slot % 3), child: 2 });
+/// }
+/// let sociogram = SociogramBuilder::new(2.0).unwrap().build(&sightings).unwrap();
+/// assert!(sociogram.are_friends(0, 1));
+/// assert_eq!(sociogram.isolated(), &[2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SociogramBuilder {
+    /// A pair is a friendship when observed co-presence exceeds
+    /// `affinity_threshold ×` its independence expectation.
+    affinity_threshold: f64,
+}
+
+impl SociogramBuilder {
+    /// Creates a builder; `affinity_threshold` > 1 (2.0 is a good
+    /// default: friends co-occur at twice the chance rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the threshold is not above 1.
+    pub fn new(affinity_threshold: f64) -> Result<Self> {
+        if !(affinity_threshold > 1.0 && affinity_threshold.is_finite()) {
+            return Err(ConfigError::new(
+                "affinity_threshold",
+                "must exceed 1 (co-presence above chance)",
+            ));
+        }
+        Ok(Self { affinity_threshold })
+    }
+
+    /// Builds the sociogram from base-station logs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sightings` is empty.
+    pub fn build(&self, sightings: &[Sighting]) -> Result<Sociogram> {
+        if sightings.is_empty() {
+            return Err(ConfigError::new("sightings", "must be non-empty"));
+        }
+        let children = sightings.iter().map(|s| s.child).max().expect("non-empty") + 1;
+        let slots = sightings.iter().map(|s| s.slot).max().expect("non-empty") + 1;
+        let areas = sightings.iter().map(|s| s.area).max().expect("non-empty") + 1;
+
+        // Group sightings per (slot, area).
+        let mut rooms: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+        let mut appearances = vec![0u32; children as usize];
+        for s in sightings {
+            rooms.entry((s.slot, s.area)).or_default().push(s.child);
+            appearances[s.child as usize] += 1;
+        }
+
+        // Observed co-presence counts.
+        let n = children as usize;
+        let mut observed = vec![0u32; n * n];
+        for kids in rooms.values() {
+            for (i, &a) in kids.iter().enumerate() {
+                for &b in kids.iter().skip(i + 1) {
+                    if a != b {
+                        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                        observed[lo as usize * n + hi as usize] += 1;
+                    }
+                }
+            }
+        }
+
+        // Expected co-presence under independent uniform movement:
+        // P(both in same area in a slot where both appear) = 1/areas.
+        let mut edges = Vec::new();
+        for a in 0..children {
+            for b in (a + 1)..children {
+                let both_present_slots = (appearances[a as usize] as f64
+                    * appearances[b as usize] as f64)
+                    / slots as f64; // expected co-appearing slots
+                let expected = both_present_slots / areas as f64;
+                let obs = observed[a as usize * n + b as usize] as f64;
+                if expected > 0.0 && obs >= 3.0 && obs / expected >= self.affinity_threshold {
+                    edges.push((a, b, obs / expected));
+                }
+            }
+        }
+
+        // Friend groups by label propagation over the edge graph.
+        let mut label: Vec<u32> = (0..children).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b, _) in &edges {
+                let (la, lb) = (label[a as usize], label[b as usize]);
+                if la != lb {
+                    let new = la.min(lb);
+                    label[a as usize] = new;
+                    label[b as usize] = new;
+                    changed = true;
+                }
+            }
+        }
+        let mut groups_map: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for c in 0..children {
+            groups_map.entry(label[c as usize]).or_default().push(c);
+        }
+        let groups: Vec<Vec<u32>> = groups_map
+            .into_values()
+            .filter(|g| g.len() >= 2)
+            .collect();
+
+        let has_edge: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &(a, b, _) in &edges {
+                v[a as usize] = true;
+                v[b as usize] = true;
+            }
+            v
+        };
+        let isolated: Vec<u32> = (0..children).filter(|&c| !has_edge[c as usize]).collect();
+
+        Ok(Sociogram {
+            children,
+            edges,
+            groups,
+            isolated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds sightings for deterministic room assignments:
+    /// `rooms[slot][area]` = children present.
+    fn sightings_from(rooms: &[Vec<Vec<u32>>]) -> Vec<Sighting> {
+        let mut out = Vec::new();
+        for (slot, areas) in rooms.iter().enumerate() {
+            for (area, kids) in areas.iter().enumerate() {
+                for &child in kids {
+                    out.push(Sighting {
+                        slot: slot as u32,
+                        area: area as u32,
+                        child,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn inseparable_pair_detected() {
+        // 0 and 1 always together; 2 and 3 wander separately.
+        let rooms: Vec<Vec<Vec<u32>>> = (0..12)
+            .map(|slot: u32| {
+                let mut areas = vec![Vec::new(); 4];
+                areas[(slot % 4) as usize].extend([0, 1]);
+                areas[((slot + 1) % 4) as usize].push(2);
+                areas[((slot + 2) % 4) as usize].push(3);
+                areas
+            })
+            .collect();
+        let sociogram = SociogramBuilder::new(2.0)
+            .unwrap()
+            .build(&sightings_from(&rooms))
+            .unwrap();
+        assert!(sociogram.are_friends(0, 1));
+        assert!(!sociogram.are_friends(0, 2));
+        assert!(sociogram.isolated().contains(&2));
+        assert!(sociogram.isolated().contains(&3));
+        assert_eq!(sociogram.groups(), &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn triangle_forms_one_group() {
+        let rooms: Vec<Vec<Vec<u32>>> = (0..12)
+            .map(|slot: u32| {
+                let mut areas = vec![Vec::new(); 4];
+                areas[(slot % 4) as usize].extend([0, 1, 2]);
+                areas[((slot + 2) % 4) as usize].push(3);
+                areas
+            })
+            .collect();
+        let sociogram = SociogramBuilder::new(2.0)
+            .unwrap()
+            .build(&sightings_from(&rooms))
+            .unwrap();
+        assert_eq!(sociogram.groups().len(), 1);
+        assert_eq!(sociogram.groups()[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rand_index_perfect_and_imperfect() {
+        let rooms: Vec<Vec<Vec<u32>>> = (0..12)
+            .map(|slot: u32| {
+                let mut areas = vec![Vec::new(); 4];
+                areas[(slot % 4) as usize].extend([0, 1]);
+                areas[((slot + 2) % 4) as usize].extend([2, 3]);
+                areas
+            })
+            .collect();
+        let sociogram = SociogramBuilder::new(2.0)
+            .unwrap()
+            .build(&sightings_from(&rooms))
+            .unwrap();
+        let truth_right = vec![vec![0, 1], vec![2, 3]];
+        let truth_wrong = vec![vec![0, 2], vec![1, 3]];
+        assert_eq!(sociogram.rand_index(&truth_right), 1.0);
+        assert!(sociogram.rand_index(&truth_wrong) < 1.0);
+    }
+
+    #[test]
+    fn sparse_coincidence_is_not_friendship() {
+        // 0 and 1 meet only twice in 20 slots — below the ≥3 evidence
+        // floor.
+        let rooms: Vec<Vec<Vec<u32>>> = (0..20)
+            .map(|slot: u32| {
+                let mut areas = vec![Vec::new(); 2];
+                if slot < 2 {
+                    areas[0].extend([0, 1]);
+                } else {
+                    areas[0].push(0);
+                    areas[1].push(1);
+                }
+                areas
+            })
+            .collect();
+        let sociogram = SociogramBuilder::new(2.0)
+            .unwrap()
+            .build(&sightings_from(&rooms))
+            .unwrap();
+        assert!(!sociogram.are_friends(0, 1));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SociogramBuilder::new(1.0).is_err());
+        assert!(SociogramBuilder::new(f64::NAN).is_err());
+        let b = SociogramBuilder::new(2.0).unwrap();
+        assert!(b.build(&[]).is_err());
+    }
+}

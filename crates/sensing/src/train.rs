@@ -1,0 +1,501 @@
+//! Car-level positioning and congestion estimation (ref \[65\]).
+//!
+//! The method of the paper's UbiComp 2014 system, reproduced:
+//!
+//! 1. **Positioning.** Inter-car doors attenuate Bluetooth strongly, so
+//!    the RSSI from a user to reference nodes of known car is informative
+//!    about the user's car. A likelihood function per *car-hop distance*
+//!    (same car, one car away, …) is learned from calibration data —
+//!    including the probability that a measurement is missing entirely —
+//!    and each user's car is the maximum-posterior car. The paper reports
+//!    83 % car-level accuracy.
+//! 2. **Congestion.** Each user computes features of its (estimated) car
+//!    — how many participating users it sees there and how attenuated the
+//!    intra-car links are — and votes for a congestion level under
+//!    learned per-level likelihoods. Votes are weighted by positioning
+//!    reliability (the posterior mass of the chosen car); the paper
+//!    reports a three-level F-measure of 0.82. Unweighted voting is kept
+//!    as the ablation.
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+
+/// Number of congestion levels (low / medium / high).
+pub const CONGESTION_LEVELS: usize = 3;
+
+/// The observable part of one ride: RSSI matrices plus reference-node
+/// placement. Ground truth lives in [`LabelledScene`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainObservation {
+    /// Number of cars.
+    pub cars: usize,
+    /// Car of each reference node.
+    pub reference_car: Vec<usize>,
+    /// RSSI from each user to each reference (dBm, `None` = not heard).
+    pub user_to_reference: Vec<Vec<Option<f64>>>,
+    /// Pairwise RSSI among users.
+    pub user_to_user: Vec<Vec<Option<f64>>>,
+}
+
+impl TrainObservation {
+    /// Number of participating users.
+    pub fn users(&self) -> usize {
+        self.user_to_reference.len()
+    }
+}
+
+/// A calibration scene: observation plus ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledScene {
+    /// The observable matrices.
+    pub observation: TrainObservation,
+    /// True car of each user.
+    pub user_car: Vec<usize>,
+    /// True congestion level (0 = low, 1 = medium, 2 = high) per car.
+    pub congestion: Vec<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HopModel {
+    mean_dbm: f64,
+    var: f64,
+    present_prob: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LevelModel {
+    /// Gaussian over (same-car user count, mean intra-car RSSI).
+    mean: [f64; 2],
+    var: [f64; 2],
+}
+
+/// One user's positioning result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionEstimate {
+    /// Maximum-posterior car.
+    pub car: usize,
+    /// Posterior mass of that car in `[0, 1]` — the voting weight.
+    pub reliability: f64,
+}
+
+/// The fitted estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionEstimator {
+    cars: usize,
+    hop_models: Vec<HopModel>,
+    level_models: Vec<Option<LevelModel>>,
+}
+
+impl CongestionEstimator {
+    /// Learns the likelihood functions from calibration scenes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scenes` is empty, scenes disagree on the car
+    /// count, or some car-hop distance never occurs in calibration.
+    pub fn fit(scenes: &[LabelledScene]) -> Result<Self> {
+        if scenes.is_empty() {
+            return Err(ConfigError::new("scenes", "must be non-empty"));
+        }
+        let cars = scenes[0].observation.cars;
+        if scenes.iter().any(|s| s.observation.cars != cars) {
+            return Err(ConfigError::new("scenes", "inconsistent car counts"));
+        }
+
+        // --- Positioning likelihoods per hop distance. ---
+        let mut present: Vec<Vec<f64>> = vec![Vec::new(); cars];
+        let mut missing: Vec<u64> = vec![0; cars];
+        for scene in scenes {
+            let obs = &scene.observation;
+            for (u, row) in obs.user_to_reference.iter().enumerate() {
+                let true_car = scene.user_car[u];
+                for (r, v) in row.iter().enumerate() {
+                    let hop = true_car.abs_diff(obs.reference_car[r]);
+                    match v {
+                        Some(rssi) => present[hop].push(*rssi),
+                        None => missing[hop] += 1,
+                    }
+                }
+            }
+        }
+        let mut hop_models = Vec::with_capacity(cars);
+        for hop in 0..cars {
+            let total = present[hop].len() as f64 + missing[hop] as f64;
+            if total == 0.0 {
+                return Err(ConfigError::new(
+                    "scenes",
+                    format!("hop distance {hop} never observed in calibration"),
+                ));
+            }
+            let (mean, var) = if present[hop].is_empty() {
+                // Everything at this hop was missing; keep a deep floor so
+                // an unexpected observation stays finite.
+                (-100.0, 25.0)
+            } else {
+                let n = present[hop].len() as f64;
+                let mean = present[hop].iter().sum::<f64>() / n;
+                let var = present[hop]
+                    .iter()
+                    .map(|v| (v - mean).powi(2))
+                    .sum::<f64>()
+                    / n;
+                (mean, var.max(1.0))
+            };
+            hop_models.push(HopModel {
+                mean_dbm: mean,
+                var,
+                present_prob: ((present[hop].len() as f64) / total).clamp(0.02, 0.98),
+            });
+        }
+
+        // --- Congestion likelihoods per level (user-level features from
+        // ground-truth cars). ---
+        let mut level_samples: Vec<Vec<[f64; 2]>> = vec![Vec::new(); CONGESTION_LEVELS];
+        for scene in scenes {
+            let obs = &scene.observation;
+            for u in 0..obs.users() {
+                let car = scene.user_car[u];
+                let level = scene.congestion[car];
+                if let Some(f) = user_features(obs, u, car, &scene.user_car) {
+                    level_samples[level].push(f);
+                }
+            }
+        }
+        let level_models = level_samples
+            .iter()
+            .map(|samples| {
+                if samples.is_empty() {
+                    return None;
+                }
+                let n = samples.len() as f64;
+                let mut mean = [0.0; 2];
+                for s in samples {
+                    mean[0] += s[0] / n;
+                    mean[1] += s[1] / n;
+                }
+                let mut var = [0.0; 2];
+                for s in samples {
+                    var[0] += (s[0] - mean[0]).powi(2) / n;
+                    var[1] += (s[1] - mean[1]).powi(2) / n;
+                }
+                Some(LevelModel {
+                    mean,
+                    var: [var[0].max(0.5), var[1].max(0.5)],
+                })
+            })
+            .collect();
+
+        Ok(Self {
+            cars,
+            hop_models,
+            level_models,
+        })
+    }
+
+    /// Number of cars the model was calibrated for.
+    pub fn cars(&self) -> usize {
+        self.cars
+    }
+
+    /// Car-level position estimates for every user in an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's car count differs from calibration.
+    pub fn estimate_positions(&self, obs: &TrainObservation) -> Vec<PositionEstimate> {
+        assert_eq!(obs.cars, self.cars, "car count mismatch");
+        (0..obs.users())
+            .map(|u| {
+                let mut log_post = vec![0.0f64; self.cars];
+                for (car, lp) in log_post.iter_mut().enumerate() {
+                    for (r, v) in obs.user_to_reference[u].iter().enumerate() {
+                        let hop = car.abs_diff(obs.reference_car[r]);
+                        let m = &self.hop_models[hop];
+                        *lp += match v {
+                            Some(rssi) => {
+                                m.present_prob.ln()
+                                    - 0.5 * ((rssi - m.mean_dbm).powi(2) / m.var + m.var.ln())
+                            }
+                            None => (1.0 - m.present_prob).ln(),
+                        };
+                    }
+                }
+                // Normalize with log-sum-exp.
+                let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let z: f64 = log_post.iter().map(|lp| (lp - max).exp()).sum();
+                let (car, &best) = log_post
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .expect("at least one car");
+                PositionEstimate {
+                    car,
+                    reliability: ((best - max).exp() / z).clamp(0.0, 1.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-car congestion estimates (0 = low … 2 = high) from weighted
+    /// majority voting over users. `weighted = false` gives the
+    /// unweighted ablation. Cars with no assigned users default to
+    /// level 0.
+    pub fn estimate_congestion(
+        &self,
+        obs: &TrainObservation,
+        positions: &[PositionEstimate],
+        weighted: bool,
+    ) -> Vec<usize> {
+        assert_eq!(positions.len(), obs.users(), "positions per user");
+        let estimated_cars: Vec<usize> = positions.iter().map(|p| p.car).collect();
+        let mut votes = vec![[0.0f64; CONGESTION_LEVELS]; self.cars];
+        for (u, pos) in positions.iter().enumerate() {
+            let Some(f) = user_features(obs, u, pos.car, &estimated_cars) else {
+                continue;
+            };
+            // The user votes for its maximum-likelihood level.
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (level, model) in self.level_models.iter().enumerate() {
+                let Some(m) = model else { continue };
+                let mut ll = 0.0;
+                for d in 0..2 {
+                    ll += -0.5 * ((f[d] - m.mean[d]).powi(2) / m.var[d] + m.var[d].ln());
+                }
+                if ll > best.1 {
+                    best = (level, ll);
+                }
+            }
+            let weight = if weighted { pos.reliability } else { 1.0 };
+            votes[pos.car][best.0] += weight;
+        }
+        votes
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("levels exist")
+            })
+            .collect()
+    }
+}
+
+/// User-level congestion features: (number of *other* users in the same
+/// car, mean RSSI to them). `None` when the user is alone in the car.
+fn user_features(
+    obs: &TrainObservation,
+    user: usize,
+    car: usize,
+    user_cars: &[usize],
+) -> Option<[f64; 2]> {
+    let mut count = 0usize;
+    let mut rssi_sum = 0.0;
+    let mut rssi_n = 0usize;
+    for v in 0..obs.users() {
+        if v == user || user_cars[v] != car {
+            continue;
+        }
+        count += 1;
+        if let Some(r) = obs.user_to_user[user][v] {
+            rssi_sum += r;
+            rssi_n += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let mean_rssi = if rssi_n > 0 {
+        rssi_sum / rssi_n as f64
+    } else {
+        -95.0
+    };
+    Some([count as f64, mean_rssi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::rng::SeedRng;
+
+    /// Hand-built synthetic scenes: 3 cars, RSSI means −55/−75/−92 dBm at
+    /// hops 0/1/2, congestion encoded in user counts and intra-car RSSI.
+    fn synth_scene(rng: &mut SeedRng, congestion: [usize; 3]) -> LabelledScene {
+        let cars = 3;
+        let reference_car = vec![0, 0, 1, 1, 2, 2];
+        let users_per_level = [3usize, 7, 12];
+        let mut user_car = Vec::new();
+        for (car, &level) in congestion.iter().enumerate() {
+            for _ in 0..users_per_level[level] {
+                user_car.push(car);
+            }
+        }
+        let hop_mean = [-55.0, -75.0, -92.0];
+        let crowd_penalty = |level: usize| level as f64 * 4.0;
+        let user_to_reference: Vec<Vec<Option<f64>>> = user_car
+            .iter()
+            .map(|&uc| {
+                reference_car
+                    .iter()
+                    .map(|&rc| {
+                        let hop = uc.abs_diff(rc);
+                        let v = hop_mean[hop] + rng.normal_with(0.0, 3.0);
+                        (v > -95.0).then_some(v)
+                    })
+                    .collect()
+            })
+            .collect();
+        let n = user_car.len();
+        let mut user_to_user = vec![vec![None; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let hop = user_car[i].abs_diff(user_car[j]);
+                let level = congestion[user_car[i]];
+                let mut v = hop_mean[hop] + rng.normal_with(0.0, 3.0);
+                if hop == 0 {
+                    v -= crowd_penalty(level);
+                }
+                let v = (v > -95.0).then_some(v);
+                user_to_user[i][j] = v;
+                user_to_user[j][i] = v;
+            }
+        }
+        LabelledScene {
+            observation: TrainObservation {
+                cars,
+                reference_car,
+                user_to_reference,
+                user_to_user,
+            },
+            user_car,
+            congestion: congestion.to_vec(),
+        }
+    }
+
+    fn training_set(rng: &mut SeedRng, n: usize) -> Vec<LabelledScene> {
+        (0..n)
+            .map(|_| {
+                let mut levels = [0usize; 3];
+                for l in &mut levels {
+                    *l = rng.below(3);
+                }
+                synth_scene(rng, levels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_requires_scenes() {
+        assert!(CongestionEstimator::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn positioning_beats_guessing_strongly() {
+        let mut rng = SeedRng::new(1);
+        let train = training_set(&mut rng, 30);
+        let est = CongestionEstimator::fit(&train).unwrap();
+        let test = training_set(&mut rng, 10);
+        let mut correct = 0;
+        let mut total = 0;
+        for scene in &test {
+            let positions = est.estimate_positions(&scene.observation);
+            for (p, &truth) in positions.iter().zip(&scene.user_car) {
+                if p.car == truth {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.7, "acc={acc}");
+    }
+
+    #[test]
+    fn reliability_is_a_probability() {
+        let mut rng = SeedRng::new(2);
+        let train = training_set(&mut rng, 20);
+        let est = CongestionEstimator::fit(&train).unwrap();
+        let scene = synth_scene(&mut rng, [0, 1, 2]);
+        for p in est.estimate_positions(&scene.observation) {
+            assert!((0.0..=1.0).contains(&p.reliability));
+        }
+    }
+
+    #[test]
+    fn congestion_estimation_recovers_levels() {
+        let mut rng = SeedRng::new(3);
+        let train = training_set(&mut rng, 40);
+        let est = CongestionEstimator::fit(&train).unwrap();
+        let mut correct = 0;
+        let mut total = 0;
+        for _ in 0..10 {
+            let mut levels = [0usize; 3];
+            for l in &mut levels {
+                *l = rng.below(3);
+            }
+            let scene = synth_scene(&mut rng, levels);
+            let positions = est.estimate_positions(&scene.observation);
+            let congestion = est.estimate_congestion(&scene.observation, &positions, true);
+            for (e, t) in congestion.iter().zip(&scene.congestion) {
+                if e == t {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.6, "acc={acc}");
+    }
+
+    #[test]
+    fn weighted_voting_at_least_matches_unweighted() {
+        let mut rng = SeedRng::new(4);
+        let train = training_set(&mut rng, 40);
+        let est = CongestionEstimator::fit(&train).unwrap();
+        let mut weighted_ok = 0;
+        let mut unweighted_ok = 0;
+        for _ in 0..30 {
+            let mut levels = [0usize; 3];
+            for l in &mut levels {
+                *l = rng.below(3);
+            }
+            let scene = synth_scene(&mut rng, levels);
+            let positions = est.estimate_positions(&scene.observation);
+            let w = est.estimate_congestion(&scene.observation, &positions, true);
+            let u = est.estimate_congestion(&scene.observation, &positions, false);
+            weighted_ok += w
+                .iter()
+                .zip(&scene.congestion)
+                .filter(|(a, b)| a == b)
+                .count();
+            unweighted_ok += u
+                .iter()
+                .zip(&scene.congestion)
+                .filter(|(a, b)| a == b)
+                .count();
+        }
+        assert!(
+            weighted_ok as f64 >= unweighted_ok as f64 * 0.95,
+            "weighted={weighted_ok} unweighted={unweighted_ok}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_car_counts_rejected() {
+        let mut rng = SeedRng::new(5);
+        let mut scenes = training_set(&mut rng, 2);
+        scenes[1].observation.cars = 4;
+        assert!(CongestionEstimator::fit(&scenes).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn observation_car_count_mismatch_panics() {
+        let mut rng = SeedRng::new(6);
+        let train = training_set(&mut rng, 5);
+        let est = CongestionEstimator::fit(&train).unwrap();
+        let mut scene = synth_scene(&mut rng, [0, 1, 2]);
+        scene.observation.cars = 7;
+        let _ = est.estimate_positions(&scene.observation);
+    }
+}

@@ -1,0 +1,340 @@
+//! Trajectory tracking and intruder classification from IR frames.
+//!
+//! The paper's scenario (iii): "grasping the movement trajectory of
+//! people and detecting intrusion of wild animals" — here as a
+//! lightweight per-frame blob tracker (thresholded centroid + extent)
+//! feeding a rule-based classifier, the kind of computation a handful of
+//! film-sensor microcontrollers can actually afford (no CNN required for
+//! this task).
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_nn::tensor::Tensor;
+
+/// One frame's detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Intensity-weighted horizontal centroid (cells).
+    pub x: f64,
+    /// Intensity-weighted vertical centroid (cells, 0 = top row).
+    pub y: f64,
+    /// Highest activated point above the floor (cells).
+    pub height: f64,
+    /// Total activated intensity.
+    pub mass: f64,
+}
+
+/// A tracked crossing: detections per frame plus derived kinematics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Per-frame detections (`None` = nothing above threshold).
+    pub detections: Vec<Option<Detection>>,
+}
+
+impl Trajectory {
+    /// Frames with a detection.
+    pub fn present_frames(&self) -> usize {
+        self.detections.iter().flatten().count()
+    }
+
+    /// Mean horizontal speed in cells/frame over the detected span,
+    /// `None` with fewer than two detections.
+    pub fn speed(&self) -> Option<f64> {
+        let pts: Vec<(usize, f64)> = self
+            .detections
+            .iter()
+            .enumerate()
+            .filter_map(|(f, d)| d.map(|d| (f, d.x)))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let (f0, x0) = pts[0];
+        let (f1, x1) = pts[pts.len() - 1];
+        if f1 == f0 {
+            return None;
+        }
+        Some((x1 - x0).abs() / (f1 - f0) as f64)
+    }
+
+    /// Crossing direction: positive = left→right, `None` with fewer
+    /// than two detections.
+    pub fn direction(&self) -> Option<f64> {
+        let pts: Vec<f64> = self
+            .detections
+            .iter()
+            .flatten()
+            .map(|d| d.x)
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        Some((pts[pts.len() - 1] - pts[0]).signum())
+    }
+
+    /// Mean blob height over detected frames, `None` when never
+    /// detected.
+    pub fn mean_height(&self) -> Option<f64> {
+        let hs: Vec<f64> = self
+            .detections
+            .iter()
+            .flatten()
+            .map(|d| d.height)
+            .collect();
+        if hs.is_empty() {
+            None
+        } else {
+            Some(hs.iter().sum::<f64>() / hs.len() as f64)
+        }
+    }
+}
+
+/// Classification output of the perimeter monitor (label order matches
+/// `zeiot_data::intruder::IntruderClass`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntruderVerdict {
+    /// Nothing crossed.
+    Empty,
+    /// A person crossed.
+    Human,
+    /// An animal crossed.
+    Animal,
+}
+
+impl IntruderVerdict {
+    /// Dense label (0 = empty, 1 = human, 2 = animal).
+    pub fn label(self) -> usize {
+        match self {
+            IntruderVerdict::Empty => 0,
+            IntruderVerdict::Human => 1,
+            IntruderVerdict::Animal => 2,
+        }
+    }
+}
+
+/// Per-frame blob tracker + intruder classifier.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sensing::trajectory::BlobTracker;
+/// use zeiot_nn::tensor::Tensor;
+///
+/// let tracker = BlobTracker::new(0.4, 2.0, 4.0).unwrap();
+/// let empty = Tensor::zeros(vec![6, 8, 10]);
+/// let t = tracker.track(&empty);
+/// assert_eq!(t.present_frames(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlobTracker {
+    /// Activation threshold for a cell to count.
+    intensity_threshold: f64,
+    /// Minimum total mass for a frame to count as a detection.
+    min_mass: f64,
+    /// Blob height (cells above floor) separating animals from humans.
+    height_split: f64,
+}
+
+impl BlobTracker {
+    /// Creates a tracker.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is not strictly positive.
+    pub fn new(intensity_threshold: f64, min_mass: f64, height_split: f64) -> Result<Self> {
+        for (name, v) in [
+            ("intensity_threshold", intensity_threshold),
+            ("min_mass", min_mass),
+            ("height_split", height_split),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ConfigError::new(name, "must be positive"));
+            }
+        }
+        Ok(Self {
+            intensity_threshold,
+            min_mass,
+            height_split,
+        })
+    }
+
+    /// A profile tuned for the perimeter array.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature matches
+    /// [`BlobTracker::new`].
+    pub fn perimeter() -> Result<Self> {
+        Self::new(0.45, 2.5, 4.0)
+    }
+
+    /// Detects the blob in one `[rows, cols]` frame slice.
+    fn detect(&self, frame: &[f32], rows: usize, cols: usize) -> Option<Detection> {
+        let mut mass = 0.0f64;
+        let mut mx = 0.0f64;
+        let mut my = 0.0f64;
+        let mut height = 0.0f64;
+        for y in 0..rows {
+            for x in 0..cols {
+                let v = frame[y * cols + x] as f64;
+                if v >= self.intensity_threshold {
+                    mass += v;
+                    mx += v * x as f64;
+                    my += v * y as f64;
+                    height = height.max((rows - 1 - y) as f64);
+                }
+            }
+        }
+        if mass < self.min_mass {
+            return None;
+        }
+        Some(Detection {
+            x: mx / mass,
+            y: my / mass,
+            height,
+            mass,
+        })
+    }
+
+    /// Tracks across a `[frames, rows, cols]` window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not rank 3.
+    pub fn track(&self, window: &Tensor) -> Trajectory {
+        let shape = window.shape();
+        assert_eq!(shape.len(), 3, "window must be [frames, rows, cols]");
+        let (frames, rows, cols) = (shape[0], shape[1], shape[2]);
+        let detections = (0..frames)
+            .map(|f| {
+                let slice = &window.data()[f * rows * cols..(f + 1) * rows * cols];
+                self.detect(slice, rows, cols)
+            })
+            .collect();
+        Trajectory { detections }
+    }
+
+    /// Classifies a window: empty if too few detections, otherwise
+    /// human/animal by mean blob height.
+    pub fn classify(&self, window: &Tensor) -> IntruderVerdict {
+        let trajectory = self.track(window);
+        if trajectory.present_frames() < 3 {
+            return IntruderVerdict::Empty;
+        }
+        match trajectory.mean_height() {
+            Some(h) if h >= self.height_split => IntruderVerdict::Human,
+            Some(_) => IntruderVerdict::Animal,
+            None => IntruderVerdict::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::rng::SeedRng;
+    use zeiot_data::intruder::{IntruderClass, IntruderGenerator};
+    use zeiot_nn::eval::ConfusionMatrix;
+
+    #[test]
+    fn empty_windows_classified_empty() {
+        let gen = IntruderGenerator::perimeter_array().unwrap();
+        let tracker = BlobTracker::perimeter().unwrap();
+        let mut rng = SeedRng::new(1);
+        let mut correct = 0;
+        for _ in 0..20 {
+            let s = gen.sample(IntruderClass::Empty, &mut rng);
+            if tracker.classify(&s.window) == IntruderVerdict::Empty {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 18, "correct={correct}");
+    }
+
+    #[test]
+    fn three_way_classification_accuracy() {
+        let gen = IntruderGenerator::perimeter_array().unwrap();
+        let tracker = BlobTracker::perimeter().unwrap();
+        let mut rng = SeedRng::new(2);
+        let mut cm = ConfusionMatrix::new(3);
+        for s in gen.generate(150, &mut rng) {
+            cm.record(s.class.label(), tracker.classify(&s.window).label());
+        }
+        assert!(cm.accuracy() > 0.85, "acc={}\n{cm}", cm.accuracy());
+    }
+
+    #[test]
+    fn tracked_positions_follow_ground_truth() {
+        let gen = IntruderGenerator::perimeter_array().unwrap();
+        let tracker = BlobTracker::perimeter().unwrap();
+        let mut rng = SeedRng::new(3);
+        let mut total_err = 0.0;
+        let mut n = 0.0;
+        for _ in 0..20 {
+            let s = gen.sample(IntruderClass::Human, &mut rng);
+            let t = tracker.track(&s.window);
+            for (truth, det) in s.trajectory.iter().zip(&t.detections) {
+                if let (Some(tx), Some(d)) = (truth, det) {
+                    // Only compare when the target is well inside the array.
+                    if *tx > 1.0 && *tx < 8.0 {
+                        total_err += (tx - d.x).abs();
+                        n += 1.0;
+                    }
+                }
+            }
+        }
+        let mae = total_err / n;
+        assert!(mae < 1.0, "trajectory MAE {mae} cells");
+    }
+
+    #[test]
+    fn speed_separates_humans_from_animals() {
+        let gen = IntruderGenerator::perimeter_array().unwrap();
+        let tracker = BlobTracker::perimeter().unwrap();
+        let mut rng = SeedRng::new(4);
+        let mean_speed = |class: IntruderClass, rng: &mut SeedRng| -> f64 {
+            let mut total = 0.0f64;
+            let mut n = 0.0f64;
+            for _ in 0..25 {
+                let s = gen.sample(class, rng);
+                if let Some(v) = tracker.track(&s.window).speed() {
+                    total += v;
+                    n += 1.0;
+                }
+            }
+            total / n.max(1.0)
+        };
+        let human = mean_speed(IntruderClass::Human, &mut rng);
+        let animal = mean_speed(IntruderClass::Animal, &mut rng);
+        assert!(animal > human, "animal={animal} human={human}");
+    }
+
+    #[test]
+    fn direction_is_detected() {
+        let gen = IntruderGenerator::perimeter_array().unwrap();
+        let tracker = BlobTracker::perimeter().unwrap();
+        let mut rng = SeedRng::new(5);
+        let mut directed = 0;
+        for _ in 0..20 {
+            let s = gen.sample(IntruderClass::Human, &mut rng);
+            if tracker.track(&s.window).direction().is_some() {
+                directed += 1;
+            }
+        }
+        assert!(directed >= 18, "directed={directed}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BlobTracker::new(0.0, 1.0, 4.0).is_err());
+        assert!(BlobTracker::new(0.5, 0.0, 4.0).is_err());
+        assert!(BlobTracker::new(0.5, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_rank_panics() {
+        let tracker = BlobTracker::perimeter().unwrap();
+        let _ = tracker.track(&zeiot_nn::tensor::Tensor::zeros(vec![8, 10]));
+    }
+}

@@ -1,0 +1,402 @@
+//! Measurement instruments for simulation experiments.
+//!
+//! Every experiment harness in the workspace reports through these types:
+//! monotonically increasing [`Counter`]s, streaming [`Histogram`]s with
+//! quantile queries, timestamped [`TimeSeries`], and a string-keyed
+//! [`MetricSet`] bundling them per run.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use zeiot_core::time::SimTime;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sim::metrics::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.increment();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds one.
+    pub fn increment(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A streaming histogram over `f64` samples with exact quantiles.
+///
+/// Stores all samples (experiments here are small enough that exactness
+/// beats the memory savings of a sketch). Quantile queries sort lazily and
+/// cache the sorted order until the next insertion.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sim::metrics::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] { h.record(v); }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.mean(), Some(2.5));
+/// assert_eq!(h.quantile(0.5), Some(2.0)); // nearest-rank
+/// assert_eq!(h.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN; NaN samples would poison every quantile.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// The `q`-quantile by the nearest-rank method (`q` in `[0, 1]`), or
+    /// `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded at record"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// All recorded samples in insertion or sorted order (unspecified).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A timestamped sequence of measurements.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sim::metrics::TimeSeries;
+/// use zeiot_core::time::SimTime;
+/// let mut ts = TimeSeries::new();
+/// ts.record(SimTime::from_secs(1), 0.5);
+/// ts.record(SimTime::from_secs(2), 0.7);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.last(), Some((SimTime::from_secs(2), 0.7)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded point; series are
+    /// append-only in time order.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(time >= last, "time series must be recorded in order");
+        }
+        self.points.push((time, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent point.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// All points in time order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Time-weighted average of the series over its recorded span, treating
+    /// each value as holding until the next timestamp. `None` with fewer
+    /// than two points.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for pair in self.points.windows(2) {
+            let (t0, v) = pair[0];
+            let (t1, _) = pair[1];
+            let dt = (t1 - t0).as_secs_f64();
+            weighted += v * dt;
+            total += dt;
+        }
+        if total > 0.0 {
+            Some(weighted / total)
+        } else {
+            None
+        }
+    }
+}
+
+/// A named bundle of counters, histograms and series for one experiment run.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_sim::metrics::MetricSet;
+/// let mut m = MetricSet::new();
+/// m.counter("packets_sent").add(10);
+/// m.histogram("latency_ms").record(1.25);
+/// assert_eq!(m.counter("packets_sent").value(), 10);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricSet {
+    /// Creates an empty metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first access.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// The histogram named `name`, created empty on first access.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// The time series named `name`, created empty on first access.
+    pub fn time_series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only view of a counter, if it exists.
+    pub fn get_counter(&self, name: &str) -> Option<Counter> {
+        self.counters.get(name).copied()
+    }
+
+    /// Read-only view of a histogram, if it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Read-only view of a series, if it exists.
+    pub fn get_time_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all counters, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.increment();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(5.0));
+        assert_eq!(h.std_dev(), Some(2.0));
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(9.0));
+        assert_eq!(h.sum(), 40.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn histogram_quantile_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        h.record(10.0); // invalidates cached sort
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn time_series_append_and_query() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(10), 3.0);
+        ts.record(SimTime::from_secs(20), 3.0);
+        assert_eq!(ts.len(), 3);
+        // 1.0 holds for 10 s, 3.0 holds for 10 s.
+        assert_eq!(ts.time_weighted_mean(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(5), 1.0);
+        ts.record(SimTime::from_secs(4), 2.0);
+    }
+
+    #[test]
+    fn metric_set_creates_on_first_access() {
+        let mut m = MetricSet::new();
+        m.counter("a").increment();
+        m.histogram("h").record(1.0);
+        m.time_series("t").record(SimTime::ZERO, 0.0);
+        assert_eq!(m.get_counter("a").unwrap().value(), 1);
+        assert_eq!(m.get_histogram("h").unwrap().len(), 1);
+        assert_eq!(m.get_time_series("t").unwrap().len(), 1);
+        assert!(m.get_counter("missing").is_none());
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["a"]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Perimeter watch — the paper's scenario (iii): "grasping the movement
+//! trajectory of people and detecting intrusion of wild animals".
+//!
+//! A fence-mounted IR film-sensor array streams 12-frame windows; the
+//! blob tracker recovers each crossing's trajectory, speed and height,
+//! and classifies empty / human / animal.
+//!
+//! Run with: `cargo run --release --example perimeter_watch`
+
+use zeiot::core::rng::SeedRng;
+use zeiot::data::intruder::{IntruderClass, IntruderGenerator};
+use zeiot::nn::eval::ConfusionMatrix;
+use zeiot::sensing::trajectory::BlobTracker;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SeedRng::new(44);
+    let generator = IntruderGenerator::perimeter_array()?;
+    let tracker = BlobTracker::perimeter()?;
+
+    // A night of windows.
+    let windows = generator.generate(300, &mut rng);
+    let mut cm = ConfusionMatrix::new(3);
+    let mut human_speeds = Vec::new();
+    let mut animal_speeds = Vec::new();
+    for sample in &windows {
+        let verdict = tracker.classify(&sample.window);
+        cm.record(sample.class.label(), verdict.label());
+        if let Some(speed) = tracker.track(&sample.window).speed() {
+            match sample.class {
+                IntruderClass::Human => human_speeds.push(speed),
+                IntruderClass::Animal => animal_speeds.push(speed),
+                IntruderClass::Empty => {}
+            }
+        }
+    }
+
+    println!("classified {} windows", windows.len());
+    println!("{cm}");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "mean crossing speed: humans {:.2} cells/frame, animals {:.2} cells/frame",
+        mean(&human_speeds),
+        mean(&animal_speeds)
+    );
+
+    // One annotated crossing in detail.
+    let sample = generator.sample(IntruderClass::Animal, &mut rng);
+    let trajectory = tracker.track(&sample.window);
+    println!("\none animal crossing, frame by frame:");
+    for (f, det) in trajectory.detections.iter().enumerate() {
+        match det {
+            Some(d) => println!(
+                "  frame {f:2}: x={:.1} height={:.0} cells mass={:.1}",
+                d.x, d.height, d.mass
+            ),
+            None => println!("  frame {f:2}: —"),
+        }
+    }
+    println!(
+        "direction: {}, speed {:.2} cells/frame",
+        match trajectory.direction() {
+            Some(d) if d > 0.0 => "left→right",
+            Some(_) => "right→left",
+            None => "unknown",
+        },
+        trajectory.speed().unwrap_or(0.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Integration: the three wireless-sensing estimators against their
+//! synthetic scenes, end to end.
+
+use zeiot::core::geometry::Point2;
+use zeiot::core::rng::SeedRng;
+use zeiot::data::csi::{CsiGenerator, CsiPattern};
+use zeiot::data::train::TrainSceneGenerator;
+use zeiot::net::rssi::RssiSampler;
+use zeiot::net::Topology;
+use zeiot::sensing::counting::{CountingFeatures, PeopleCounter};
+use zeiot::sensing::csi::CsiLocalizer;
+use zeiot::sensing::train::{CongestionEstimator, LabelledScene, TrainObservation};
+
+fn to_labelled(scene: &zeiot::data::train::TrainScene) -> LabelledScene {
+    LabelledScene {
+        observation: TrainObservation {
+            cars: scene.cars(),
+            reference_car: scene.reference_car.clone(),
+            user_to_reference: scene.user_to_reference.clone(),
+            user_to_user: scene.user_to_user.clone(),
+        },
+        user_car: scene.user_car.clone(),
+        congestion: scene.congestion.iter().map(|c| c.index()).collect(),
+    }
+}
+
+#[test]
+fn train_estimator_generalizes_across_rides() {
+    let generator = TrainSceneGenerator::paper_train().unwrap();
+    let mut rng = SeedRng::new(8);
+    let train: Vec<LabelledScene> = (0..25)
+        .map(|_| to_labelled(&generator.scene(&mut rng)))
+        .collect();
+    let estimator = CongestionEstimator::fit(&train).unwrap();
+
+    let mut pos_ok = 0usize;
+    let mut pos_all = 0usize;
+    let mut lvl_ok = 0usize;
+    let mut lvl_all = 0usize;
+    for _ in 0..8 {
+        let scene = to_labelled(&generator.scene(&mut rng));
+        let positions = estimator.estimate_positions(&scene.observation);
+        for (p, &t) in positions.iter().zip(&scene.user_car) {
+            pos_ok += usize::from(p.car == t);
+            pos_all += 1;
+        }
+        let congestion = estimator.estimate_congestion(&scene.observation, &positions, true);
+        for (e, t) in congestion.iter().zip(&scene.congestion) {
+            lvl_ok += usize::from(e == t);
+            lvl_all += 1;
+        }
+    }
+    let pos_acc = pos_ok as f64 / pos_all as f64;
+    let lvl_acc = lvl_ok as f64 / lvl_all as f64;
+    assert!(pos_acc > 0.7, "positioning {pos_acc}");
+    assert!(lvl_acc > 0.6, "congestion {lvl_acc}");
+}
+
+#[test]
+fn people_counter_tracks_occupancy_from_the_mesh() {
+    let topo = Topology::grid(4, 4, 3.0, 4.5).unwrap();
+    let sampler = RssiSampler::ieee802154(topo)
+        .unwrap()
+        .with_noise_sigma(1.0)
+        .unwrap();
+    let mut rng = SeedRng::new(9);
+
+    let round = |count: usize, rng: &mut SeedRng| {
+        let people: Vec<Point2> = (0..count)
+            .map(|_| Point2::new(rng.uniform_range(0.0, 9.0), rng.uniform_range(0.0, 9.0)))
+            .collect();
+        let inter = sampler.inter_node_rssi(&people, rng);
+        let surrounding = sampler.surrounding_rssi(&people, 0.9, rng);
+        CountingFeatures::extract(&inter, &surrounding).unwrap()
+    };
+
+    let mut training = Vec::new();
+    for count in 0..=6usize {
+        for _ in 0..25 {
+            training.push((round(count, &mut rng), count));
+        }
+    }
+    let counter = PeopleCounter::fit(&training).unwrap();
+
+    let mut exact = 0;
+    let mut within2 = 0;
+    let n = 70;
+    for i in 0..n {
+        let truth = i % 7;
+        let est = counter.predict(&round(truth, &mut rng));
+        exact += usize::from(est == truth);
+        within2 += usize::from(est.abs_diff(truth) <= 2);
+    }
+    assert!(exact as f64 / n as f64 > 0.4, "exact={exact}/{n}");
+    assert!(within2 as f64 / n as f64 > 0.9, "within2={within2}/{n}");
+}
+
+#[test]
+fn csi_localizer_best_pattern_beats_worst() {
+    let gen = CsiGenerator::new(11).unwrap();
+    let mut rng = SeedRng::new(10);
+    let acc_of = |pattern: CsiPattern, rng: &mut SeedRng| {
+        let (train, test) = gen.split(pattern, 20, 8, rng);
+        let pairs = |v: Vec<zeiot::data::csi::CsiSample>| {
+            v.into_iter()
+                .map(|s| (s.features, s.position))
+                .collect::<Vec<_>>()
+        };
+        CsiLocalizer::fit(&pairs(train), 5)
+            .unwrap()
+            .evaluate(&pairs(test))
+            .accuracy()
+    };
+    let all = CsiPattern::all();
+    let best = acc_of(all[4], &mut rng); // walking + divergent
+    let worst = acc_of(all[0], &mut rng); // stationary + aligned
+    assert!(best > 0.85, "best={best}");
+    assert!(best > worst, "best={best} worst={worst}");
+}
+
+#[test]
+fn estimators_are_deterministic_given_seeds() {
+    let generator = TrainSceneGenerator::paper_train().unwrap();
+    let run = || {
+        let mut rng = SeedRng::new(12);
+        let train: Vec<LabelledScene> = (0..10)
+            .map(|_| to_labelled(&generator.scene(&mut rng)))
+            .collect();
+        let estimator = CongestionEstimator::fit(&train).unwrap();
+        let scene = to_labelled(&generator.scene(&mut rng));
+        estimator
+            .estimate_positions(&scene.observation)
+            .iter()
+            .map(|p| p.car)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
