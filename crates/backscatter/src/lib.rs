@@ -41,6 +41,6 @@ pub mod mac;
 pub mod phy;
 pub mod registry;
 
-pub use mac::{MacConfig, MacMode, MacReport};
+pub use mac::{simulate_observed, MacConfig, MacMode, MacReport};
 pub use phy::BackscatterLink;
 pub use registry::{CycleRegistry, Registration};

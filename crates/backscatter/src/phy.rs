@@ -161,9 +161,7 @@ impl BackscatterLink {
     /// attenuates with distance.
     pub fn max_range_m(&self, exciter_to_tag_m: f64, target: f64, max_m: f64) -> Option<f64> {
         assert!((0.0..1.0).contains(&target), "target must be in [0,1)");
-        let ok = |d: f64| {
-            self.packet_success(exciter_to_tag_m, d, exciter_to_tag_m + d) >= target
-        };
+        let ok = |d: f64| self.packet_success(exciter_to_tag_m, d, exciter_to_tag_m + d) >= target;
         if !ok(0.5) {
             return None;
         }

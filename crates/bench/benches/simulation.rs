@@ -17,7 +17,10 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q = EventQueue::with_capacity(10_000);
             for i in 0..10_000u64 {
                 // Scatter times to exercise heap reordering.
-                q.push(SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
+                q.push(
+                    SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000),
+                    i,
+                );
             }
             let mut sum = 0u64;
             while let Some((_, v)) = q.pop() {
@@ -54,5 +57,10 @@ fn bench_flood_round(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_mac_second, bench_flood_round);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_mac_second,
+    bench_flood_round
+);
 criterion_main!(benches);

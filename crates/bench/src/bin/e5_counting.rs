@@ -1,12 +1,16 @@
 //! E5 harness: `cargo run --release -p zeiot-bench --bin e5_counting
 //! [--max_people N] [--train_rounds N] [--test_rounds N] [--seed N]
-//! [--json 1]`.
+//! [--json 1] [--jsonl PATH]`.
 
 use zeiot_bench::experiments::e5_counting::{run, Params};
-use zeiot_bench::parse_args;
+use zeiot_bench::{parse_args, take_string_flag};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jsonl = take_string_flag(&mut args, "jsonl").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let map = parse_args(
         &args,
         &["max_people", "train_rounds", "test_rounds", "seed", "json"],
@@ -29,6 +33,13 @@ fn main() {
         params.seed = v as u64;
     }
     let report = run(&params);
+    if let Some(path) = &jsonl {
+        zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+    }
     if map.get("json").copied().unwrap_or(0.0) != 0.0 {
         println!("{}", report.to_json());
     } else {

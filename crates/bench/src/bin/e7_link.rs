@@ -1,11 +1,15 @@
 //! E7 harness: `cargo run --release -p zeiot-bench --bin e7_link
-//! [--exciter_to_tag_m M] [--json 1]`.
+//! [--exciter_to_tag_m M] [--json 1] [--jsonl PATH]`.
 
 use zeiot_bench::experiments::e7_link::{run, Params};
-use zeiot_bench::parse_args;
+use zeiot_bench::{parse_args, take_string_flag};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jsonl = take_string_flag(&mut args, "jsonl").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let map = parse_args(&args, &["exciter_to_tag_m", "json"]).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -15,6 +19,13 @@ fn main() {
         params.exciter_to_tag_m = v;
     }
     let report = run(&params);
+    if let Some(path) = &jsonl {
+        zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+    }
     if map.get("json").copied().unwrap_or(0.0) != 0.0 {
         println!("{}", report.to_json());
     } else {

@@ -63,7 +63,10 @@ pub fn run(params: &Params) -> ExperimentReport {
     // --- 1. Assignment strategies. ---
     let strategies: [(&str, Assignment); 3] = [
         ("centralized", Assignment::centralized(&graph, &topo)),
-        ("grid-projection", Assignment::grid_projection(&graph, &topo)),
+        (
+            "grid-projection",
+            Assignment::grid_projection(&graph, &topo),
+        ),
         (
             "balanced-correspondence",
             Assignment::balanced_correspondence(&graph, &topo),
@@ -98,8 +101,7 @@ pub fn run(params: &Params) -> ExperimentReport {
         ("per-unit", WeightUpdate::PerUnit),
     ] {
         let mut train_rng = rng.split();
-        let mut net =
-            DistributedCnn::new(config, assignment.clone(), update, &mut train_rng);
+        let mut net = DistributedCnn::new(config, assignment.clone(), update, &mut train_rng);
         for _ in 0..params.epochs {
             net.train_epoch(train, 0.05, 16, &mut train_rng);
         }

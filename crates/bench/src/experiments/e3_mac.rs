@@ -9,9 +9,10 @@
 //! the qualitative claims of §IV.A.
 
 use crate::report::{ExperimentReport, Row};
-use zeiot_backscatter::mac::{simulate, MacConfig, MacMode};
+use zeiot_backscatter::mac::{simulate, simulate_observed, MacConfig, MacMode};
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
+use zeiot_obs::Recorder;
 
 /// Tunable experiment size.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,12 +61,32 @@ pub fn run(params: &Params) -> ExperimentReport {
     let mut bs_per_naive = Vec::new();
     let mut dummy_overhead = Vec::new();
 
+    // Instrument the largest sweep point (both modes into one recorder):
+    // grants and dummy frames come from the scheduled run, collisions
+    // from the naive one.
+    let max_devices = *params.device_counts.iter().max().expect("non-empty");
+    let mut recorder = Recorder::new();
+
     for &n in &params.device_counts {
         let config = MacConfig::default_with_devices(n).expect("valid config");
         let mut rng = SeedRng::new(params.seed);
-        let sched = simulate(&config, MacMode::Scheduled, duration, &mut rng);
+        let sched = if n == max_devices {
+            simulate_observed(
+                &config,
+                MacMode::Scheduled,
+                duration,
+                &mut rng,
+                &mut recorder,
+            )
+        } else {
+            simulate(&config, MacMode::Scheduled, duration, &mut rng)
+        };
         let mut rng = SeedRng::new(params.seed);
-        let naive = simulate(&config, MacMode::Naive, duration, &mut rng);
+        let naive = if n == max_devices {
+            simulate_observed(&config, MacMode::Naive, duration, &mut rng, &mut recorder)
+        } else {
+            simulate(&config, MacMode::Naive, duration, &mut rng)
+        };
         wlan_sched.push(sched.wlan_delivery_ratio());
         wlan_naive.push(naive.wlan_delivery_ratio());
         bs_per_sched.push(sched.backscatter_per());
@@ -112,6 +133,7 @@ pub fn run(params: &Params) -> ExperimentReport {
     report.push_series("backscatter PER (scheduled)", bs_per_sched);
     report.push_series("backscatter PER (naive)", bs_per_naive);
     report.push_series("dummy overhead (scheduled)", dummy_overhead);
+    report.attach_metrics(recorder.snapshot());
     report
 }
 
@@ -142,6 +164,22 @@ mod tests {
         assert!(wlan_sched > wlan_naive, "{wlan_sched} vs {wlan_naive}");
         assert!(per_sched < per_naive, "{per_sched} vs {per_naive}");
         assert!(wlan_sched > 0.95);
+    }
+
+    #[test]
+    fn report_metrics_round_trip_as_jsonl() {
+        // What the e3_mac binary writes under `--jsonl` must come back
+        // intact through the deserializer.
+        let report = run(&Params::reduced());
+        let snap = report.export_snapshot();
+        assert!(snap.counter_total("mac.grants") > 0, "observed run empty");
+        let text = zeiot_obs::to_jsonl(&snap);
+        let records = zeiot_obs::from_jsonl(&text).unwrap();
+        assert_eq!(records.len(), text.lines().count());
+        assert!(records.iter().any(|r| matches!(
+            r,
+            zeiot_obs::JsonlRecord::Gauge { name, .. } if name.starts_with("bench.")
+        )));
     }
 
     #[test]

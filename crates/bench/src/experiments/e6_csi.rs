@@ -127,10 +127,7 @@ mod tests {
         let best = report.row("best-pattern accuracy").unwrap().measured;
         assert!(best > 0.85, "best={best}");
         // The walking/divergent pattern should be the winner (or tied).
-        let walking_div = report
-            .row("accuracy (walking/divergent)")
-            .unwrap()
-            .measured;
+        let walking_div = report.row("accuracy (walking/divergent)").unwrap().measured;
         assert!(best - walking_div < 0.08, "best={best} wd={walking_div}");
     }
 

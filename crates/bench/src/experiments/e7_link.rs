@@ -22,7 +22,9 @@ pub struct Params {
 impl Default for Params {
     fn default() -> Self {
         Self {
-            distances_m: vec![1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0],
+            distances_m: vec![
+                1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0,
+            ],
             exciter_to_tag_m: 1.0,
         }
     }
@@ -68,10 +70,8 @@ pub fn run(params: &Params) -> ExperimentReport {
         .max_range_m(params.exciter_to_tag_m, 0.9, 500.0)
         .unwrap_or(0.0);
 
-    let mut report = ExperimentReport::new(
-        "E7",
-        "Backscatter link range and throughput vs distance",
-    );
+    let mut report =
+        ExperimentReport::new("E7", "Backscatter link range and throughput vs distance");
     // Paper: "several tens of meters" → nominal 30 m reference.
     report.push(Row::with_paper(
         "90%-success range, ZigBee backscatter",

@@ -15,6 +15,7 @@ use zeiot_energy::capacitor::Capacitor;
 use zeiot_energy::consumer::{DeviceState, PowerProfile};
 use zeiot_energy::harvester::ConstantSource;
 use zeiot_energy::intermittent::{IntermittentDevice, Task};
+use zeiot_obs::{Label, Recorder, Snapshot};
 
 /// Tunable experiment size.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +49,7 @@ impl Params {
     }
 }
 
-fn duty_cycle_at(harvest_uw: f64, seconds: u64, rng: &mut SeedRng) -> f64 {
+fn duty_cycle_at(harvest_uw: f64, seconds: u64, rng: &mut SeedRng, recorder: &mut Recorder) -> f64 {
     let mut device = IntermittentDevice::new(
         ConstantSource::new(Watt::new(harvest_uw * 1e-6)).expect("source"),
         Capacitor::new(100e-6, 2.4, 1.8, 3.0).expect("capacitor"),
@@ -64,7 +65,13 @@ fn duty_cycle_at(harvest_uw: f64, seconds: u64, rng: &mut SeedRng) -> f64 {
     )
     .expect("task");
     device
-        .run(&task, SimDuration::from_secs(seconds), rng)
+        .run_observed(
+            &task,
+            SimDuration::from_secs(seconds),
+            rng,
+            recorder,
+            Label::part(format!("{harvest_uw}uW")),
+        )
         .duty_cycle
 }
 
@@ -83,18 +90,23 @@ pub fn run(params: &Params) -> ExperimentReport {
     let radio_power = 100e-3; // the paper's 100 mW reference radio
     let power_ratio = bs_power / radio_power;
 
-    let bs_epb = tag
-        .energy_per_bit(DeviceState::Backscatter, 250e3)
-        .value();
-    let radio_epb = node
-        .energy_per_bit(DeviceState::ActiveRadio, 250e3)
-        .value();
+    let bs_epb = tag.energy_per_bit(DeviceState::Backscatter, 250e3).value();
+    let radio_epb = node.energy_per_bit(DeviceState::ActiveRadio, 250e3).value();
 
     let mut rng = SeedRng::new(params.seed);
+    // Each sweep point runs its own device whose sim clock restarts at
+    // zero, so traces from consecutive points are not globally
+    // time-ordered: record each point separately and merge snapshots.
+    let mut metrics = Snapshot::default();
     let duty: Vec<f64> = params
         .harvest_uw
         .iter()
-        .map(|&h| duty_cycle_at(h, params.seconds, &mut rng))
+        .map(|&h| {
+            let mut recorder = Recorder::new();
+            let d = duty_cycle_at(h, params.seconds, &mut rng, &mut recorder);
+            metrics.merge(recorder.snapshot());
+            d
+        })
         .collect();
 
     let mut report = ExperimentReport::new("E8", "Zero-energy power budget and duty cycles");
@@ -132,6 +144,7 @@ pub fn run(params: &Params) -> ExperimentReport {
     ));
     report.push_series("harvest power (µW)", params.harvest_uw.clone());
     report.push_series("duty cycle", duty);
+    report.attach_metrics(metrics);
     report
 }
 
@@ -160,5 +173,22 @@ mod tests {
             .unwrap()
             .1;
         assert!(duty[1] > duty[0], "{duty:?}");
+    }
+
+    /// Traces from consecutive sweep points restart at sim time zero;
+    /// a single shared recorder used to panic on the full default
+    /// sweep. The merged snapshot must keep every point's metrics.
+    #[test]
+    fn full_sweep_merges_metrics_across_points() {
+        let params = Params::default();
+        let report = run(&params);
+        let snap = report.metrics.as_ref().expect("metrics attached");
+        let labels: std::collections::BTreeSet<_> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "energy.harvested_uj")
+            .map(|c| c.label.clone())
+            .collect();
+        assert_eq!(labels.len(), params.harvest_uw.len(), "{labels:?}");
     }
 }

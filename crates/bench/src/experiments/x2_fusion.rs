@@ -213,7 +213,7 @@ pub fn run(params: &Params) -> ExperimentReport {
         .map(|_| Point2::new(rng.uniform_range(1.0, 8.0), rng.uniform_range(1.0, 8.0)))
         .collect();
 
-    let mut collect = |rounds: usize, rng: &mut SeedRng| {
+    let collect = |rounds: usize, rng: &mut SeedRng| {
         let mut direct = Vec::new();
         let mut indirect = Vec::new();
         for count in 0..=params.max_people {
@@ -270,11 +270,7 @@ pub fn run(params: &Params) -> ExperimentReport {
         acc_indirect,
         "fraction",
     ));
-    report.push(Row::measured_only(
-        "accuracy, fused",
-        acc_fused,
-        "fraction",
-    ));
+    report.push(Row::measured_only("accuracy, fused", acc_fused, "fraction"));
     report.push(Row::measured_only(
         "fusion gain over best single modality",
         acc_fused - acc_direct.max(acc_indirect),

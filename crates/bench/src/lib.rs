@@ -57,9 +57,43 @@ pub fn parse_args(
     Ok(out)
 }
 
+/// Removes a `--name value` string flag from `args` (if present) and
+/// returns its value, leaving the numeric flags for [`parse_args`].
+///
+/// # Errors
+///
+/// Returns a human-readable error string if the flag is present without
+/// a value.
+pub fn take_string_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let flag = format!("--{name}");
+    let Some(pos) = args.iter().position(|a| *a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("--{name} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn take_string_flag_extracts_and_leaves_the_rest() {
+        let mut args: Vec<String> = ["--seed", "7", "--jsonl", "out.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let path = take_string_flag(&mut args, "jsonl").unwrap();
+        assert_eq!(path.as_deref(), Some("out.jsonl"));
+        assert_eq!(args, vec!["--seed".to_string(), "7".to_string()]);
+        assert_eq!(take_string_flag(&mut args, "jsonl").unwrap(), None);
+        let mut dangling: Vec<String> = vec!["--jsonl".to_string()];
+        assert!(take_string_flag(&mut dangling, "jsonl").is_err());
+    }
 
     #[test]
     fn parse_args_happy_path() {

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use zeiot_obs::{GaugeEntry, Label, Snapshot};
 
 /// One metric row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,7 +24,12 @@ pub struct Row {
 
 impl Row {
     /// Creates a row with a paper reference value.
-    pub fn with_paper(metric: impl Into<String>, paper: f64, measured: f64, unit: impl Into<String>) -> Self {
+    pub fn with_paper(
+        metric: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        unit: impl Into<String>,
+    ) -> Self {
         Self {
             metric: metric.into(),
             paper: Some(paper),
@@ -33,7 +39,11 @@ impl Row {
     }
 
     /// Creates a row the paper reports only qualitatively.
-    pub fn measured_only(metric: impl Into<String>, measured: f64, unit: impl Into<String>) -> Self {
+    pub fn measured_only(
+        metric: impl Into<String>,
+        measured: f64,
+        unit: impl Into<String>,
+    ) -> Self {
         Self {
             metric: metric.into(),
             paper: None,
@@ -54,6 +64,9 @@ pub struct ExperimentReport {
     pub rows: Vec<Row>,
     /// Free-form series (e.g. per-node cost profiles for Fig. 10).
     pub series: Vec<(String, Vec<f64>)>,
+    /// Observability snapshot captured during the run, if the harness
+    /// instrumented it.
+    pub metrics: Option<Snapshot>,
 }
 
 impl ExperimentReport {
@@ -64,7 +77,30 @@ impl ExperimentReport {
             title: title.into(),
             rows: Vec::new(),
             series: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches an observability snapshot to the report.
+    pub fn attach_metrics(&mut self, snapshot: Snapshot) -> &mut Self {
+        self.metrics = Some(snapshot);
+        self
+    }
+
+    /// The report as an exportable snapshot: the attached subsystem
+    /// metrics (if any) plus one `bench.<metric>` gauge per row, labeled
+    /// with the experiment id — so `--jsonl` dumps are uniform across
+    /// harnesses whether or not they instrument subsystems.
+    pub fn export_snapshot(&self) -> Snapshot {
+        let mut snap = self.metrics.clone().unwrap_or_default();
+        for row in &self.rows {
+            snap.gauges.push(GaugeEntry {
+                name: format!("bench.{}", row.metric),
+                label: Label::part(self.id.as_str()),
+                value: row.measured,
+            });
+        }
+        snap
     }
 
     /// Appends a row.

@@ -227,8 +227,16 @@ impl Grid2 {
     ///
     /// Panics if `col >= cols()` or `row >= rows()`.
     pub fn cell_center(&self, col: usize, row: usize) -> Point2 {
-        assert!(col < self.cols, "col {col} out of range (cols={})", self.cols);
-        assert!(row < self.rows, "row {row} out of range (rows={})", self.rows);
+        assert!(
+            col < self.cols,
+            "col {col} out of range (cols={})",
+            self.cols
+        );
+        assert!(
+            row < self.rows,
+            "row {row} out of range (rows={})",
+            self.rows
+        );
         Point2::new(
             (col as f64 + 0.5) * self.cell_width_m(),
             (row as f64 + 0.5) * self.cell_height_m(),

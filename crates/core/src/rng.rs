@@ -84,7 +84,10 @@ impl SeedRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -295,8 +298,7 @@ mod tests {
         let mut rng = SeedRng::new(19);
         for lambda in [0.5, 3.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.05,
                 "lambda={lambda} mean={mean}"

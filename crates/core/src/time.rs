@@ -283,7 +283,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2e9 as u64));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2e9 as u64)
+        );
     }
 
     #[test]
@@ -311,9 +314,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = [SimTime::from_secs(3),
+        let mut times = [
+            SimTime::from_secs(3),
             SimTime::ZERO,
-            SimTime::from_millis(1)];
+            SimTime::from_millis(1),
+        ];
         times.sort();
         assert_eq!(times[0], SimTime::ZERO);
         assert_eq!(times[2], SimTime::from_secs(3));

@@ -144,8 +144,7 @@ impl CsiGenerator {
             let phase = prng.uniform_range(0.0, std::f64::consts::TAU);
             for (k, s) in sig.iter_mut().enumerate() {
                 *s += amp
-                    * (std::f64::consts::TAU * freq * k as f64 / CSI_FEATURES as f64 + phase)
-                        .cos();
+                    * (std::f64::consts::TAU * freq * k as f64 / CSI_FEATURES as f64 + phase).cos();
             }
         }
         sig
@@ -257,10 +256,7 @@ mod tests {
     fn separation_ordering_matches_paper() {
         assert!(best_pattern().separation() > worst_pattern().separation());
         let all = CsiPattern::all();
-        let max = all
-            .iter()
-            .map(|p| p.separation())
-            .fold(f64::MIN, f64::max);
+        let max = all.iter().map(|p| p.separation()).fold(f64::MIN, f64::max);
         assert!((best_pattern().separation() - max).abs() < 1e-12);
     }
 

@@ -129,7 +129,11 @@ impl GaitGenerator {
         };
         // Fall severity varies: a soft fall onto a chair collapses less
         // than a hard fall to the floor.
-        let severity = if fall { rng.uniform_range(0.55, 1.0) } else { 0.0 };
+        let severity = if fall {
+            rng.uniform_range(0.55, 1.0)
+        } else {
+            0.0
+        };
         // Crouch distractor for walks: a brief dip that recovers. Deep
         // crouches overlap with soft falls — the irreducible confusion.
         let crouch = (!fall && rng.chance(0.35)).then(|| {
@@ -205,8 +209,7 @@ impl GaitGenerator {
     /// Panics if `subjects` is zero.
     pub fn generate(&self, n: usize, subjects: usize, rng: &mut SeedRng) -> Vec<GaitSample> {
         assert!(subjects > 0, "need at least one subject");
-        let profiles: Vec<SubjectProfile> =
-            (0..subjects).map(|_| self.draw_subject(rng)).collect();
+        let profiles: Vec<SubjectProfile> = (0..subjects).map(|_| self.draw_subject(rng)).collect();
         (0..n)
             .map(|i| {
                 let subject = &profiles[i % subjects];
@@ -266,7 +269,12 @@ mod tests {
             }
             weighted / total
         };
-        assert!(com_x(9) > com_x(0) + 1.2, "first={} last={}", com_x(0), com_x(9));
+        assert!(
+            com_x(9) > com_x(0) + 1.2,
+            "first={} last={}",
+            com_x(0),
+            com_x(9)
+        );
     }
 
     #[test]

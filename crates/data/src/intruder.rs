@@ -25,8 +25,11 @@ pub enum IntruderClass {
 
 impl IntruderClass {
     /// All classes, in label order.
-    pub const ALL: [IntruderClass; 3] =
-        [IntruderClass::Empty, IntruderClass::Human, IntruderClass::Animal];
+    pub const ALL: [IntruderClass; 3] = [
+        IntruderClass::Empty,
+        IntruderClass::Human,
+        IntruderClass::Animal,
+    ];
 
     /// Dense label (0 = empty, 1 = human, 2 = animal).
     pub fn label(self) -> usize {
@@ -143,11 +146,11 @@ impl IntruderGenerator {
                 self.cols as f64 - 1.0 + rng.uniform_range(-1.0, 1.0)
             };
             let intensity = rng.uniform_range(0.85, 1.15);
-            for f in 0..self.frames {
+            for (f, slot) in trajectory.iter_mut().enumerate() {
                 let step = speed * f as f64 + rng.normal_with(0.0, jitter);
                 let x_center = if ltr { start_x + step } else { start_x - step };
                 if x_center > -1.5 && x_center < self.cols as f64 + 0.5 {
-                    trajectory[f] = Some(x_center);
+                    *slot = Some(x_center);
                 }
                 for y in 0..self.rows {
                     for x in 0..self.cols {

@@ -122,15 +122,16 @@ impl PlaygroundGenerator {
         let mut next_child = 0u32;
         for _ in 0..self.groups {
             let size = 2 + rng.below(self.max_group_size - 1);
-            let members: Vec<u32> = (0..size).map(|_| {
-                let id = next_child;
-                next_child += 1;
-                id
-            }).collect();
+            let members: Vec<u32> = (0..size)
+                .map(|_| {
+                    let id = next_child;
+                    next_child += 1;
+                    id
+                })
+                .collect();
             groups.push(members);
         }
-        let isolated_count =
-            ((next_child as f64 * self.isolation_rate).round() as u32).max(1);
+        let isolated_count = ((next_child as f64 * self.isolation_rate).round() as u32).max(1);
         let mut isolated = Vec::new();
         for _ in 0..isolated_count {
             let id = next_child;
@@ -222,6 +223,7 @@ mod tests {
         let mut stranger_sum = 0.0f64;
         let mut stranger_n = 0.0f64;
         let group_of = |c: u32| day.groups.iter().position(|g| g.contains(&c)).unwrap();
+        #[allow(clippy::needless_range_loop)]
         for a in 0..n {
             for b in (a + 1)..n {
                 let v = copresence[a][b] as f64;

@@ -69,10 +69,7 @@ impl TemperatureFieldGenerator {
             return Err(ConfigError::new("cols/rows", "grid must be at least 4×4"));
         }
         if !(discomfort_fraction > 0.0 && discomfort_fraction < 1.0) {
-            return Err(ConfigError::new(
-                "discomfort_fraction",
-                "must be in (0, 1)",
-            ));
+            return Err(ConfigError::new("discomfort_fraction", "must be in (0, 1)"));
         }
         Ok(Self {
             cols,
@@ -121,7 +118,10 @@ impl TemperatureFieldGenerator {
     pub fn sample(&self, rng: &mut SeedRng) -> TemperatureSample {
         let hour = rng.uniform_range(0.0, 24.0);
         let discomfort = rng.chance(self.discomfort_fraction);
-        (self.sample_at(hour, discomfort, rng), usize::from(discomfort))
+        (
+            self.sample_at(hour, discomfort, rng),
+            usize::from(discomfort),
+        )
     }
 
     /// Generates a field for a specific hour and label.
@@ -178,12 +178,7 @@ impl TemperatureFieldGenerator {
         for (field, _) in samples {
             let n = field.len() as f32;
             let mean = field.sum() / n;
-            let var = field
-                .data()
-                .iter()
-                .map(|v| (v - mean).powi(2))
-                .sum::<f32>()
-                / n;
+            let var = field.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
             let std = var.sqrt().max(1e-6);
             for v in field.data_mut() {
                 *v = (*v - mean) / std;
@@ -231,7 +226,10 @@ mod tests {
             ok_spread += spread(&gen.sample_at(12.0, false, &mut rng)) as f64;
             bad_spread += spread(&gen.sample_at(12.0, true, &mut rng)) as f64;
         }
-        assert!(bad_spread > ok_spread * 1.1, "ok={ok_spread} bad={bad_spread}");
+        assert!(
+            bad_spread > ok_spread * 1.1,
+            "ok={ok_spread} bad={bad_spread}"
+        );
     }
 
     #[test]

@@ -24,8 +24,11 @@ pub enum CongestionLevel {
 
 impl CongestionLevel {
     /// All levels in ascending order.
-    pub const ALL: [CongestionLevel; 3] =
-        [CongestionLevel::Low, CongestionLevel::Medium, CongestionLevel::High];
+    pub const ALL: [CongestionLevel; 3] = [
+        CongestionLevel::Low,
+        CongestionLevel::Medium,
+        CongestionLevel::High,
+    ];
 
     /// Ordinal index (0, 1, 2).
     pub fn index(self) -> usize {
@@ -123,7 +126,7 @@ impl TrainSceneGenerator {
         if cars < 2 {
             return Err(ConfigError::new("cars", "need at least two cars"));
         }
-        if !(car_length_m > 5.0) {
+        if !(car_length_m > 5.0 && car_length_m.is_finite()) {
             return Err(ConfigError::new("car_length_m", "must exceed 5 m"));
         }
         if references_per_car == 0 {
@@ -164,8 +167,7 @@ impl TrainSceneGenerator {
     /// counts (deterministic part; the caller adds measurement noise).
     fn mean_rssi(&self, x1: f64, x2: f64, passengers: &[usize]) -> f64 {
         let d = (x1 - x2).abs().max(0.5);
-        let mut loss =
-            self.ref_loss_1m_db + 10.0 * self.path_loss_exponent * d.log10();
+        let mut loss = self.ref_loss_1m_db + 10.0 * self.path_loss_exponent * d.log10();
         // Door crossings between the two positions.
         let car1 = (x1 / self.car_length_m).floor() as usize;
         let car2 = (x2 / self.car_length_m).floor() as usize;
@@ -233,8 +235,7 @@ impl TrainSceneGenerator {
                 reference_car.push(car);
                 reference_x.push(
                     car as f64 * self.car_length_m
-                        + (r as f64 + 0.5) / self.references_per_car as f64
-                            * self.car_length_m,
+                        + (r as f64 + 0.5) / self.references_per_car as f64 * self.car_length_m,
                 );
             }
         }

@@ -139,7 +139,10 @@ impl Capacitor {
     /// and the withdrawal would not push the voltage below turn-off.
     /// On failure nothing is withdrawn.
     pub fn try_discharge(&mut self, energy: Joule) -> bool {
-        assert!(energy.value() >= 0.0, "discharge energy must be non-negative");
+        assert!(
+            energy.value() >= 0.0,
+            "discharge energy must be non-negative"
+        );
         if !self.on {
             return false;
         }
@@ -221,9 +224,7 @@ mod tests {
         assert!((stored_before - stored_after - 50e-6).abs() < 1e-12);
         // harvested == stored + consumed (no waste in this scenario).
         assert!(
-            (c.total_harvested().value()
-                - (c.stored().value() + c.total_consumed().value()))
-            .abs()
+            (c.total_harvested().value() - (c.stored().value() + c.total_consumed().value())).abs()
                 < 1e-12
         );
     }

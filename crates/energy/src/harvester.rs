@@ -281,9 +281,18 @@ mod tests {
     fn solar_zero_at_night_peak_at_noon() {
         let sun = SolarSource::new(Watt::new(100e-6), 6.0, 18.0).unwrap();
         let mut rng = SeedRng::new(2);
-        assert_eq!(sun.power_at(SimTime::from_secs(3 * 3600), &mut rng).value(), 0.0);
-        assert_eq!(sun.power_at(SimTime::from_secs(22 * 3600), &mut rng).value(), 0.0);
-        let noon = sun.power_at(SimTime::from_secs(12 * 3600), &mut rng).value();
+        assert_eq!(
+            sun.power_at(SimTime::from_secs(3 * 3600), &mut rng).value(),
+            0.0
+        );
+        assert_eq!(
+            sun.power_at(SimTime::from_secs(22 * 3600), &mut rng)
+                .value(),
+            0.0
+        );
+        let noon = sun
+            .power_at(SimTime::from_secs(12 * 3600), &mut rng)
+            .value();
         assert!(noon > 80e-6, "noon={noon}");
     }
 
@@ -310,7 +319,10 @@ mod tests {
             })
             .sum::<f64>()
             / samples as f64;
-        assert!((mean - sun.mean_power().value()).abs() < 5e-6, "mean={mean}");
+        assert!(
+            (mean - sun.mean_power().value()).abs() < 5e-6,
+            "mean={mean}"
+        );
     }
 
     #[test]

@@ -17,6 +17,11 @@ use zeiot_core::error::{require_positive, Result};
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::{SimDuration, SimTime};
 use zeiot_core::units::Joule;
+use zeiot_obs::{Label, Recorder, Severity};
+
+/// Maximum points the observed capacitor-voltage series keeps per run;
+/// longer runs are decimated by a fixed stride so memory stays bounded.
+pub const MAX_VOLTAGE_SAMPLES: u64 = 2048;
 
 /// A unit of work measured in compute steps, with checkpointing cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,7 +140,45 @@ impl<H: HarvestSource> IntermittentDevice<H> {
     /// (draining step energy + compute power) and checkpoint on schedule;
     /// if off, just charge. Progress since the last checkpoint is lost at
     /// each brownout.
-    pub fn run(&mut self, task: &Task, budget: SimDuration, rng: &mut SeedRng) -> IntermittentOutcome {
+    pub fn run(
+        &mut self,
+        task: &Task,
+        budget: SimDuration,
+        rng: &mut SeedRng,
+    ) -> IntermittentOutcome {
+        self.run_inner(task, budget, rng, None)
+    }
+
+    /// Like [`IntermittentDevice::run`], additionally recording the
+    /// device's energy life into `recorder` under `label`:
+    ///
+    /// - `energy.capacitor_v` time-series (decimated to at most
+    ///   [`MAX_VOLTAGE_SAMPLES`] points);
+    /// - `energy.harvested_uj` / `energy.consumed_uj` counters
+    ///   (microjoules, rounded);
+    /// - `energy.power_cycles`, `energy.brownouts` and
+    ///   `energy.checkpoints` counters, with an info trace per turn-on
+    ///   and a warn trace per brownout.
+    ///
+    /// The outcome is identical to an unobserved run with the same seed.
+    pub fn run_observed(
+        &mut self,
+        task: &Task,
+        budget: SimDuration,
+        rng: &mut SeedRng,
+        recorder: &mut Recorder,
+        label: Label,
+    ) -> IntermittentOutcome {
+        self.run_inner(task, budget, rng, Some((recorder, label)))
+    }
+
+    fn run_inner(
+        &mut self,
+        task: &Task,
+        budget: SimDuration,
+        rng: &mut SeedRng,
+        mut observe: Option<(&mut Recorder, Label)>,
+    ) -> IntermittentOutcome {
         let mut now = SimTime::ZERO;
         let deadline = SimTime::ZERO + budget;
         let mut durable: u64 = 0;
@@ -143,8 +186,14 @@ impl<H: HarvestSource> IntermittentDevice<H> {
         let mut executed: u64 = 0;
         let mut on_time = SimDuration::ZERO;
         let brownouts_before = self.capacitor.brownouts();
+        let harvested_before = self.capacitor.total_harvested();
+        let consumed_before = self.capacitor.total_consumed();
+        let total_ticks = (budget.as_secs_f64() / self.step_duration.as_secs_f64()).ceil();
+        let sample_stride = (total_ticks as u64).div_ceil(MAX_VOLTAGE_SAMPLES).max(1);
+        let mut tick: u64 = 0;
 
         while now < deadline && durable + volatile < task.total_steps {
+            let was_on_at_tick_start = self.capacitor.is_on();
             let harvest = self.harvester.power_at(now, rng);
             self.capacitor.charge(harvest, self.step_duration);
 
@@ -163,6 +212,9 @@ impl<H: HarvestSource> IntermittentDevice<H> {
                     {
                         durable += volatile;
                         volatile = 0;
+                        if let Some((rec, label)) = observe.as_mut() {
+                            rec.inc("energy.checkpoints", label.clone());
+                        }
                     }
                 } else {
                     // Not enough usable energy: the device keeps draining
@@ -170,14 +222,52 @@ impl<H: HarvestSource> IntermittentDevice<H> {
                     let idle = self.profile.energy(DeviceState::Sleep, self.step_duration);
                     let was_on = self.capacitor.is_on();
                     self.capacitor.drain(Joule::new(
-                        idle.value() + self.profile.energy(DeviceState::Compute, self.step_duration).value(),
+                        idle.value()
+                            + self
+                                .profile
+                                .energy(DeviceState::Compute, self.step_duration)
+                                .value(),
                     ));
                     if was_on && !self.capacitor.is_on() {
                         volatile = 0; // brownout: lose unsaved work
                     }
                 }
             }
+            if let Some((rec, label)) = observe.as_mut() {
+                let is_on = self.capacitor.is_on();
+                if is_on && !was_on_at_tick_start {
+                    rec.inc("energy.power_cycles", label.clone());
+                    rec.trace(now, Severity::Info, label.clone(), "power on");
+                } else if !is_on && was_on_at_tick_start {
+                    rec.inc("energy.brownouts", label.clone());
+                    rec.trace(now, Severity::Warn, label.clone(), "brownout");
+                }
+                if tick.is_multiple_of(sample_stride) {
+                    rec.sample(
+                        "energy.capacitor_v",
+                        label.clone(),
+                        now,
+                        self.capacitor.voltage(),
+                    );
+                }
+            }
+            tick += 1;
             now += self.step_duration;
+        }
+
+        if let Some((rec, label)) = observe.as_mut() {
+            let harvested = self.capacitor.total_harvested().value() - harvested_before.value();
+            let consumed = self.capacitor.total_consumed().value() - consumed_before.value();
+            rec.add(
+                "energy.harvested_uj",
+                label.clone(),
+                (harvested * 1e6).round() as u64,
+            );
+            rec.add(
+                "energy.consumed_uj",
+                label.clone(),
+                (consumed * 1e6).round() as u64,
+            );
         }
 
         let completed = durable + volatile >= task.total_steps;
@@ -320,6 +410,55 @@ mod tests {
             duty_cycle: 0.3,
         };
         assert_eq!(out.wasted_steps(), 15);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_outcome() {
+        let mut rng_a = SeedRng::new(11);
+        let mut rng_b = SeedRng::new(11);
+        let task = Task::new(
+            1_000_000,
+            10,
+            Joule::from_microjoules(1.0),
+            Joule::from_microjoules(5.0),
+        )
+        .unwrap();
+        let mut plain = device(20e-6);
+        let out_a = plain.run(&task, SimDuration::from_secs(120), &mut rng_a);
+        let mut observed = device(20e-6);
+        let mut rec = Recorder::new();
+        let label = Label::device(zeiot_core::id::DeviceId::new(3));
+        let out_b = observed.run_observed(
+            &task,
+            SimDuration::from_secs(120),
+            &mut rng_b,
+            &mut rec,
+            label.clone(),
+        );
+        assert_eq!(out_a, out_b);
+
+        // Voltage series exists, is bounded, and spans the run.
+        let series = rec.series_ref("energy.capacitor_v", &label).unwrap();
+        assert!(!series.points().is_empty());
+        assert!(series.points().len() as u64 <= MAX_VOLTAGE_SAMPLES + 1);
+        for &(_, v) in series.points() {
+            assert!((0.0..=3.0).contains(&v), "voltage {v} out of range");
+        }
+
+        // The intermittent regime power-cycles and browns out.
+        assert!(rec.counter_value("energy.power_cycles", &label) > 0);
+        let brownouts = rec.counter_value("energy.brownouts", &label);
+        assert!(brownouts > 0);
+        assert!(brownouts <= out_b.brownouts);
+        assert!(rec.counter_value("energy.checkpoints", &label) > 0);
+        assert!(rec.counter_value("energy.harvested_uj", &label) > 0);
+        assert!(rec.counter_value("energy.consumed_uj", &label) > 0);
+
+        // Brownout traces are warnings.
+        assert!(rec
+            .trace_buffer()
+            .iter()
+            .any(|(_, e)| e.severity == Severity::Warn && e.message == "brownout"));
     }
 
     #[test]

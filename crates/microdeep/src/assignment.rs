@@ -168,6 +168,9 @@ impl Assignment {
         for _sweep in 0..3 {
             let mut improved = false;
             for l in 1..graph.layer_count() {
+                // `u` addresses four structures of different shapes;
+                // iterating any one of them would obscure that.
+                #[allow(clippy::needless_range_loop)]
                 for u in 0..graph.units_in_layer(l) {
                     if graph.position(l, u).is_none() {
                         continue;

@@ -61,15 +61,14 @@ impl CostModel {
     /// Forward-pass traffic with node-level value caching: a producing
     /// node sends each value at most once per consumer *node* (ablation:
     /// how much a value cache would save each strategy).
-    pub fn forward_cost_cached(
-        &self,
-        graph: &UnitGraph,
-        assignment: &Assignment,
-    ) -> TrafficLedger {
+    pub fn forward_cost_cached(&self, graph: &UnitGraph, assignment: &Assignment) -> TrafficLedger {
         let consumers = reverse_dependencies(graph);
         let mut ledger = TrafficLedger::new(self.node_count);
         // Input layer values.
         for l in 1..graph.layer_count() {
+            // `p` indexes `consumers` only on the l >= 2 branch below;
+            // iterating `consumers` directly would be wrong-shaped.
+            #[allow(clippy::needless_range_loop)]
             for p in 0..graph.units_in_layer(l - 1) {
                 let src = assignment.host_of(l - 1, p);
                 let mut dest_nodes = BTreeSet::new();
@@ -114,11 +113,7 @@ impl CostModel {
     }
 
     /// Combined cost of one training step (forward + backward).
-    pub fn training_step_cost(
-        &self,
-        graph: &UnitGraph,
-        assignment: &Assignment,
-    ) -> TrafficLedger {
+    pub fn training_step_cost(&self, graph: &UnitGraph, assignment: &Assignment) -> TrafficLedger {
         let fwd = self.forward_cost(graph, assignment);
         let bwd = self.backward_cost(graph, assignment);
         merged_ledger(self.node_count, &fwd, &bwd)

@@ -30,6 +30,7 @@ use zeiot_core::id::NodeId;
 use zeiot_core::rng::SeedRng;
 use zeiot_nn::loss::cross_entropy;
 use zeiot_nn::tensor::Tensor;
+use zeiot_obs::{Label, Recorder};
 
 /// How convolution kernel replicas are updated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,8 +92,7 @@ impl DenseParams {
         (0..out_len)
             .map(|o| {
                 let row = &self.weights.data()[o * in_len..(o + 1) * in_len];
-                self.bias.data()[o]
-                    + row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>()
+                self.bias.data()[o] + row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>()
             })
             .collect()
     }
@@ -188,7 +188,11 @@ impl DistributedCnn {
             (0..conv_units).map(|u| assignment.host_of(1, u)).collect();
 
         // Common initial parameters.
-        let (oc, ic, k) = (config.conv_channels(), config.in_channels(), config.kernel());
+        let (oc, ic, k) = (
+            config.conv_channels(),
+            config.in_channels(),
+            config.kernel(),
+        );
         let fan_in = (ic * k * k) as f32;
         let init_w = Tensor::uniform(vec![oc, ic, k, k], (6.0 / fan_in).sqrt(), rng);
         let init_b = Tensor::zeros(vec![oc]);
@@ -216,8 +220,7 @@ impl DistributedCnn {
             for unit in 0..conv_units {
                 let o = unit / per_ch;
                 let src = &init_w.data()[o * kernel_len..(o + 1) * kernel_len];
-                weights.data_mut()[unit * kernel_len..(unit + 1) * kernel_len]
-                    .copy_from_slice(src);
+                weights.data_mut()[unit * kernel_len..(unit + 1) * kernel_len].copy_from_slice(src);
             }
             UnitKernels {
                 weights,
@@ -376,8 +379,7 @@ impl DistributedCnn {
                             for kx in 0..k {
                                 let iy = oy + ky;
                                 let ix = ox + kx;
-                                acc += weights[w_off]
-                                    * input.data()[icn * ih * iw + iy * iw + ix];
+                                acc += weights[w_off] * input.data()[icn * ih * iw + iy * iw + ix];
                                 w_off += 1;
                             }
                         }
@@ -484,25 +486,24 @@ impl DistributedCnn {
                     if g == 0.0 {
                         continue;
                     }
-                    let (grad_w, grad_b_slot): (&mut [f32], &mut f32) =
-                        match &mut self.per_unit {
-                            Some(pk) => (
-                                &mut pk.grad_weights.data_mut()
-                                    [unit * kernel_len..(unit + 1) * kernel_len],
-                                &mut pk.grad_bias.data_mut()[unit],
-                            ),
-                            None => {
-                                let rep = self
-                                    .replicas
-                                    .get_mut(&self.conv_unit_host[unit])
-                                    .expect("replica exists");
-                                (
-                                    &mut rep.grad_weights.data_mut()
-                                        [o * kernel_len..(o + 1) * kernel_len],
-                                    &mut rep.grad_bias.data_mut()[o],
-                                )
-                            }
-                        };
+                    let (grad_w, grad_b_slot): (&mut [f32], &mut f32) = match &mut self.per_unit {
+                        Some(pk) => (
+                            &mut pk.grad_weights.data_mut()
+                                [unit * kernel_len..(unit + 1) * kernel_len],
+                            &mut pk.grad_bias.data_mut()[unit],
+                        ),
+                        None => {
+                            let rep = self
+                                .replicas
+                                .get_mut(&self.conv_unit_host[unit])
+                                .expect("replica exists");
+                            (
+                                &mut rep.grad_weights.data_mut()
+                                    [o * kernel_len..(o + 1) * kernel_len],
+                                &mut rep.grad_bias.data_mut()[o],
+                            )
+                        }
+                    };
                     *grad_b_slot += g;
                     let mut w_off = 0;
                     for icn in 0..c.in_channels() {
@@ -510,8 +511,7 @@ impl DistributedCnn {
                             for kx in 0..k {
                                 let iy = oy + ky;
                                 let ix = ox + kx;
-                                grad_w[w_off] +=
-                                    g * input.data()[icn * ih * iw + iy * iw + ix];
+                                grad_w[w_off] += g * input.data()[icn * ih * iw + iy * iw + ix];
                                 w_off += 1;
                             }
                         }
@@ -528,8 +528,7 @@ impl DistributedCnn {
             // own kernel, but carries ~1/positions of the gradient mass a
             // shared kernel would accumulate; compensate so the units
             // learn at the shared-kernel pace.
-            let positions =
-                (self.conv_unit_host.len() / self.config.conv_channels()) as f32;
+            let positions = (self.conv_unit_host.len() / self.config.conv_channels()) as f32;
             pk.weights.add_scaled(&pk.grad_weights, -lr * positions);
             pk.bias.add_scaled(&pk.grad_bias, -lr * positions);
             pk.grad_weights.fill_zero();
@@ -596,19 +595,64 @@ impl DistributedCnn {
         batch_size: usize,
         rng: &mut SeedRng,
     ) -> f32 {
+        self.train_epoch_inner(data, lr, batch_size, rng, None)
+    }
+
+    /// Like [`DistributedCnn::train_epoch`], additionally recording
+    /// per-step observability metrics: after every batch update the
+    /// current replica divergence is written to the
+    /// `microdeep.replica_drift` gauge and the
+    /// `microdeep.replica_drift_step` histogram, and the batch's mean
+    /// loss to `microdeep.batch_loss`. The trained weights are bit-for-bit
+    /// identical to an unobserved epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `batch_size` is zero.
+    pub fn train_epoch_observed(
+        &mut self,
+        data: &[(Tensor, usize)],
+        lr: f32,
+        batch_size: usize,
+        rng: &mut SeedRng,
+        recorder: &mut Recorder,
+    ) -> f32 {
+        self.train_epoch_inner(data, lr, batch_size, rng, Some(recorder))
+    }
+
+    fn train_epoch_inner(
+        &mut self,
+        data: &[(Tensor, usize)],
+        lr: f32,
+        batch_size: usize,
+        rng: &mut SeedRng,
+        mut observe: Option<&mut Recorder>,
+    ) -> f32 {
         assert!(!data.is_empty() && batch_size > 0, "invalid training call");
         let mut order: Vec<usize> = (0..data.len()).collect();
         rng.shuffle(&mut order);
         let mut total = 0.0;
         for batch in order.chunks(batch_size) {
+            let mut batch_loss = 0.0;
             for &i in batch {
                 let (x, t) = &data[i];
                 let logits = self.forward(x);
                 let (loss, grad) = cross_entropy(&logits, *t);
-                total += loss;
+                batch_loss += loss;
                 self.backward(&grad);
             }
+            total += batch_loss;
             self.apply_gradients(lr / batch.len() as f32);
+            if let Some(rec) = observe.as_deref_mut() {
+                let drift = self.replica_divergence();
+                rec.set_gauge("microdeep.replica_drift", Label::Global, drift);
+                rec.observe("microdeep.replica_drift_step", Label::Global, drift);
+                rec.observe(
+                    "microdeep.batch_loss",
+                    Label::Global,
+                    f64::from(batch_loss / batch.len() as f32),
+                );
+            }
         }
         total / data.len() as f32
     }
@@ -685,7 +729,11 @@ mod tests {
         for _ in 0..3 {
             net.train_epoch(&data, 0.05, 8, &mut rng);
         }
-        assert!(net.replica_divergence() > 1e-4, "{}", net.replica_divergence());
+        assert!(
+            net.replica_divergence() > 1e-4,
+            "{}",
+            net.replica_divergence()
+        );
     }
 
     #[test]
@@ -733,6 +781,32 @@ mod tests {
             assert_eq!(net.forward(x).data(), restored.forward(x).data());
         }
         assert!(DistributedCnn::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn observed_epoch_trains_identically_and_records_drift() {
+        let (mut plain, data) = setup(WeightUpdate::Independent, 30);
+        let (mut observed, _) = setup(WeightUpdate::Independent, 30);
+        let mut rng_a = SeedRng::new(4);
+        let mut rng_b = SeedRng::new(4);
+        let mut rec = Recorder::new();
+        let loss_a = plain.train_epoch(&data, 0.05, 8, &mut rng_a);
+        let loss_b = observed.train_epoch_observed(&data, 0.05, 8, &mut rng_b, &mut rec);
+        assert_eq!(loss_a, loss_b);
+        for (x, _) in data.iter().take(5) {
+            assert_eq!(plain.forward(x).data(), observed.forward(x).data());
+        }
+        let drift = rec
+            .gauge("microdeep.replica_drift", &Label::Global)
+            .unwrap();
+        assert_eq!(drift, observed.replica_divergence());
+        let steps = rec
+            .histogram_ref("microdeep.replica_drift_step", &Label::Global)
+            .unwrap();
+        assert_eq!(steps.len(), data.len().div_ceil(8));
+        assert!(rec
+            .histogram_ref("microdeep.batch_loss", &Label::Global)
+            .is_some());
     }
 
     #[test]

@@ -58,9 +58,11 @@ pub mod assignment;
 pub mod config;
 pub mod cost;
 pub mod distributed;
+pub mod instrument;
 pub mod resilience;
 
 pub use assignment::Assignment;
 pub use config::CnnConfig;
 pub use cost::CostModel;
 pub use distributed::{DistributedCnn, WeightUpdate};
+pub use instrument::TrafficInstrument;

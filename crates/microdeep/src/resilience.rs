@@ -49,10 +49,7 @@ pub fn reassign_after_failures(
     assignment: &Assignment,
     failed: &[NodeId],
 ) -> (Assignment, RecoveryReport) {
-    let surviving: Vec<NodeId> = topo
-        .node_ids()
-        .filter(|n| !failed.contains(n))
-        .collect();
+    let surviving: Vec<NodeId> = topo.node_ids().filter(|n| !failed.contains(n)).collect();
     assert!(!surviving.is_empty(), "all nodes failed");
 
     // Routes over the degraded topology (failed nodes cannot relay).
@@ -157,8 +154,7 @@ mod tests {
             })
             .sum();
         assert!(victim_units > 0, "victim hosted nothing — bad test setup");
-        let (repaired, report) =
-            reassign_after_failures(&graph, &topo, &assignment, &[victim]);
+        let (repaired, report) = reassign_after_failures(&graph, &topo, &assignment, &[victim]);
         assert_eq!(report.moved_units, victim_units);
         assert!(report.fully_recovered());
         // No unit remains on the victim.
@@ -173,8 +169,7 @@ mod tests {
     fn repaired_assignment_respects_survivor_cap() {
         let (graph, topo, assignment) = setup();
         let failed = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
-        let (repaired, report) =
-            reassign_after_failures(&graph, &topo, &assignment, &failed);
+        let (repaired, report) = reassign_after_failures(&graph, &topo, &assignment, &failed);
         assert!(report.fully_recovered());
         let cap = graph.total_units().div_ceil(topo.len() - failed.len());
         let loads = repaired.units_per_node();
@@ -183,7 +178,11 @@ mod tests {
         }
         for n in topo.node_ids() {
             if !failed.contains(&n) {
-                assert!(loads[n.index()] <= cap, "node {n} over cap: {}", loads[n.index()]);
+                assert!(
+                    loads[n.index()] <= cap,
+                    "node {n} over cap: {}",
+                    loads[n.index()]
+                );
             }
         }
     }

@@ -202,10 +202,7 @@ mod tests {
         let mut rng = SeedRng::new(3);
         let out = flood.run(&topo, NodeId::new(0), &mut rng);
         // Only nodes within 3 hops got it.
-        assert_eq!(
-            out.first_rx_slot.iter().filter(|s| s.is_some()).count(),
-            4
-        );
+        assert_eq!(out.first_rx_slot.iter().filter(|s| s.is_some()).count(), 4);
     }
 
     #[test]

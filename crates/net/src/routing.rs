@@ -143,14 +143,8 @@ mod tests {
     #[test]
     fn chain_distances() {
         let routes = RoutingTable::shortest_paths(&chain(5));
-        assert_eq!(
-            routes.hop_distance(NodeId::new(0), NodeId::new(4)),
-            Some(4)
-        );
-        assert_eq!(
-            routes.hop_distance(NodeId::new(2), NodeId::new(2)),
-            Some(0)
-        );
+        assert_eq!(routes.hop_distance(NodeId::new(0), NodeId::new(4)), Some(4));
+        assert_eq!(routes.hop_distance(NodeId::new(2), NodeId::new(2)), Some(0));
     }
 
     #[test]
@@ -184,11 +178,9 @@ mod tests {
 
     #[test]
     fn disconnected_pairs_are_none() {
-        let topo = Topology::from_positions(
-            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let topo =
+            Topology::from_positions(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], 1.0)
+                .unwrap();
         let routes = RoutingTable::shortest_paths(&topo);
         assert_eq!(routes.hop_distance(NodeId::new(0), NodeId::new(1)), None);
         assert_eq!(routes.path(NodeId::new(0), NodeId::new(1)), None);

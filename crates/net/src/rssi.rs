@@ -103,14 +103,10 @@ impl RssiSampler {
     /// dBm) at node `j` of node `i`'s transmission, `None` when the nodes
     /// are out of range. People between a pair attenuate that pair's
     /// entries.
-    pub fn inter_node_rssi(
-        &self,
-        people: &[Point2],
-        rng: &mut SeedRng,
-    ) -> Vec<Vec<Option<f64>>> {
+    pub fn inter_node_rssi(&self, people: &[Point2], rng: &mut SeedRng) -> Vec<Vec<Option<f64>>> {
         let n = self.topology.len();
         let mut matrix = vec![vec![None; n]; n];
-        for i in 0..n {
+        for (i, row) in matrix.iter_mut().enumerate() {
             let a = NodeId::new(i as u32);
             for &b in self.topology.neighbors(a) {
                 let pa = self.topology.position(a);
@@ -119,7 +115,7 @@ impl RssiSampler {
                 let shadow = self.body.attenuation(pa, pb, people);
                 let noise = Decibel::new(rng.normal_with(0.0, self.noise_sigma_db));
                 let rssi = base - shadow + noise;
-                matrix[i][b.index()] = Some(rssi.value());
+                row[b.index()] = Some(rssi.value());
             }
         }
         matrix
@@ -151,8 +147,7 @@ impl RssiSampler {
                     continue;
                 }
                 let d = node_pos.distance(*dev).max(0.3);
-                let rx = Dbm::new(self.device_tx_dbm)
-                    - self.budget.path_loss_model().loss(d);
+                let rx = Dbm::new(self.device_tx_dbm) - self.budget.path_loss_model().loss(d);
                 total_mw += rx.to_milliwatt().value();
             }
             let noise = rng.normal_with(0.0, self.noise_sigma_db);
@@ -191,12 +186,12 @@ mod tests {
         let s = lab();
         let mut rng = SeedRng::new(1);
         let m = s.inter_node_rssi(&[], &mut rng);
-        for i in 0..s.topology().len() {
-            for j in 0..s.topology().len() {
+        for (i, row) in m.iter().enumerate() {
+            for (j, entry) in row.iter().enumerate() {
                 let connected = s
                     .topology()
                     .connected(NodeId::new(i as u32), NodeId::new(j as u32));
-                assert_eq!(m[i][j].is_some(), connected, "pair {i},{j}");
+                assert_eq!(entry.is_some(), connected, "pair {i},{j}");
             }
         }
     }
@@ -215,8 +210,7 @@ mod tests {
                 prng.uniform_range(0.0, 9.0),
             ));
         }
-        let crowded =
-            RssiSampler::mean_inter_node(&s.inter_node_rssi(&people, &mut rng)).unwrap();
+        let crowded = RssiSampler::mean_inter_node(&s.inter_node_rssi(&people, &mut rng)).unwrap();
         assert!(crowded < empty, "crowded={crowded} empty={empty}");
     }
 
@@ -236,7 +230,10 @@ mod tests {
         let busy = s.surrounding_rssi(&devices, 1.0, &mut rng);
         let quiet_mean: f64 = quiet.iter().sum::<f64>() / quiet.len() as f64;
         let busy_mean: f64 = busy.iter().sum::<f64>() / busy.len() as f64;
-        assert!(busy_mean > quiet_mean + 3.0, "busy={busy_mean} quiet={quiet_mean}");
+        assert!(
+            busy_mean > quiet_mean + 3.0,
+            "busy={busy_mean} quiet={quiet_mean}"
+        );
     }
 
     #[test]
@@ -262,11 +259,9 @@ mod tests {
 
     #[test]
     fn mean_of_empty_matrix_is_none() {
-        let topo = Topology::from_positions(
-            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let topo =
+            Topology::from_positions(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], 1.0)
+                .unwrap();
         let s = RssiSampler::ieee802154(topo).unwrap();
         let mut rng = SeedRng::new(9);
         let m = s.inter_node_rssi(&[], &mut rng);

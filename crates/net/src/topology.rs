@@ -142,7 +142,12 @@ impl Topology {
         let width_m = require_positive("width_m", width_m)?;
         let height_m = require_positive("height_m", height_m)?;
         let positions = (0..n)
-            .map(|_| Point2::new(rng.uniform_range(0.0, width_m), rng.uniform_range(0.0, height_m)))
+            .map(|_| {
+                Point2::new(
+                    rng.uniform_range(0.0, width_m),
+                    rng.uniform_range(0.0, height_m),
+                )
+            })
             .collect();
         Self::from_positions(positions, range_m)
     }
@@ -204,9 +209,7 @@ impl Topology {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adjacency.iter().enumerate().flat_map(|(i, nbrs)| {
             let a = NodeId::new(i as u32);
-            nbrs.iter()
-                .filter(move |b| a < **b)
-                .map(move |&b| (a, b))
+            nbrs.iter().filter(move |b| a < **b).map(move |&b| (a, b))
         })
     }
 
@@ -376,8 +379,7 @@ mod tests {
         assert!(open.connected(NodeId::new(0), NodeId::new(1)));
         // ...with it, the 12 dB penalty (≈2.5× effective distance at
         // n = 3) pushes them out of range.
-        let blocked =
-            Topology::from_positions_with_obstacles(positions, 6.0, &wall, 3.0).unwrap();
+        let blocked = Topology::from_positions_with_obstacles(positions, 6.0, &wall, 3.0).unwrap();
         assert!(!blocked.connected(NodeId::new(0), NodeId::new(1)));
     }
 
@@ -410,14 +412,10 @@ mod tests {
         let mut positions = Vec::new();
         for row in 0..5 {
             for col in 0..5 {
-                positions.push(Point2::new(
-                    2.0 + col as f64 * 3.9,
-                    2.0 + row as f64 * 3.9,
-                ));
+                positions.push(Point2::new(2.0 + col as f64 * 3.9, 2.0 + row as f64 * 3.9));
             }
         }
-        let topo =
-            Topology::from_positions_with_obstacles(positions, 6.0, &plan, 3.0).unwrap();
+        let topo = Topology::from_positions_with_obstacles(positions, 6.0, &plan, 3.0).unwrap();
         assert!(topo.is_connected(), "office mesh split by walls");
     }
 

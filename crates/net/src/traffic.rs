@@ -185,20 +185,24 @@ mod tests {
     fn local_delivery_is_free() {
         let (_, routes) = chain_routes(3);
         let mut ledger = TrafficLedger::new(3);
-        assert_eq!(ledger.send(&routes, NodeId::new(1), NodeId::new(1), 10), Some(0));
+        assert_eq!(
+            ledger.send(&routes, NodeId::new(1), NodeId::new(1), 10),
+            Some(0)
+        );
         assert_eq!(ledger.total_cost(), 0);
     }
 
     #[test]
     fn unreachable_destination_charges_nothing() {
-        let topo = Topology::from_positions(
-            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let topo =
+            Topology::from_positions(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], 1.0)
+                .unwrap();
         let routes = RoutingTable::shortest_paths(&topo);
         let mut ledger = TrafficLedger::new(2);
-        assert_eq!(ledger.send(&routes, NodeId::new(0), NodeId::new(1), 5), None);
+        assert_eq!(
+            ledger.send(&routes, NodeId::new(0), NodeId::new(1), 5),
+            None
+        );
         assert_eq!(ledger.total_cost(), 0);
     }
 
@@ -223,8 +227,8 @@ mod tests {
         ledger.send(&routes, NodeId::new(0), NodeId::new(3), 1);
         ledger.send(&routes, NodeId::new(3), NodeId::new(1), 2);
         let costs = ledger.costs();
-        for i in 0..4 {
-            assert_eq!(costs[i], ledger.cost(NodeId::new(i as u32)));
+        for (i, &c) in costs.iter().enumerate() {
+            assert_eq!(c, ledger.cost(NodeId::new(i as u32)));
         }
         assert_eq!(ledger.max_cost(), *costs.iter().max().unwrap());
         let mean = ledger.mean_cost();

@@ -55,7 +55,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either label is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "label out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -65,7 +68,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either label is out of range.
     pub fn count(&self, truth: usize, predicted: usize) -> u64 {
-        assert!(truth < self.classes && predicted < self.classes, "label out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
         self.counts[truth * self.classes + predicted]
     }
 
@@ -176,7 +182,12 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion ({} classes, acc {:.3}):", self.classes, self.accuracy())?;
+        writeln!(
+            f,
+            "confusion ({} classes, acc {:.3}):",
+            self.classes,
+            self.accuracy()
+        )?;
         for t in 0..self.classes {
             write!(f, "  true {t}:")?;
             for p in 0..self.classes {

@@ -66,11 +66,7 @@ impl Conv2d {
         let _ = conv_output_dims(in_height, in_width, kernel, stride, padding);
         let fan_in = (in_channels * kernel * kernel) as f32;
         let scale = (6.0 / fan_in).sqrt();
-        let weights = Tensor::uniform(
-            vec![out_channels, in_channels, kernel, kernel],
-            scale,
-            rng,
-        );
+        let weights = Tensor::uniform(vec![out_channels, in_channels, kernel, kernel], scale, rng);
         let bias = Tensor::zeros(vec![out_channels]);
         let grad_weights = Tensor::zeros(vec![out_channels, in_channels, kernel, kernel]);
         let grad_bias = Tensor::zeros(vec![out_channels]);
@@ -251,8 +247,7 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 3, 3, 1, 1, 0, &mut rng);
         // Set the 1×1 kernel to identity.
         conv.weights_mut().data_mut()[0] = 1.0;
-        let input =
-            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
         let out = conv.forward(&input);
         // bias is zero → output equals input.
         for i in 0..9 {
@@ -268,8 +263,7 @@ mod tests {
         for w in conv.weights_mut().data_mut() {
             *w = 1.0;
         }
-        let input =
-            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
         let out = conv.forward(&input);
         assert_eq!(out.shape(), &[1, 2, 2]);
         assert_eq!(out.get(&[0, 0, 0]), 1.0 + 2.0 + 4.0 + 5.0);

@@ -77,8 +77,7 @@ impl Layer for MaxPool2d {
                         for kx in 0..self.kernel {
                             let iy = oy * self.kernel + ky;
                             let ix = ox * self.kernel + kx;
-                            let off =
-                                c * self.in_height * self.in_width + iy * self.in_width + ix;
+                            let off = c * self.in_height * self.in_width + iy * self.in_width + ix;
                             let v = input.data()[off];
                             if v > best {
                                 best = v;
@@ -208,8 +207,7 @@ impl Layer for AvgPool2d {
                             let iy = oy * self.kernel + ky;
                             let ix = ox * self.kernel + kx;
                             grad_in.data_mut()
-                                [c * self.in_height * self.in_width + iy * self.in_width + ix] +=
-                                g;
+                                [c * self.in_height * self.in_width + iy * self.in_width + ix] += g;
                         }
                     }
                 }

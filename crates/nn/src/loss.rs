@@ -13,7 +13,11 @@ use crate::tensor::Tensor;
 /// Panics if `logits` is empty.
 pub fn softmax(logits: &Tensor) -> Tensor {
     assert!(!logits.is_empty(), "softmax of empty tensor");
-    let max = logits.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = logits
+        .data()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(

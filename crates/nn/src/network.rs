@@ -136,10 +136,7 @@ impl Sequential {
     /// Panics if `data` is empty.
     pub fn accuracy(&mut self, data: &[(Tensor, usize)]) -> f64 {
         assert!(!data.is_empty(), "empty evaluation set");
-        let correct = data
-            .iter()
-            .filter(|(x, t)| self.predict(x) == *t)
-            .count();
+        let correct = data.iter().filter(|(x, t)| self.predict(x) == *t).count();
         correct as f64 / data.len() as f64
     }
 

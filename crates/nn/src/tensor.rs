@@ -52,13 +52,19 @@ impl Tensor {
     /// count, or the shape is degenerate.
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
         if shape.is_empty() || shape.contains(&0) {
-            return Err(ConfigError::new("shape", format!("invalid shape {shape:?}")));
+            return Err(ConfigError::new(
+                "shape",
+                format!("invalid shape {shape:?}"),
+            ));
         }
         let expected: usize = shape.iter().product();
         if data.len() != expected {
             return Err(ConfigError::new(
                 "data",
-                format!("expected {expected} elements for {shape:?}, got {}", data.len()),
+                format!(
+                    "expected {expected} elements for {shape:?}, got {}",
+                    data.len()
+                ),
             ));
         }
         Ok(Self { shape, data })
@@ -112,7 +118,10 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.len(), "rank mismatch");
         let mut off = 0;
         for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(idx < dim, "index {idx} out of range for axis {i} (dim {dim})");
+            assert!(
+                idx < dim,
+                "index {idx} out of range for axis {i} (dim {dim})"
+            );
             off = off * dim + idx;
         }
         off

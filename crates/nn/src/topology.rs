@@ -79,8 +79,7 @@ impl LayerSpec {
                 padding,
                 ..
             } => {
-                let (oh, ow) =
-                    conv_output_dims(in_height, in_width, kernel, stride, padding);
+                let (oh, ow) = conv_output_dims(in_height, in_width, kernel, stride, padding);
                 out_channels * oh * ow
             }
             LayerSpec::Pool2d {
@@ -141,8 +140,7 @@ impl LayerSpec {
                 padding,
                 ..
             } => {
-                let (oh, ow) =
-                    conv_output_dims(in_height, in_width, kernel, stride, padding);
+                let (oh, ow) = conv_output_dims(in_height, in_width, kernel, stride, padding);
                 let per_ch = oh * ow;
                 let spatial = out_index % per_ch;
                 let oy = spatial / ow;
@@ -211,8 +209,7 @@ impl LayerSpec {
                 padding,
                 ..
             } => {
-                let (oh, ow) =
-                    conv_output_dims(in_height, in_width, kernel, stride, padding);
+                let (oh, ow) = conv_output_dims(in_height, in_width, kernel, stride, padding);
                 let per_ch = oh * ow;
                 let spatial = out_index % per_ch;
                 let oy = spatial / ow;
@@ -269,9 +266,7 @@ pub fn conv_output_dims(
 
 /// Identifier of one computational unit: `(computational layer index,
 /// unit index within the layer)`. Layer 0 is the sensing/input layer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UnitId {
     /// Computational layer (0 = input).
     pub layer: usize,
@@ -468,17 +463,13 @@ impl UnitGraph {
         let spatial = index % (h * w);
         let y = spatial / w;
         let x = spatial % w;
-        Some((
-            (x as f64 + 0.5) / w as f64,
-            (y as f64 + 0.5) / h as f64,
-        ))
+        Some(((x as f64 + 0.5) / w as f64, (y as f64 + 0.5) / h as f64))
     }
 
     /// Iterates over every computational unit id.
     pub fn unit_ids(&self) -> impl Iterator<Item = UnitId> + '_ {
-        (1..self.layer_sizes.len()).flat_map(move |l| {
-            (0..self.layer_sizes[l]).map(move |u| UnitId::new(l, u))
-        })
+        (1..self.layer_sizes.len())
+            .flat_map(move |l| (0..self.layer_sizes[l]).map(move |u| UnitId::new(l, u)))
     }
 
     /// Total number of dependency edges.

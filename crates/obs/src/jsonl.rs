@@ -1,0 +1,199 @@
+//! JSON Lines export of a [`Snapshot`].
+//!
+//! Each line is one self-describing record (externally tagged by kind), so
+//! dumps can be streamed, grepped, and re-loaded without reading the whole
+//! file. Time-series are expanded to one record per point.
+//!
+//! Record schema (one JSON object per line):
+//!
+//! ```text
+//! {"Counter":{"name":"mac.grants","label":"Global","value":12}}
+//! {"Gauge":{"name":"microdeep.replica_drift","label":{"Node":{"id":3}},"value":0.01}}
+//! {"Histogram":{"name":"...","label":...,"summary":{...}}}
+//! {"SeriesPoint":{"name":"energy.capacitor_v","label":...,"time":1000000,"value":2.4}}
+//! {"Trace":{"time":1000000,"severity":"Warn","label":...,"message":"brownout"}}
+//! ```
+
+use crate::label::Label;
+use crate::recorder::Severity;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+use zeiot_core::time::SimTime;
+use zeiot_sim::metrics::HistogramSummary;
+
+/// One line of a JSONL metrics dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JsonlRecord {
+    /// Final value of one counter instance.
+    Counter {
+        /// Metric family name.
+        name: String,
+        /// Entity the count belongs to.
+        label: Label,
+        /// Final count.
+        value: u64,
+    },
+    /// Last written value of one gauge instance.
+    Gauge {
+        /// Metric family name.
+        name: String,
+        /// Entity the gauge belongs to.
+        label: Label,
+        /// Last written value.
+        value: f64,
+    },
+    /// Summary statistics of one histogram instance.
+    Histogram {
+        /// Metric family name.
+        name: String,
+        /// Entity the distribution belongs to.
+        label: Label,
+        /// Summary statistics.
+        summary: HistogramSummary,
+    },
+    /// One point of one time-series instance.
+    SeriesPoint {
+        /// Metric family name.
+        name: String,
+        /// Entity the series belongs to.
+        label: Label,
+        /// Sample time.
+        time: SimTime,
+        /// Sample value.
+        value: f64,
+    },
+    /// One retained trace event.
+    Trace {
+        /// Simulated time of the event.
+        time: SimTime,
+        /// Event severity.
+        severity: Severity,
+        /// Entity the event concerns.
+        label: Label,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Flattens a snapshot into its JSONL records, in snapshot order.
+pub fn records(snapshot: &Snapshot) -> Vec<JsonlRecord> {
+    let mut out = Vec::new();
+    for e in &snapshot.counters {
+        out.push(JsonlRecord::Counter {
+            name: e.name.clone(),
+            label: e.label.clone(),
+            value: e.value,
+        });
+    }
+    for e in &snapshot.gauges {
+        out.push(JsonlRecord::Gauge {
+            name: e.name.clone(),
+            label: e.label.clone(),
+            value: e.value,
+        });
+    }
+    for e in &snapshot.histograms {
+        out.push(JsonlRecord::Histogram {
+            name: e.name.clone(),
+            label: e.label.clone(),
+            summary: e.summary,
+        });
+    }
+    for e in &snapshot.series {
+        for &(time, value) in &e.points {
+            out.push(JsonlRecord::SeriesPoint {
+                name: e.name.clone(),
+                label: e.label.clone(),
+                time,
+                value,
+            });
+        }
+    }
+    for t in &snapshot.trace {
+        out.push(JsonlRecord::Trace {
+            time: t.time,
+            severity: t.event.severity,
+            label: t.event.label.clone(),
+            message: t.event.message.clone(),
+        });
+    }
+    out
+}
+
+/// Serializes a snapshot as JSON Lines (one record per line, trailing
+/// newline).
+pub fn to_jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for record in records(snapshot) {
+        out.push_str(&serde_json::to_string(&record).expect("records are serializable"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL dump back into records. Blank lines are skipped.
+pub fn from_jsonl(text: &str) -> Result<Vec<JsonlRecord>, serde_json::Error> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Writes a snapshot's JSONL dump to `path`.
+pub fn write_jsonl(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_jsonl(snapshot).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use zeiot_core::id::NodeId;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut rec = Recorder::new();
+        rec.add("mac.grants", Label::Global, 12);
+        rec.add("net.tx", Label::node(NodeId::new(7)), 3);
+        rec.set_gauge("drift", Label::Global, 0.5);
+        rec.observe("cost", Label::Global, 2.0);
+        rec.sample("volts", Label::Global, SimTime::from_secs(1), 2.4);
+        rec.sample("volts", Label::Global, SimTime::from_secs(2), 2.2);
+        rec.trace(
+            SimTime::from_secs(2),
+            Severity::Error,
+            Label::Global,
+            "died",
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample_snapshot();
+        let text = to_jsonl(&snap);
+        assert_eq!(text.lines().count(), 7);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, records(&snap));
+    }
+
+    #[test]
+    fn one_record_per_series_point() {
+        let text = to_jsonl(&sample_snapshot());
+        let points = text.lines().filter(|l| l.contains("SeriesPoint")).count();
+        assert_eq!(points, 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", to_jsonl(&sample_snapshot()));
+        assert_eq!(from_jsonl(&text).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(from_jsonl("{\"Counter\":").is_err());
+    }
+}

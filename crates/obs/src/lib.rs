@@ -1,0 +1,25 @@
+//! Workspace-wide observability: a labeled metric [`Recorder`], severity
+//! tagged tracing, timing spans, an engine [`EngineProbe`], and exporters
+//! (JSONL dump, serializable [`Snapshot`], console summary table).
+//!
+//! # Conventions
+//!
+//! Metric names are `subsystem.metric` (e.g. `microdeep.tx_messages`,
+//! `mac.collisions`, `energy.capacitor_v`); the [`Label`] half of the key
+//! identifies *which* entity — a [`NodeId`](zeiot_core::id::NodeId), a
+//! [`DeviceId`](zeiot_core::id::DeviceId), a named part, or the global
+//! scope.
+
+pub mod jsonl;
+pub mod label;
+pub mod probe;
+pub mod recorder;
+pub mod snapshot;
+pub mod span;
+
+pub use jsonl::{from_jsonl, to_jsonl, write_jsonl, JsonlRecord};
+pub use label::Label;
+pub use probe::{EngineProbe, EventClassifier};
+pub use recorder::{Recorder, Severity, TraceEvent};
+pub use snapshot::{CounterEntry, GaugeEntry, HistogramEntry, SeriesEntry, Snapshot, TraceEntry};
+pub use span::{SimSpan, WallSpan};

@@ -1,0 +1,208 @@
+//! An [`Observer`] that records engine health metrics into a [`Recorder`].
+//!
+//! Attach with [`Engine::with_observer`](zeiot_sim::Engine::with_observer):
+//!
+//! ```
+//! use zeiot_obs::EngineProbe;
+//! use zeiot_sim::{Context, Engine, World};
+//! use zeiot_core::time::SimTime;
+//!
+//! struct Nop;
+//! impl World for Nop {
+//!     type Event = u32;
+//!     fn handle(&mut self, _ctx: &mut Context<'_, u32>, _event: u32) {}
+//! }
+//!
+//! let mut engine = Engine::with_observer(Nop, EngineProbe::<u32>::new());
+//! engine.schedule_at(SimTime::ZERO, 7);
+//! engine.run();
+//! let snap = engine.observer().recorder().snapshot();
+//! assert_eq!(snap.counter_total("engine.events_dispatched"), 1);
+//! ```
+//!
+//! Recorded metrics (all under the `engine.` prefix):
+//!
+//! - `engine.events_scheduled` — counter, [`Label::Global`].
+//! - `engine.events_dispatched` — counter per event kind
+//!   ([`Label::Part`], via the classifier).
+//! - `engine.queue_depth` — histogram of queue depth observed at each
+//!   dispatch, [`Label::Global`].
+//! - `engine.handler_secs` — histogram of wall-clock handler duration per
+//!   event kind.
+//! - `engine.stop_requests` — counter, [`Label::Global`], plus an info
+//!   trace event.
+
+use crate::label::Label;
+use crate::recorder::{Recorder, Severity};
+use std::time::Duration;
+use zeiot_core::time::SimTime;
+use zeiot_sim::Observer;
+
+/// Classifies an event into a static kind name for per-type metrics.
+pub type EventClassifier<E> = fn(&E) -> &'static str;
+
+/// An engine observer that turns probe callbacks into recorder metrics.
+#[derive(Debug)]
+pub struct EngineProbe<E> {
+    recorder: Recorder,
+    classify: EventClassifier<E>,
+    /// Kind of the event currently being handled, so `on_event_handled`
+    /// (which no longer sees the event) can label its duration sample.
+    current_kind: &'static str,
+}
+
+impl<E> EngineProbe<E> {
+    /// A probe that files every event under the kind `"event"`.
+    pub fn new() -> Self {
+        Self::with_classifier(|_| "event")
+    }
+
+    /// A probe that labels per-event metrics with `classify(event)`.
+    pub fn with_classifier(classify: EventClassifier<E>) -> Self {
+        Self {
+            recorder: Recorder::new(),
+            classify,
+            current_kind: "event",
+        }
+    }
+
+    /// The metrics recorded so far.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access, e.g. to add world-level metrics alongside engine ones.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Consumes the probe, returning its recorder.
+    pub fn into_recorder(self) -> Recorder {
+        self.recorder
+    }
+}
+
+impl<E> Default for EngineProbe<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Observer<E> for EngineProbe<E> {
+    fn on_schedule(&mut self, _now: SimTime, _at: SimTime, _queue_depth: usize) {
+        self.recorder.inc("engine.events_scheduled", Label::Global);
+    }
+
+    fn on_event_dispatched(&mut self, _now: SimTime, event: &E, queue_depth: usize) {
+        self.current_kind = (self.classify)(event);
+        self.recorder
+            .inc("engine.events_dispatched", Label::part(self.current_kind));
+        self.recorder
+            .observe("engine.queue_depth", Label::Global, queue_depth as f64);
+    }
+
+    fn on_event_handled(&mut self, _now: SimTime, wall: Duration) {
+        self.recorder.observe(
+            "engine.handler_secs",
+            Label::part(self.current_kind),
+            wall.as_secs_f64(),
+        );
+    }
+
+    fn on_stop(&mut self, now: SimTime, dispatched: u64) {
+        self.recorder.inc("engine.stop_requests", Label::Global);
+        self.recorder.trace(
+            now,
+            Severity::Info,
+            Label::Global,
+            format!("stop requested after {dispatched} events"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::time::SimDuration;
+    use zeiot_sim::{Context, Engine, World};
+
+    /// Re-schedules itself `remaining` times, then requests a stop.
+    struct Countdown {
+        remaining: u32,
+    }
+
+    impl World for Countdown {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, event: u32) {
+            if event > 0 {
+                ctx.schedule_in(SimDuration::from_millis(1), event - 1);
+            } else {
+                ctx.stop();
+                self.remaining = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn probe_counts_schedules_and_dispatches() {
+        let mut engine =
+            Engine::with_observer(Countdown { remaining: 3 }, EngineProbe::<u32>::new());
+        engine.schedule_at(SimTime::ZERO, 3);
+        engine.run();
+        let snap = engine.observer().recorder().snapshot();
+        // Initial schedule + 3 re-schedules.
+        assert_eq!(snap.counter_total("engine.events_scheduled"), 4);
+        assert_eq!(snap.counter_total("engine.events_dispatched"), 4);
+        assert_eq!(snap.counter_total("engine.stop_requests"), 1);
+        let depth = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "engine.queue_depth")
+            .unwrap();
+        assert_eq!(depth.summary.count, 4);
+        let secs = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "engine.handler_secs")
+            .unwrap();
+        assert_eq!(secs.summary.count, 4);
+    }
+
+    #[test]
+    fn classifier_splits_event_kinds() {
+        fn parity(event: &u32) -> &'static str {
+            if event.is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
+            }
+        }
+        let mut engine = Engine::with_observer(
+            Countdown { remaining: 2 },
+            EngineProbe::with_classifier(parity),
+        );
+        engine.schedule_at(SimTime::ZERO, 2);
+        engine.run();
+        let snap = engine.observer().recorder().snapshot();
+        assert_eq!(
+            snap.counter_value("engine.events_dispatched", &Label::part("even")),
+            2
+        );
+        assert_eq!(
+            snap.counter_value("engine.events_dispatched", &Label::part("odd")),
+            1
+        );
+    }
+
+    #[test]
+    fn stop_leaves_a_trace_event() {
+        let mut engine =
+            Engine::with_observer(Countdown { remaining: 1 }, EngineProbe::<u32>::new());
+        engine.schedule_at(SimTime::ZERO, 0);
+        engine.run();
+        let snap = engine.observer().recorder().snapshot();
+        assert_eq!(snap.trace.len(), 1);
+        assert_eq!(snap.trace[0].event.severity, Severity::Info);
+        assert!(snap.trace[0].event.message.contains("stop requested"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Serializable point-in-time views of a [`Recorder`].
+//!
+//! A [`Snapshot`] flattens the recorder's labeled families into plain
+//! entry lists (so it serializes without map-key tricks) and renders a
+//! human-readable console summary via `Display`: one row per metric
+//! family, aggregated across labels.
+
+use crate::label::Label;
+use crate::recorder::{Recorder, Severity, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zeiot_core::time::SimTime;
+use zeiot_sim::metrics::HistogramSummary;
+
+/// One counter instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric family name (`subsystem.metric`).
+    pub name: String,
+    /// Entity the count belongs to.
+    pub label: Label,
+    /// Final count.
+    pub value: u64,
+}
+
+/// One gauge instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric family name.
+    pub name: String,
+    /// Entity the gauge belongs to.
+    pub label: Label,
+    /// Last written value.
+    pub value: f64,
+}
+
+/// One histogram instance, reduced to its summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Metric family name.
+    pub name: String,
+    /// Entity the distribution belongs to.
+    pub label: Label,
+    /// Summary statistics (quantiles by nearest rank).
+    pub summary: HistogramSummary,
+}
+
+/// One time-series instance with its full point list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesEntry {
+    /// Metric family name.
+    pub name: String,
+    /// Entity the series belongs to.
+    pub label: Label,
+    /// Timestamped points in record order.
+    pub points: Vec<(SimTime, f64)>,
+}
+
+/// One retained trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// A serializable point-in-time copy of everything a [`Recorder`] holds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by `(name, label)`.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges, sorted by `(name, label)`.
+    pub gauges: Vec<GaugeEntry>,
+    /// All non-empty histograms, sorted by `(name, label)`.
+    pub histograms: Vec<HistogramEntry>,
+    /// All series, sorted by `(name, label)`.
+    pub series: Vec<SeriesEntry>,
+    /// Retained trace events, oldest first.
+    pub trace: Vec<TraceEntry>,
+    /// Trace events evicted before the snapshot was taken.
+    pub trace_dropped: u64,
+}
+
+impl Recorder {
+    /// Captures a serializable snapshot of all instruments.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters()
+                .map(|(name, label, value)| CounterEntry {
+                    name: name.to_owned(),
+                    label: label.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: self
+                .gauges()
+                .map(|(name, label, value)| GaugeEntry {
+                    name: name.to_owned(),
+                    label: label.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms()
+                .filter_map(|(name, label, histogram)| {
+                    histogram.summary().map(|summary| HistogramEntry {
+                        name: name.to_owned(),
+                        label: label.clone(),
+                        summary,
+                    })
+                })
+                .collect(),
+            series: self
+                .series_iter()
+                .map(|(name, label, series)| SeriesEntry {
+                    name: name.to_owned(),
+                    label: label.clone(),
+                    points: series.points().to_vec(),
+                })
+                .collect(),
+            trace: self
+                .trace_buffer()
+                .iter()
+                .map(|(time, event)| TraceEntry {
+                    time: *time,
+                    event: event.clone(),
+                })
+                .collect(),
+            trace_dropped: self.trace_buffer().dropped(),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Merges another snapshot into this one.
+    ///
+    /// Metric entries are appended and re-sorted by `(name, label)`;
+    /// entries sharing both name and label are kept side by side, so this
+    /// is meant for combining **disjoint** subsystems (e.g. separate
+    /// recorders for MAC and energy runs). Traces are interleaved by
+    /// timestamp — meaningful only to the extent the two snapshots share
+    /// a simulation clock.
+    pub fn merge(&mut self, other: Snapshot) {
+        self.counters.extend(other.counters);
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        self.gauges.extend(other.gauges);
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        self.histograms.extend(other.histograms);
+        self.histograms
+            .sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        self.series.extend(other.series);
+        self.series
+            .sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        self.trace.extend(other.trace);
+        self.trace.sort_by_key(|t| t.time);
+        self.trace_dropped += other.trace_dropped;
+    }
+
+    /// All counter entries of one family.
+    pub fn counters_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a CounterEntry> {
+        self.counters.iter().filter(move |e| e.name == name)
+    }
+
+    /// Sum of a counter family across labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters_named(name).map(|e| e.value).sum()
+    }
+
+    /// The largest instance of a counter family, if any.
+    pub fn counter_max(&self, name: &str) -> Option<&CounterEntry> {
+        self.counters
+            .iter()
+            .filter(|e| e.name == name)
+            .max_by_key(|e| e.value)
+    }
+
+    /// Mean per-label value of a counter family, if any.
+    pub fn counter_mean(&self, name: &str) -> Option<f64> {
+        let mut count = 0u64;
+        let mut total = 0u64;
+        for e in self.counters_named(name) {
+            count += 1;
+            total += e.value;
+        }
+        (count > 0).then(|| total as f64 / count as f64)
+    }
+
+    /// The counter value for one `(name, label)` instance (zero if absent).
+    pub fn counter_value(&self, name: &str, label: &Label) -> u64 {
+        self.counters
+            .iter()
+            .find(|e| e.name == name && &e.label == label)
+            .map_or(0, |e| e.value)
+    }
+
+    /// All series entries of one family.
+    pub fn series_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SeriesEntry> {
+        self.series.iter().filter(move |e| e.name == name)
+    }
+
+    /// Value statistics `(min, mean, max)` over every point of a series
+    /// family, if it has any points.
+    pub fn series_value_stats(&self, name: &str) -> Option<(f64, f64, f64)> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for entry in self.series_named(name) {
+            for &(_, v) in &entry.points {
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| (min, sum / n as f64, max))
+    }
+}
+
+/// Groups entries by family name, preserving name order.
+fn family_names<'a, T>(entries: &'a [T], name_of: impl Fn(&T) -> &str + 'a) -> Vec<&'a str> {
+    let mut names: Vec<&str> = entries.iter().map(name_of).collect();
+    names.dedup();
+    names
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== observability summary ==")?;
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for name in family_names(&self.counters, |e| e.name.as_str()) {
+                let total = self.counter_total(name);
+                let mean = self.counter_mean(name).unwrap_or(0.0);
+                let max = self.counter_max(name).expect("family is non-empty");
+                let labels = self.counters_named(name).count();
+                writeln!(
+                    f,
+                    "  {name:<34} {labels:>4} labels  total {total:>10}  \
+                     mean {mean:>10.1}  max {:>8} @{}",
+                    max.value, max.label
+                )?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for name in family_names(&self.gauges, |e| e.name.as_str()) {
+                let values: Vec<f64> = self
+                    .gauges
+                    .iter()
+                    .filter(|e| e.name == name)
+                    .map(|e| e.value)
+                    .collect();
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                writeln!(
+                    f,
+                    "  {name:<34} {:>4} labels  min {min:>12.4}  mean {mean:>12.4}  \
+                     max {max:>12.4}",
+                    values.len()
+                )?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for entry in &self.histograms {
+                let s = &entry.summary;
+                writeln!(
+                    f,
+                    "  {:<34} @{:<10} n={:<6} mean {:>10.3}  p50 {:>10.3}  \
+                     p99 {:>10.3}  max {:>10.3}",
+                    entry.name, entry.label, s.count, s.mean, s.p50, s.p99, s.max
+                )?;
+            }
+        }
+        if !self.series.is_empty() {
+            writeln!(f, "series:")?;
+            for name in family_names(&self.series, |e| e.name.as_str()) {
+                let instances = self.series_named(name).count();
+                let points: usize = self.series_named(name).map(|e| e.points.len()).sum();
+                match self.series_value_stats(name) {
+                    Some((min, mean, max)) => writeln!(
+                        f,
+                        "  {name:<34} {instances:>4} series  {points:>7} pts  \
+                         min {min:>10.4}  mean {mean:>10.4}  max {max:>10.4}",
+                    )?,
+                    None => writeln!(f, "  {name:<34} {instances:>4} series  {points:>7} pts",)?,
+                }
+            }
+        }
+        let warns = self
+            .trace
+            .iter()
+            .filter(|t| t.event.severity == Severity::Warn)
+            .count();
+        let errors = self
+            .trace
+            .iter()
+            .filter(|t| t.event.severity == Severity::Error)
+            .count();
+        writeln!(
+            f,
+            "trace: {} events retained ({} dropped), {} warn, {} error",
+            self.trace.len(),
+            self.trace_dropped,
+            warns,
+            errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::id::NodeId;
+
+    fn sample_recorder() -> Recorder {
+        let mut rec = Recorder::new();
+        rec.add("net.tx", Label::node(NodeId::new(0)), 4);
+        rec.add("net.tx", Label::node(NodeId::new(1)), 10);
+        rec.set_gauge("drift", Label::Global, 0.125);
+        rec.observe("cost", Label::Global, 1.0);
+        rec.observe("cost", Label::Global, 3.0);
+        rec.sample(
+            "volts",
+            Label::device(zeiot_core::id::DeviceId::new(0)),
+            SimTime::from_secs(1),
+            2.5,
+        );
+        rec.trace(
+            SimTime::from_secs(1),
+            Severity::Warn,
+            Label::Global,
+            "brownout",
+        );
+        rec
+    }
+
+    #[test]
+    fn snapshot_captures_all_instruments() {
+        let snap = sample_recorder().snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.series.len(), 1);
+        assert_eq!(snap.trace.len(), 1);
+        assert_eq!(snap.counter_total("net.tx"), 14);
+        assert_eq!(snap.counter_max("net.tx").unwrap().value, 10);
+        assert_eq!(snap.counter_mean("net.tx"), Some(7.0));
+        assert_eq!(
+            snap.counter_value("net.tx", &Label::node(NodeId::new(0))),
+            4
+        );
+        assert_eq!(snap.series_value_stats("volts"), Some((2.5, 2.5, 2.5)));
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted() {
+        let mut rec = Recorder::new();
+        rec.histogram("empty", Label::Global);
+        assert!(rec.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let snap = sample_recorder().snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_subsystems() {
+        let mut snap = sample_recorder().snapshot();
+        let mut other = Recorder::new();
+        other.inc("mac.grants", Label::Global);
+        // Earlier timestamp than the base snapshot's trace entry: merge
+        // must interleave, not append.
+        other.trace(SimTime::ZERO, Severity::Info, Label::Global, "power on");
+        snap.merge(other.snapshot());
+        assert_eq!(snap.counter_total("net.tx"), 14);
+        assert_eq!(snap.counter_total("mac.grants"), 1);
+        assert!(snap
+            .counters
+            .windows(2)
+            .all(|w| { (&w[0].name, &w[0].label) <= (&w[1].name, &w[1].label) }));
+        assert_eq!(snap.trace.len(), 2);
+        assert!(snap.trace[0].time <= snap.trace[1].time);
+    }
+
+    #[test]
+    fn summary_mentions_every_family() {
+        let text = sample_recorder().snapshot().to_string();
+        for needle in ["net.tx", "drift", "cost", "volts", "1 warn"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

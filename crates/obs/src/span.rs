@@ -1,0 +1,110 @@
+//! Timing spans that record into a [`Recorder`] histogram when finished.
+//!
+//! [`WallSpan`] measures host wall-clock time (profiling the simulator
+//! itself); [`SimSpan`] measures simulated time (profiling the modeled
+//! system). Both record their duration in seconds under the span's metric
+//! name when [`finish`](WallSpan::finish)ed, so repeated spans build a
+//! latency distribution per `(name, label)`.
+
+use crate::label::Label;
+use crate::recorder::Recorder;
+use std::time::{Duration, Instant};
+use zeiot_core::time::{SimDuration, SimTime};
+
+/// A wall-clock timing span. Dropping it without `finish` records nothing.
+#[must_use = "a span records nothing unless finished"]
+#[derive(Debug)]
+pub struct WallSpan {
+    name: String,
+    label: Label,
+    start: Instant,
+}
+
+impl WallSpan {
+    /// Starts timing now.
+    pub fn start(name: impl Into<String>, label: Label) -> Self {
+        Self {
+            name: name.into(),
+            label,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops timing and records the elapsed seconds into `recorder`'s
+    /// histogram for this span's `(name, label)`.
+    pub fn finish(self, recorder: &mut Recorder) -> Duration {
+        let elapsed = self.start.elapsed();
+        recorder.observe(&self.name, self.label, elapsed.as_secs_f64());
+        elapsed
+    }
+}
+
+/// A simulated-time span. Dropping it without `finish` records nothing.
+#[must_use = "a span records nothing unless finished"]
+#[derive(Debug)]
+pub struct SimSpan {
+    name: String,
+    label: Label,
+    start: SimTime,
+}
+
+impl SimSpan {
+    /// Starts a span at simulated time `now`.
+    pub fn start(name: impl Into<String>, label: Label, now: SimTime) -> Self {
+        Self {
+            name: name.into(),
+            label,
+            start: now,
+        }
+    }
+
+    /// Stops the span at simulated time `now` and records the elapsed
+    /// simulated seconds into `recorder`'s histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the span's start time.
+    pub fn finish(self, recorder: &mut Recorder, now: SimTime) -> SimDuration {
+        let elapsed = now - self.start;
+        recorder.observe(&self.name, self.label, elapsed.as_secs_f64());
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_span_records_a_sample() {
+        let mut rec = Recorder::new();
+        let span = WallSpan::start("phase.secs", Label::Global);
+        let elapsed = span.finish(&mut rec);
+        let hist = rec.histogram_ref("phase.secs", &Label::Global).unwrap();
+        assert_eq!(hist.len(), 1);
+        assert!(hist.sum() >= 0.0);
+        assert!(elapsed.as_secs_f64() >= 0.0);
+    }
+
+    #[test]
+    fn sim_span_measures_simulated_time() {
+        let mut rec = Recorder::new();
+        let span = SimSpan::start("round.secs", Label::Global, SimTime::from_secs(10));
+        let elapsed = span.finish(&mut rec, SimTime::from_secs(13));
+        assert_eq!(elapsed, SimDuration::from_secs(3));
+        let hist = rec.histogram_ref("round.secs", &Label::Global).unwrap();
+        assert_eq!(hist.len(), 1);
+        assert!((hist.sum() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_spans_build_a_distribution() {
+        let mut rec = Recorder::new();
+        for i in 0..4u64 {
+            let span = SimSpan::start("round.secs", Label::Global, SimTime::from_secs(i));
+            span.finish(&mut rec, SimTime::from_secs(i + 1));
+        }
+        let hist = rec.histogram_ref("round.secs", &Label::Global).unwrap();
+        assert_eq!(hist.len(), 4);
+    }
+}

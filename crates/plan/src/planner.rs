@@ -222,7 +222,13 @@ mod tests {
         let p = planner();
         // Choose a cycle between the 1-channel and 4-channel round times.
         let one = p.plan(&req(10_000, 1)).unwrap().round_duration;
-        let four = p.plan(&Requirements { channels: 4, ..req(10_000, 1) }).unwrap().round_duration;
+        let four = p
+            .plan(&Requirements {
+                channels: 4,
+                ..req(10_000, 1)
+            })
+            .unwrap()
+            .round_duration;
         assert!(four <= one);
         if four < one {
             let mid = SimDuration::from_nanos((one.as_nanos() + four.as_nanos()) / 2);

@@ -130,11 +130,7 @@ impl CollectionSchedule {
         to: NodeId,
         slot: usize,
     ) -> Option<usize> {
-        let existing: &[ScheduledTx] = self
-            .slots
-            .get(slot)
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+        let existing: &[ScheduledTx] = self.slots.get(slot).map(Vec::as_slice).unwrap_or(&[]);
         // Half-duplex (single radio): node busy in this slot on any
         // channel blocks all channels.
         for tx in existing {
@@ -197,7 +193,11 @@ impl CollectionSchedule {
 
     /// Validates all three scheduling invariants; used by tests and by
     /// the planner's self-check.
-    pub fn verify(&self, topo: &Topology, tree: &CollectionTree) -> std::result::Result<(), String> {
+    pub fn verify(
+        &self,
+        topo: &Topology,
+        tree: &CollectionTree,
+    ) -> std::result::Result<(), String> {
         // Precedence per packet.
         use std::collections::HashMap;
         let mut hop_slots: HashMap<(NodeId, NodeId), usize> = HashMap::new(); // (origin, from) -> slot

@@ -83,13 +83,10 @@ impl CollectionTree {
         let n = self.parent.len();
         self.subtree = vec![0; n];
         // Process nodes in decreasing depth so children are done first.
-        let mut order: Vec<usize> = (0..n)
-            .filter(|&i| self.depth[i] != usize::MAX)
-            .collect();
+        let mut order: Vec<usize> = (0..n).filter(|&i| self.depth[i] != usize::MAX).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.depth[i]));
         for i in order {
-            self.subtree[i] = 1 + self
-                .children[i]
+            self.subtree[i] = 1 + self.children[i]
                 .iter()
                 .map(|c| self.subtree[c.index()])
                 .sum::<usize>();
@@ -255,10 +252,7 @@ mod tests {
         assert_eq!(*path.first().unwrap(), NodeId::new(15));
         assert_eq!(*path.last().unwrap(), NodeId::new(0));
         for w in path.windows(2) {
-            assert_eq!(
-                tree.depth(w[1]).unwrap() + 1,
-                tree.depth(w[0]).unwrap()
-            );
+            assert_eq!(tree.depth(w[1]).unwrap() + 1, tree.depth(w[0]).unwrap());
         }
     }
 

@@ -234,9 +234,7 @@ impl<P: PathLoss> BackscatterBudget<P> {
 
     /// Backscattered power arriving at the receiver.
     pub fn received_power(&self, exciter_to_tag_m: f64, tag_to_rx_m: f64) -> Dbm {
-        self.power_at_tag(exciter_to_tag_m)
-            - self.tag_loss
-            - self.path_loss.loss(tag_to_rx_m)
+        self.power_at_tag(exciter_to_tag_m) - self.tag_loss - self.path_loss.loss(tag_to_rx_m)
     }
 
     /// The self-interference the receiver sees directly from the exciter

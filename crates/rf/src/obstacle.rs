@@ -121,7 +121,10 @@ impl ObstacleMap {
     /// metres: a cross of interior drywall (4 dB) with door gaps in the
     /// middle of each wing.
     pub fn four_rooms(width_m: f64, height_m: f64) -> Self {
-        assert!(width_m > 0.0 && height_m > 0.0, "dimensions must be positive");
+        assert!(
+            width_m > 0.0 && height_m > 0.0,
+            "dimensions must be positive"
+        );
         let (cx, cy) = (width_m / 2.0, height_m / 2.0);
         let door = 1.0; // 1 m door gap
         let att = 4.0;
@@ -196,9 +199,15 @@ mod tests {
     fn crossing_detection() {
         let map = ObstacleMap::new(vec![wall_x5()]);
         // Crosses.
-        assert_eq!(map.crossings(Point2::new(0.0, 5.0), Point2::new(10.0, 5.0)), 1);
+        assert_eq!(
+            map.crossings(Point2::new(0.0, 5.0), Point2::new(10.0, 5.0)),
+            1
+        );
         // Parallel, same side.
-        assert_eq!(map.crossings(Point2::new(0.0, 1.0), Point2::new(4.0, 9.0)), 0);
+        assert_eq!(
+            map.crossings(Point2::new(0.0, 1.0), Point2::new(4.0, 9.0)),
+            0
+        );
         // Beyond the wall's extent.
         assert_eq!(
             map.crossings(Point2::new(0.0, 12.0), Point2::new(10.0, 12.0)),
@@ -223,7 +232,10 @@ mod tests {
     fn touching_endpoint_counts_as_crossing() {
         let map = ObstacleMap::new(vec![wall_x5()]);
         // Link endpoint exactly on the wall.
-        assert_eq!(map.crossings(Point2::new(5.0, 5.0), Point2::new(9.0, 5.0)), 1);
+        assert_eq!(
+            map.crossings(Point2::new(5.0, 5.0), Point2::new(9.0, 5.0)),
+            1
+        );
     }
 
     #[test]

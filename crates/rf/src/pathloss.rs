@@ -152,8 +152,7 @@ impl PathLoss for LogDistance {
         );
         let d = distance_m.max(self.reference_distance_m);
         Decibel::new(
-            self.reference_loss_db
-                + 10.0 * self.exponent * (d / self.reference_distance_m).log10(),
+            self.reference_loss_db + 10.0 * self.exponent * (d / self.reference_distance_m).log10(),
         )
     }
 
@@ -202,8 +201,7 @@ impl TwoRayGround {
         let rx_height_m = require_positive("rx_height_m", rx_height_m)?;
         let wavelength = frequency.wavelength_m();
         // Standard crossover: 4 π ht hr / λ.
-        let crossover_m =
-            4.0 * std::f64::consts::PI * tx_height_m * rx_height_m / wavelength;
+        let crossover_m = 4.0 * std::f64::consts::PI * tx_height_m * rx_height_m / wavelength;
         Ok(Self {
             free_space: FreeSpace::new(frequency),
             tx_height_m,

@@ -122,9 +122,9 @@ impl PeopleCounter {
         let model = self.models.iter().find(|m| m.count == count)?;
         let x = features.as_array();
         let mut ll = 0.0;
-        for d in 0..2 {
-            let z = (x[d] - model.mean[d]).powi(2) / model.var[d];
-            ll += -0.5 * (z + model.var[d].ln());
+        for ((xv, mean), var) in x.iter().zip(&model.mean).zip(&model.var) {
+            let z = (xv - mean).powi(2) / var;
+            ll += -0.5 * (z + var.ln());
         }
         Some(ll)
     }
@@ -153,7 +153,11 @@ mod tests {
 
     /// Synthetic calibration: inter-node RSSI falls ~0.8 dB per person,
     /// surrounding rises ~0.9 dB per device.
-    fn calibration(rng: &mut SeedRng, per_count: usize, max: usize) -> Vec<(CountingFeatures, usize)> {
+    fn calibration(
+        rng: &mut SeedRng,
+        per_count: usize,
+        max: usize,
+    ) -> Vec<(CountingFeatures, usize)> {
         let mut out = Vec::new();
         for count in 0..=max {
             for _ in 0..per_count {
@@ -199,7 +203,9 @@ mod tests {
         ];
         let counter = PeopleCounter::fit(&train).unwrap();
         assert_eq!(counter.known_counts(), vec![0, 5]);
-        assert!(counter.log_likelihood(&CountingFeatures::new(-60.0, -95.0), 3).is_none());
+        assert!(counter
+            .log_likelihood(&CountingFeatures::new(-60.0, -95.0), 3)
+            .is_none());
     }
 
     #[test]

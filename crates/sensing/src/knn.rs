@@ -144,10 +144,7 @@ impl KnnClassifier {
     /// Panics if `test` is empty.
     pub fn accuracy(&self, test: &[(Vec<f64>, usize)]) -> f64 {
         assert!(!test.is_empty(), "empty test set");
-        let correct = test
-            .iter()
-            .filter(|(f, l)| self.predict(f) == *l)
-            .count();
+        let correct = test.iter().filter(|(f, l)| self.predict(f) == *l).count();
         correct as f64 / test.len() as f64
     }
 }
@@ -186,8 +183,14 @@ mod tests {
         let mut rng = SeedRng::new(1);
         let mut train = Vec::new();
         for _ in 0..50 {
-            train.push((vec![0.001 + 0.0001 * rng.normal(), 1000.0 * rng.normal()], 0));
-            train.push((vec![-0.001 + 0.0001 * rng.normal(), 1000.0 * rng.normal()], 1));
+            train.push((
+                vec![0.001 + 0.0001 * rng.normal(), 1000.0 * rng.normal()],
+                0,
+            ));
+            train.push((
+                vec![-0.001 + 0.0001 * rng.normal(), 1000.0 * rng.normal()],
+                1,
+            ));
         }
         let knn = KnnClassifier::fit(&train, 5).unwrap();
         let mut correct = 0;

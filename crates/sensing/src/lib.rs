@@ -50,5 +50,5 @@ pub use counting::{CountingFeatures, PeopleCounter};
 pub use csi::CsiLocalizer;
 pub use knn::KnnClassifier;
 pub use sociogram::{Sociogram, SociogramBuilder};
-pub use trajectory::{BlobTracker, IntruderVerdict, Trajectory};
 pub use train::{CongestionEstimator, TrainObservation};
+pub use trajectory::{BlobTracker, IntruderVerdict, Trajectory};

@@ -82,9 +82,7 @@ impl Sociogram {
                 .position(|g| g.contains(&c))
                 .expect("truth covers all children")
         };
-        let mine_of = |c: u32| -> Option<usize> {
-            self.groups.iter().position(|g| g.contains(&c))
-        };
+        let mine_of = |c: u32| -> Option<usize> { self.groups.iter().position(|g| g.contains(&c)) };
         let mut agree = 0u64;
         let mut total = 0u64;
         for a in 0..n {
@@ -218,10 +216,7 @@ impl SociogramBuilder {
         for c in 0..children {
             groups_map.entry(label[c as usize]).or_default().push(c);
         }
-        let groups: Vec<Vec<u32>> = groups_map
-            .into_values()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let groups: Vec<Vec<u32>> = groups_map.into_values().filter(|g| g.len() >= 2).collect();
 
         let has_edge: Vec<bool> = {
             let mut v = vec![false; n];

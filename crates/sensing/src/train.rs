@@ -134,11 +134,7 @@ impl CongestionEstimator {
             } else {
                 let n = present[hop].len() as f64;
                 let mean = present[hop].iter().sum::<f64>() / n;
-                let var = present[hop]
-                    .iter()
-                    .map(|v| (v - mean).powi(2))
-                    .sum::<f64>()
-                    / n;
+                let var = present[hop].iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
                 (mean, var.max(1.0))
             };
             hop_models.push(HopModel {
@@ -258,8 +254,8 @@ impl CongestionEstimator {
             for (level, model) in self.level_models.iter().enumerate() {
                 let Some(m) = model else { continue };
                 let mut ll = 0.0;
-                for d in 0..2 {
-                    ll += -0.5 * ((f[d] - m.mean[d]).powi(2) / m.var[d] + m.var[d].ln());
+                for ((fv, mean), var) in f.iter().zip(&m.mean).zip(&m.var) {
+                    ll += -0.5 * ((fv - mean).powi(2) / var + var.ln());
                 }
                 if ll > best.1 {
                     best = (level, ll);
@@ -292,8 +288,8 @@ fn user_features(
     let mut count = 0usize;
     let mut rssi_sum = 0.0;
     let mut rssi_n = 0usize;
-    for v in 0..obs.users() {
-        if v == user || user_cars[v] != car {
+    for (v, &other_car) in user_cars.iter().enumerate().take(obs.users()) {
+        if v == user || other_car != car {
             continue;
         }
         count += 1;

@@ -60,12 +60,7 @@ impl Trajectory {
     /// Crossing direction: positive = left→right, `None` with fewer
     /// than two detections.
     pub fn direction(&self) -> Option<f64> {
-        let pts: Vec<f64> = self
-            .detections
-            .iter()
-            .flatten()
-            .map(|d| d.x)
-            .collect();
+        let pts: Vec<f64> = self.detections.iter().flatten().map(|d| d.x).collect();
         if pts.len() < 2 {
             return None;
         }
@@ -75,12 +70,7 @@ impl Trajectory {
     /// Mean blob height over detected frames, `None` when never
     /// detected.
     pub fn mean_height(&self) -> Option<f64> {
-        let hs: Vec<f64> = self
-            .detections
-            .iter()
-            .flatten()
-            .map(|d| d.height)
-            .collect();
+        let hs: Vec<f64> = self.detections.iter().flatten().map(|d| d.height).collect();
         if hs.is_empty() {
             None
         } else {

@@ -39,7 +39,7 @@ pub mod metrics;
 pub mod queue;
 pub mod trace;
 
-pub use engine::{Context, Engine, World};
-pub use metrics::{Counter, Histogram, MetricSet, TimeSeries};
+pub use engine::{Context, Engine, NoopObserver, Observer, World};
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricSet, TimeSeries};
 pub use queue::EventQueue;
 pub use trace::TraceBuffer;

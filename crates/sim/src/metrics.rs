@@ -30,14 +30,15 @@ impl Counter {
         Self(0)
     }
 
-    /// Adds one.
+    /// Adds one, saturating at `u64::MAX`.
     pub fn increment(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX` so long-running simulations
+    /// degrade to a pinned counter instead of an overflow panic.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// The current count.
@@ -115,11 +116,7 @@ impl Histogram {
     /// Population standard deviation, or `None` if empty.
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         Some(var.sqrt())
     }
@@ -146,7 +143,10 @@ impl Histogram {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.samples.is_empty() {
             return None;
         }
@@ -163,6 +163,75 @@ impl Histogram {
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
+
+    /// A sorted copy of the samples, usable without `&mut` access.
+    ///
+    /// When the lazy sort cache is warm this is a plain clone; otherwise
+    /// the copy is sorted without disturbing the histogram itself, so
+    /// read-only exporters (snapshots, serializers) can compute quantiles
+    /// from shared references.
+    pub fn sorted_snapshot(&self) -> Vec<f64> {
+        let mut samples = self.samples.clone();
+        if !self.sorted {
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded at record"));
+        }
+        samples
+    }
+
+    /// Summary statistics computed from `&self`, or `None` if empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sorted = self.sorted_snapshot();
+        let nearest_rank = |q: f64| -> f64 {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        Some(HistogramSummary {
+            count: sorted.len(),
+            mean: self.mean().expect("non-empty"),
+            std_dev: self.std_dev().expect("non-empty"),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            sum: self.sum(),
+            p50: nearest_rank(0.5),
+            p90: nearest_rank(0.9),
+            p99: nearest_rank(0.99),
+        })
+    }
+
+    /// Appends every sample of `other`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        if !other.samples.is_empty() {
+            self.sorted = false;
+        }
+    }
+}
+
+/// Point-in-time summary statistics of a [`Histogram`], computable from a
+/// shared reference (quantiles by the same nearest-rank method).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
 }
 
 /// A timestamped sequence of measurements.
@@ -194,7 +263,10 @@ impl TimeSeries {
     /// # Panics
     ///
     /// Panics if `time` precedes the last recorded point; series are
-    /// append-only in time order.
+    /// append-only in time order. Ordering is enforced in release builds
+    /// too — the workspace-wide policy for time-ordered instruments (see
+    /// also [`crate::trace::TraceBuffer::push`]), since a silently
+    /// misordered series corrupts every time-weighted statistic.
     pub fn record(&mut self, time: SimTime, value: f64) {
         if let Some(&(last, _)) = self.points.last() {
             assert!(time >= last, "time series must be recorded in order");
@@ -304,6 +376,39 @@ impl MetricSet {
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
         self.counters.keys().map(String::as_str)
     }
+
+    /// Names of all histograms, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Names of all time series, sorted.
+    pub fn time_series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Folds `other` into `self`: counters add, histograms append their
+    /// samples, and series append their points. Used by bench ablations to
+    /// combine per-trial metric sets into one aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a merged series would violate time ordering (`other`'s
+    /// points must not precede `self`'s latest point for that name).
+    pub fn merge(&mut self, other: MetricSet) {
+        for (name, counter) in other.counters {
+            self.counter(&name).add(counter.value());
+        }
+        for (name, histogram) in other.histograms {
+            self.histogram(&name).merge(&histogram);
+        }
+        for (name, series) in other.series {
+            let target = self.time_series(&name);
+            for (time, value) in series.points {
+                target.record(time, value);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +490,97 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.record(SimTime::from_secs(5), 1.0);
         ts.record(SimTime::from_secs(4), 2.0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.value(), u64::MAX);
+        c.increment();
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn sorted_snapshot_reads_from_shared_reference() {
+        let mut h = Histogram::new();
+        for v in [9.0, 1.0, 5.0] {
+            h.record(v);
+        }
+        let h = h; // freeze: quantiles must be reachable without &mut
+        assert_eq!(h.sorted_snapshot(), vec![1.0, 5.0, 9.0]);
+        // The histogram itself is untouched (still insertion order).
+        assert_eq!(h.samples(), &[9.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn summary_matches_mutable_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, h.quantile(0.5).unwrap());
+        assert_eq!(s.p90, h.quantile(0.9).unwrap());
+        assert_eq!(s.p99, h.quantile(0.99).unwrap());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, h.mean().unwrap());
+        assert!(Histogram::new().summary().is_none());
+    }
+
+    #[test]
+    fn histogram_merge_appends_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.sorted_snapshot(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn metric_set_merge_combines_instruments() {
+        let mut base = MetricSet::new();
+        base.counter("n").add(2);
+        base.histogram("h").record(1.0);
+        base.time_series("t").record(SimTime::from_secs(1), 0.5);
+
+        let mut other = MetricSet::new();
+        other.counter("n").add(3);
+        other.counter("extra").increment();
+        other.histogram("h").record(9.0);
+        other.time_series("t").record(SimTime::from_secs(2), 0.8);
+
+        base.merge(other);
+        assert_eq!(base.get_counter("n").unwrap().value(), 5);
+        assert_eq!(base.get_counter("extra").unwrap().value(), 1);
+        assert_eq!(base.get_histogram("h").unwrap().len(), 2);
+        assert_eq!(base.get_time_series("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn metric_set_merge_rejects_backwards_series() {
+        let mut base = MetricSet::new();
+        base.time_series("t").record(SimTime::from_secs(10), 1.0);
+        let mut other = MetricSet::new();
+        other.time_series("t").record(SimTime::from_secs(5), 2.0);
+        base.merge(other);
+    }
+
+    #[test]
+    fn metric_set_name_listings() {
+        let mut m = MetricSet::new();
+        m.histogram("hb");
+        m.histogram("ha");
+        m.time_series("ts");
+        assert_eq!(m.histogram_names().collect::<Vec<_>>(), vec!["ha", "hb"]);
+        assert_eq!(m.time_series_names().collect::<Vec<_>>(), vec!["ts"]);
     }
 
     #[test]

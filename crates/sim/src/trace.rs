@@ -52,11 +52,15 @@ impl<T> TraceBuffer<T> {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `time` precedes the newest entry —
-    /// traces record causally ordered simulation events.
+    /// Panics if `time` precedes the newest entry — traces record causally
+    /// ordered simulation events. Like
+    /// [`TimeSeries::record`](crate::metrics::TimeSeries::record), ordering
+    /// is enforced in release builds too (workspace policy for time-ordered
+    /// instruments): a misordered trace would silently lie about causality
+    /// exactly when it is being used to debug it.
     pub fn push(&mut self, time: SimTime, entry: T) {
         if let Some(&(last, _)) = self.entries.back() {
-            debug_assert!(time >= last, "trace entries must be time-ordered");
+            assert!(time >= last, "trace entries must be time-ordered");
         }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
@@ -154,5 +158,23 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         let _: TraceBuffer<u8> = TraceBuffer::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_push_panics_in_release_too() {
+        // Same enforcement policy as TimeSeries::record: a plain assert,
+        // active in all build profiles.
+        let mut trace = TraceBuffer::new(4);
+        trace.push(SimTime::from_secs(2), "late");
+        trace.push(SimTime::from_secs(1), "early");
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        let mut trace = TraceBuffer::new(4);
+        trace.push(SimTime::from_secs(1), "a");
+        trace.push(SimTime::from_secs(1), "b");
+        assert_eq!(trace.len(), 2);
     }
 }

@@ -54,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Communication: 30 sensor tags on the facility Wi-Fi.
     let mac = MacConfig::default_with_devices(30)?;
-    let report = simulate(&mac, MacMode::Scheduled, SimDuration::from_secs(30), &mut rng);
+    let report = simulate(
+        &mac,
+        MacMode::Scheduled,
+        SimDuration::from_secs(30),
+        &mut rng,
+    );
     println!(
         "mac: backscatter delivery {:.1}%, Wi-Fi delivery {:.1}%, dummy overhead {:.2}%",
         report.backscatter_delivery_ratio() * 100.0,
@@ -70,12 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = config.unit_graph()?;
     let topo = Topology::grid(8, 8, 0.5, 0.75)?;
     let assignment = Assignment::balanced_correspondence(&graph, &topo);
-    let mut net = DistributedCnn::new(
-        config,
-        assignment.clone(),
-        WeightUpdate::PerUnit,
-        &mut rng,
-    );
+    let mut net = DistributedCnn::new(config, assignment.clone(), WeightUpdate::PerUnit, &mut rng);
     for _ in 0..10 {
         net.train_epoch(train, 0.04, 16, &mut rng);
     }

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generator = GaitGenerator::paper_array()?;
     let data = generator.generate(400, 5, &mut rng);
     let (train, test) = data.split_at(320);
-    println!("dataset: {} train / {} test windows", train.len(), test.len());
+    println!(
+        "dataset: {} train / {} test windows",
+        train.len(),
+        test.len()
+    );
 
     // 2. The canonical MicroDeep CNN: conv → pool → dense → dense.
     let config = CnnConfig::new(10, 8, 8, 4, 3, 2, 16, 2)?;

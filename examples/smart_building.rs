@@ -48,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for count in 0..=8usize {
         for _ in 0..25 {
             let people: Vec<Point2> = (0..count)
-                .map(|_| {
-                    Point2::new(rng.uniform_range(0.0, 9.0), rng.uniform_range(0.0, 9.0))
-                })
+                .map(|_| Point2::new(rng.uniform_range(0.0, 9.0), rng.uniform_range(0.0, 9.0)))
                 .collect();
             let inter = sampler.inter_node_rssi(&people, &mut rng);
             let surrounding = sampler.surrounding_rssi(&people, 0.9, &mut rng);

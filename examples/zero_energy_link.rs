@@ -58,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = CycleRegistry::new(250e3, 0.10)?;
     let prototype = Registration::new(DeviceId::new(0), SimDuration::from_millis(500), 32 * 8)?;
     let capacity = registry.capacity_for(&prototype);
-    println!(
-        "admission: {capacity} tags at one 32-byte report per 500 ms fit in 10% of the band"
-    );
+    println!("admission: {capacity} tags at one 32-byte report per 500 ms fit in 10% of the band");
     for i in 0..capacity.min(100) as u32 {
         registry.register(Registration::new(
             DeviceId::new(i),

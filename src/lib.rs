@@ -19,6 +19,7 @@
 //! | [`sensing`] | `zeiot-sensing` | train congestion/positioning, people counting, CSI localization, PEM, sociograms, trajectories |
 //! | [`plan`] | `zeiot-plan` | design-support planner: collection trees, TDMA schedules, failure replanning |
 //! | [`data`] | `zeiot-data` | synthetic datasets standing in for the paper's hardware captures |
+//! | [`obs`] | `zeiot-obs` | observability: labeled metrics recorder, engine probe, tracing, JSONL export |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use zeiot_energy as energy;
 pub use zeiot_microdeep as microdeep;
 pub use zeiot_net as net;
 pub use zeiot_nn as nn;
+pub use zeiot_obs as obs;
 pub use zeiot_plan as plan;
 pub use zeiot_rf as rf;
 pub use zeiot_sensing as sensing;

@@ -25,8 +25,7 @@ fn admitted_devices_deliver_under_the_scheduled_mac() {
     assert!(capacity >= 10, "capacity={capacity}");
     let mut devices = Vec::new();
     for i in 0..capacity as u32 {
-        let reg =
-            Registration::new(DeviceId::new(i), SimDuration::from_millis(500), 256).unwrap();
+        let reg = Registration::new(DeviceId::new(i), SimDuration::from_millis(500), 256).unwrap();
         registry.register(reg).unwrap();
         devices.push(reg);
     }
@@ -36,7 +35,12 @@ fn admitted_devices_deliver_under_the_scheduled_mac() {
         ..MacConfig::default_with_devices(1).unwrap()
     };
     let mut rng = SeedRng::new(4);
-    let report = simulate(&config, MacMode::Scheduled, SimDuration::from_secs(20), &mut rng);
+    let report = simulate(
+        &config,
+        MacMode::Scheduled,
+        SimDuration::from_secs(20),
+        &mut rng,
+    );
     // Delivery approaches the configured link quality (0.9).
     assert!(
         report.backscatter_delivery_ratio() > 0.8,
@@ -93,7 +97,12 @@ fn link_quality_and_mac_success_are_consistent() {
     let mut config = MacConfig::default_with_devices(10).unwrap();
     config.bs_packet_success = success;
     let mut rng = SeedRng::new(6);
-    let report = simulate(&config, MacMode::Scheduled, SimDuration::from_secs(30), &mut rng);
+    let report = simulate(
+        &config,
+        MacMode::Scheduled,
+        SimDuration::from_secs(30),
+        &mut rng,
+    );
     assert!(
         (report.backscatter_delivery_ratio() - success).abs() < 0.05,
         "mac {} vs phy {}",
@@ -106,9 +115,19 @@ fn link_quality_and_mac_success_are_consistent() {
 fn naive_coexistence_collapses_under_load_scheduled_does_not() {
     let config = MacConfig::default_with_devices(60).unwrap();
     let mut rng = SeedRng::new(7);
-    let sched = simulate(&config, MacMode::Scheduled, SimDuration::from_secs(20), &mut rng);
+    let sched = simulate(
+        &config,
+        MacMode::Scheduled,
+        SimDuration::from_secs(20),
+        &mut rng,
+    );
     let mut rng = SeedRng::new(7);
-    let naive = simulate(&config, MacMode::Naive, SimDuration::from_secs(20), &mut rng);
+    let naive = simulate(
+        &config,
+        MacMode::Naive,
+        SimDuration::from_secs(20),
+        &mut rng,
+    );
     assert!(sched.backscatter_delivery_ratio() > naive.backscatter_delivery_ratio() + 0.2);
     assert!(sched.wlan_delivery_ratio() > naive.wlan_delivery_ratio() + 0.1);
 }

@@ -20,12 +20,7 @@ fn temperature_pipeline_learns_and_saves_traffic() {
     let topo = Topology::grid(10, 5, 5.0, 7.6).unwrap();
     let assignment = Assignment::balanced_correspondence(&graph, &topo);
 
-    let mut net = DistributedCnn::new(
-        config,
-        assignment.clone(),
-        WeightUpdate::PerUnit,
-        &mut rng,
-    );
+    let mut net = DistributedCnn::new(config, assignment.clone(), WeightUpdate::PerUnit, &mut rng);
     let first_loss = net.train_epoch(train, 0.05, 16, &mut rng);
     let mut last_loss = first_loss;
     for _ in 0..6 {

@@ -69,19 +69,13 @@ fn trained_model_survives_reassignment() {
         .generate(150, 3, &mut rng);
     let (train, test) = data.split_at(120);
 
-    let mut net = DistributedCnn::new(
-        config,
-        assignment.clone(),
-        WeightUpdate::PerUnit,
-        &mut rng,
-    );
+    let mut net = DistributedCnn::new(config, assignment.clone(), WeightUpdate::PerUnit, &mut rng);
     for _ in 0..6 {
         net.train_epoch(train, 0.04, 16, &mut rng);
     }
     let acc_before = net.accuracy(test);
 
-    let (repaired, _) =
-        reassign_after_failures(&graph, &topo, &assignment, &[NodeId::new(20)]);
+    let (repaired, _) = reassign_after_failures(&graph, &topo, &assignment, &[NodeId::new(20)]);
     // Placement is metadata for cost purposes; the function is identical.
     let cost = CostModel::new(&topo);
     let before = cost.forward_cost(&graph, &assignment).max_cost();
@@ -98,8 +92,7 @@ fn progressive_failures_degrade_gracefully() {
     let mut peak_costs = Vec::new();
     for kill in [0usize, 4, 8, 16] {
         let failed: Vec<NodeId> = (0..kill as u32).map(|i| NodeId::new(i * 3 + 1)).collect();
-        let (repaired, report) =
-            reassign_after_failures(&graph, &topo, &assignment, &failed);
+        let (repaired, report) = reassign_after_failures(&graph, &topo, &assignment, &failed);
         assert!(report.fully_recovered(), "kill={kill}: {report:?}");
         let degraded = topo.without_nodes(&failed);
         let cost = CostModel::new(&degraded);
@@ -111,5 +104,8 @@ fn progressive_failures_degrade_gracefully() {
         .forward_cost(&graph, &Assignment::centralized(&graph, &topo))
         .max_cost();
     assert!(peak_costs[3] >= peak_costs[0]);
-    assert!(peak_costs[3] < central, "{peak_costs:?} vs central {central}");
+    assert!(
+        peak_costs[3] < central,
+        "{peak_costs:?} vs central {central}"
+    );
 }

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This container builds without network access, so the workspace vendors a
+//! minimal API-compatible subset of `rand` 0.8: the [`RngCore`] trait (which
+//! `zeiot_core::rng::SeedRng` implements for interoperability) and the
+//! [`Error`] type referenced by `try_fill_bytes`. Nothing else from `rand`
+//! is used anywhere in the workspace.
+
+use std::fmt;
+
+/// Core random-number generation trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// The next `u32` from the stream.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next `u64` from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible variant of [`RngCore::fill_bytes`]; infallible for every
+    /// generator in this workspace.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Error type for fallible RNG operations, mirroring `rand::Error`.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u32);
+
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let hi = self.next_u32() as u64;
+            let lo = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let bytes = self.next_u32().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn default_try_fill_bytes_delegates() {
+        let mut rng = Counting(0);
+        let mut buf = [0u8; 5];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut rng = Counting(0);
+        let r = &mut rng;
+        fn takes_rng<R: RngCore>(mut r: R) -> u32 {
+            r.next_u32()
+        }
+        assert_eq!(takes_rng(r), 1);
+    }
+}

@@ -1,0 +1,490 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This container has no network access, so the workspace vendors a small
+//! value-tree serialization framework exposing the subset of serde's API
+//! the workspace uses: the [`Serialize`]/[`Deserialize`] traits (via an
+//! intermediate [`Value`] tree rather than serde's visitor machinery),
+//! derive macros re-exported from the vendored `serde_derive`, and impls
+//! for the primitive/std types that appear in zeiot data structures.
+//!
+//! Encoding conventions match `serde_json` where the workspace can observe
+//! them: newtype structs are transparent, unit enum variants serialize as
+//! their name string, struct variants are externally tagged, map keys are
+//! stringified, and non-finite floats serialize as `null`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/serializable JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (duplicates are not merged).
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving 64-bit integer precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for large integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The value as a `u64` if exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as an `i64` if exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl Value {
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a type into a [`Value`] tree. Mirrors `serde::Serialize` in
+/// role, not in mechanism.
+pub trait Serialize {
+    /// The value-tree encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a type from a [`Value`] tree. Mirrors `serde::Deserialize`.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Extracts and deserializes object field `name` from `value`.
+///
+/// Used by the derive-generated code; exposed for hand-written impls.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value {
+        Value::Object(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => Err(Error::custom(format!("missing field `{name}`"))),
+        },
+        _ => Err(Error::custom(format!(
+            "expected object while reading field `{name}`"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Num(n) => n.as_u64(),
+                    _ => None,
+                };
+                n.and_then(|u| <$t>::try_from(u).ok()).ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Number::U(v as u64))
+                } else {
+                    Value::Num(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Num(n) => n.as_i64(),
+                    _ => None,
+                };
+                n.and_then(|i| <$t>::try_from(i).ok()).ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Num(Number::F(f))
+                } else {
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(n.as_f64() as $t),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut parsed = Vec::with_capacity(N);
+        for item in items {
+            parsed.push(T::from_value(item)?);
+        }
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($len:expr => $($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected tuple array"))?;
+                if items.len() != $len {
+                    return Err(Error::custom("wrong tuple length"));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impl! {
+    (2 => A: 0, B: 1),
+    (3 => A: 0, B: 1, C: 2),
+    (4 => A: 0, B: 1, C: 2, D: 3),
+}
+
+/// Converts a serialized map key into its object-key string form.
+fn key_to_string(value: Value) -> Result<String, Error> {
+    match value {
+        Value::Str(s) => Ok(s),
+        Value::Num(Number::U(u)) => Ok(u.to_string()),
+        Value::Num(Number::I(i)) => Ok(i.to_string()),
+        Value::Num(Number::F(f)) => Ok(f.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err(Error::custom("unsupported map key type")),
+    }
+}
+
+/// Recovers a map key from its object-key string form, trying the string
+/// representation first and then numeric reinterpretations (integer-keyed
+/// maps round-trip through stringified keys, as in serde_json).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::U(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::I(i))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::F(f))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = key_to_string(k.to_value()).expect("map key must serialize to a scalar");
+            entries.push((key, v.to_value()));
+        }
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object for map"))?;
+        let mut map = BTreeMap::new();
+        for (k, v) in entries {
+            map.insert(key_from_string(k)?, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let some = Some(7u32).to_value();
+        assert_eq!(Option::<u32>::from_value(&some).unwrap(), Some(7));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 1;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn negative_integers_round_trip() {
+        let v = (-42i32).to_value();
+        assert_eq!(i32::from_value(&v).unwrap(), -42);
+        assert!(u32::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn integer_keyed_map_round_trips() {
+        let mut map = BTreeMap::new();
+        map.insert(3u32, "x".to_string());
+        map.insert(11u32, "y".to_string());
+        let v = map.to_value();
+        let back: BTreeMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn de_field_reports_missing() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(de_field::<bool>(&obj, "a").unwrap());
+        assert!(de_field::<bool>(&obj, "b").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which cannot be fetched
+//! in this container, so this crate hand-parses the derive input token
+//! stream and emits impls of the vendored `serde` stub's [`Serialize`] /
+//! [`Deserialize`] traits (value-tree based, see `third_party/serde`).
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - structs with named fields (`#[serde(skip)]` honored: skipped on
+//!   serialize, `Default::default()` on deserialize)
+//! - tuple structs (newtype structs serialize transparently as their inner
+//!   value, matching serde; wider tuple structs as arrays)
+//! - enums with unit variants (serialized as the variant-name string) and
+//!   struct variants (externally tagged: `{"Variant": {fields...}}`)
+//!
+//! Generics, tuple enum variants, and serde attributes other than `skip`
+//! are rejected with a compile-time panic rather than silently mishandled.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree) trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let mut s = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(fields)");
+            s
+        }
+        Item::TupleStruct { arity: 1, .. } => String::from("::serde::Serialize::to_value(&self.0)"),
+        Item::TupleStruct { arity, .. } => {
+            let mut s = String::from(
+                "let mut items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for i in 0..*arity {
+                s.push_str(&format!(
+                    "items.push(::serde::Serialize::to_value(&self.{i}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Array(items)");
+            s
+        }
+        Item::Enum { name, variants } => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    None => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{\n",
+                            v = v.name,
+                            b = binders.join(", ")
+                        ));
+                        s.push_str(
+                            "let mut fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                "fields.push((::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "let mut outer: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             outer.push((::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(fields)));\n\
+                             ::serde::Value::Object(outer)\n}},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{}\n}}\n}}\n",
+        item.name(),
+        body
+    );
+    out.parse()
+        .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree) trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let mut s = String::from("::std::result::Result::Ok(Self {\n");
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{0}: ::serde::de_field(value, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Item::TupleStruct { arity: 1, .. } => String::from(
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))",
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut s = format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for tuple struct {name}\"))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok(Self(\n"
+            );
+            for i in 0..*arity {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Item::Enum { name, variants } => {
+            let mut s =
+                String::from("match value {\n::serde::Value::Str(s) => match s.as_str() {\n");
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                s.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                    v = v.name
+                ));
+            }
+            s.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n"
+            ));
+            if variants.iter().any(|v| v.fields.is_some()) {
+                s.push_str("::serde::Value::Object(entries) if entries.len() == 1 => {\n");
+                s.push_str("let (tag, inner) = &entries[0];\nmatch tag.as_str() {\n");
+                for v in variants.iter() {
+                    if let Some(fields) = &v.fields {
+                        s.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        ));
+                        for f in fields {
+                            if f.skip {
+                                s.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                s.push_str(&format!(
+                                    "{0}: ::serde::de_field(inner, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        s.push_str("}),\n");
+                    }
+                }
+                s.push_str(&format!(
+                    "other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n"
+                ));
+            }
+            s.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for enum {name}\")),\n}}"
+            ));
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{}\n}}\n}}\n",
+        item.name(),
+        body
+    );
+    out.parse()
+        .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
+            }
+            _ => panic!("serde stub derive: unit structs are not supported (type `{name}`)"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde stub derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Advances `i` past any `#[...]` attribute groups, returning whether one of
+/// them was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if attr_is_serde_skip(g) {
+                    skip = true;
+                }
+                *i += 2;
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: &Group) -> bool {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => {
+            let args: Vec<String> = inner.stream().into_iter().map(|t| t.to_string()).collect();
+            if args.iter().any(|a| a == "skip") {
+                true
+            } else {
+                panic!(
+                    "serde stub derive: unsupported serde attribute `serde({})` — only \
+                     `skip` is implemented",
+                    args.join("")
+                );
+            }
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+/// Advances `i` past a type expression, stopping at a top-level comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde stub derive: tuple enum variant `{name}` is not supported — \
+                     use a struct variant"
+                );
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                panic!(
+                    "serde stub derive: explicit discriminants are not supported \
+                     (variant `{name}`)"
+                );
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
