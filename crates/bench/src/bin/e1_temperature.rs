@@ -1,8 +1,9 @@
 //! E1 harness: `cargo run --release -p zeiot-bench --bin e1_temperature
-//! [--samples N] [--epochs N] [--seed N] [--json 1] [--jsonl PATH]`.
+//! [--samples N] [--epochs N] [--seed N] [--threads N] [--json 1]
+//! [--jsonl PATH]`.
 
-use zeiot_bench::experiments::e1_temperature::{run, Params};
-use zeiot_bench::{parse_args, take_string_flag};
+use zeiot_bench::experiments::e1_temperature::{run_with, Params};
+use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -10,10 +11,11 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    let map = parse_args(&args, &["samples", "epochs", "seed", "json"]).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
+    let map =
+        parse_args(&args, &["samples", "epochs", "seed", "threads", "json"]).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     let mut params = Params::default();
     if let Some(&v) = map.get("samples") {
         params.samples = v as usize;
@@ -24,7 +26,7 @@ fn main() {
     if let Some(&v) = map.get("seed") {
         params.seed = v as u64;
     }
-    let report = run(&params);
+    let report = run_with(&params, &runner_from_flags(&map));
     if let Some(path) = &jsonl {
         zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
             .unwrap_or_else(|e| {

@@ -1,9 +1,9 @@
 //! E5 harness: `cargo run --release -p zeiot-bench --bin e5_counting
 //! [--max_people N] [--train_rounds N] [--test_rounds N] [--seed N]
-//! [--json 1] [--jsonl PATH]`.
+//! [--threads N] [--json 1] [--jsonl PATH]`.
 
-use zeiot_bench::experiments::e5_counting::{run, Params};
-use zeiot_bench::{parse_args, take_string_flag};
+use zeiot_bench::experiments::e5_counting::{run_with, Params};
+use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,7 +13,14 @@ fn main() {
     });
     let map = parse_args(
         &args,
-        &["max_people", "train_rounds", "test_rounds", "seed", "json"],
+        &[
+            "max_people",
+            "train_rounds",
+            "test_rounds",
+            "seed",
+            "threads",
+            "json",
+        ],
     )
     .unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -32,7 +39,7 @@ fn main() {
     if let Some(&v) = map.get("seed") {
         params.seed = v as u64;
     }
-    let report = run(&params);
+    let report = run_with(&params, &runner_from_flags(&map));
     if let Some(path) = &jsonl {
         zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
             .unwrap_or_else(|e| {

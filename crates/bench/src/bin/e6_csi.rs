@@ -1,9 +1,9 @@
 //! E6 harness: `cargo run --release -p zeiot-bench --bin e6_csi
 //! [--train_per_position N] [--test_per_position N] [--k N] [--seed N]
-//! [--json 1] [--jsonl PATH]`.
+//! [--threads N] [--json 1] [--jsonl PATH]`.
 
-use zeiot_bench::experiments::e6_csi::{run, Params};
-use zeiot_bench::{parse_args, take_string_flag};
+use zeiot_bench::experiments::e6_csi::{run_with, Params};
+use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +18,7 @@ fn main() {
             "test_per_position",
             "k",
             "seed",
+            "threads",
             "json",
         ],
     )
@@ -38,7 +39,7 @@ fn main() {
     if let Some(&v) = map.get("seed") {
         params.seed = v as u64;
     }
-    let report = run(&params);
+    let report = run_with(&params, &runner_from_flags(&map));
     if let Some(path) = &jsonl {
         zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
             .unwrap_or_else(|e| {

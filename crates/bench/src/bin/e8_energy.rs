@@ -1,8 +1,8 @@
 //! E8 harness: `cargo run --release -p zeiot-bench --bin e8_energy
-//! [--seconds N] [--seed N] [--json 1] [--jsonl PATH]`.
+//! [--seconds N] [--seed N] [--threads N] [--json 1] [--jsonl PATH]`.
 
-use zeiot_bench::experiments::e8_energy::{run, Params};
-use zeiot_bench::{parse_args, take_string_flag};
+use zeiot_bench::experiments::e8_energy::{run_with, Params};
+use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -10,7 +10,7 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    let map = parse_args(&args, &["seconds", "seed", "json"]).unwrap_or_else(|e| {
+    let map = parse_args(&args, &["seconds", "seed", "threads", "json"]).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -21,7 +21,7 @@ fn main() {
     if let Some(&v) = map.get("seed") {
         params.seed = v as u64;
     }
-    let report = run(&params);
+    let report = run_with(&params, &runner_from_flags(&map));
     if let Some(path) = &jsonl {
         zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
             .unwrap_or_else(|e| {

@@ -7,6 +7,7 @@
 //! (centralized) version's.
 
 use crate::report::{ExperimentReport, Row};
+use crate::sweep::SweepRunner;
 use zeiot_core::rng::SeedRng;
 use zeiot_data::temperature::TemperatureFieldGenerator;
 use zeiot_microdeep::{Assignment, CnnConfig, CostModel, DistributedCnn, WeightUpdate};
@@ -63,8 +64,14 @@ pub fn deployment() -> Topology {
     Topology::grid(10, 5, 5.0, 7.6).expect("valid layout")
 }
 
-/// Runs E1.
+/// Runs E1 serially (equivalent to [`run_with`] at any thread count).
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Runs E1 with the two model arms (standard CNN, MicroDeep) trained as
+/// parallel sweep points; results are identical for every thread count.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     let mut rng = SeedRng::new(params.seed);
     let generator = TemperatureFieldGenerator::paper_lounge().expect("paper lounge");
     let mut data = generator.generate(params.samples, &mut rng);
@@ -75,28 +82,31 @@ pub fn run(params: &Params) -> ExperimentReport {
     let config = cnn_config();
     let topo = deployment();
     let graph = config.unit_graph().expect("valid config");
+    let assignment = Assignment::balanced_correspondence_threaded(&graph, &topo, runner.threads());
 
-    // Standard (centralized) CNN.
-    let mut std_rng = rng.split();
-    let mut standard = config.build_centralized(&mut std_rng);
-    for _ in 0..params.epochs {
-        standard.train_epoch(train, 0.05, 16, &mut std_rng);
-    }
-    let acc_standard = standard.accuracy(test);
-
-    // MicroDeep: balanced assignment, independent weight updates.
-    let assignment = Assignment::balanced_correspondence(&graph, &topo);
-    let mut md_rng = rng.split();
-    let mut microdeep = DistributedCnn::new(
-        config,
-        assignment.clone(),
-        WeightUpdate::PerUnit,
-        &mut md_rng,
-    );
-    for _ in 0..params.epochs {
-        microdeep.train_epoch(train, 0.05, 16, &mut md_rng);
-    }
-    let acc_microdeep = microdeep.accuracy(test);
+    // Two independent model arms, each trained from its own derived
+    // stream: 0 = standard (centralized) CNN, 1 = MicroDeep with the
+    // balanced assignment and independent per-unit weight updates. The
+    // salt keeps the arm streams distinct from the data-generation RNG.
+    let arms = runner.run_seeded(params.seed ^ 0xE1A0, 2, |arm, rng, _recorder| {
+        if arm == 0 {
+            let mut standard = config.build_centralized(rng);
+            for _ in 0..params.epochs {
+                standard.train_epoch(train, 0.05, 16, rng);
+            }
+            (standard.accuracy(test), 0.0)
+        } else {
+            let mut microdeep =
+                DistributedCnn::new(config, assignment.clone(), WeightUpdate::PerUnit, rng);
+            for _ in 0..params.epochs {
+                microdeep.train_epoch(train, 0.05, 16, rng);
+            }
+            let acc = microdeep.accuracy(test);
+            (acc, microdeep.replica_divergence())
+        }
+    });
+    let (acc_standard, _) = arms.outputs[0];
+    let (acc_microdeep, replica_divergence) = arms.outputs[1];
 
     // Communication cost: MicroDeep vs the centralized standard.
     let cost = CostModel::new(&topo);
@@ -139,7 +149,7 @@ pub fn run(params: &Params) -> ExperimentReport {
     ));
     report.push(Row::measured_only(
         "replica divergence after training",
-        microdeep.replica_divergence(),
+        replica_divergence,
         "L2",
     ));
     report.push_series(

@@ -9,10 +9,10 @@
 //! the qualitative claims of §IV.A.
 
 use crate::report::{ExperimentReport, Row};
+use crate::sweep::SweepRunner;
 use zeiot_backscatter::mac::{simulate, simulate_observed, MacConfig, MacMode};
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
-use zeiot_obs::Recorder;
 
 /// Tunable experiment size.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,52 +46,71 @@ impl Params {
     }
 }
 
-/// Runs E3.
+/// Runs E3 serially (equivalent to [`run_with`] at any thread count).
 ///
 /// # Panics
 ///
 /// Panics if `params.device_counts` is empty.
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Runs E3 with the device-count sweep fanned out across threads;
+/// results are identical for every thread count (each point seeds both
+/// MAC modes from the master seed, exactly as the serial harness always
+/// has).
+///
+/// # Panics
+///
+/// Panics if `params.device_counts` is empty.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     assert!(!params.device_counts.is_empty(), "need at least one point");
     let duration = SimDuration::from_secs(params.seconds);
+
+    // Instrument the largest sweep point (both modes into its recorder):
+    // grants and dummy frames come from the scheduled run, collisions
+    // from the naive one.
+    let max_devices = *params.device_counts.iter().max().expect("non-empty");
+
+    let sweep = runner.run_seeded(
+        params.seed,
+        params.device_counts.len(),
+        |index, _rng, recorder| {
+            let n = params.device_counts[index];
+            let config = MacConfig::default_with_devices(n).expect("valid config");
+            let mut rng = SeedRng::new(params.seed);
+            let sched = if n == max_devices {
+                simulate_observed(&config, MacMode::Scheduled, duration, &mut rng, recorder)
+            } else {
+                simulate(&config, MacMode::Scheduled, duration, &mut rng)
+            };
+            let mut rng = SeedRng::new(params.seed);
+            let naive = if n == max_devices {
+                simulate_observed(&config, MacMode::Naive, duration, &mut rng, recorder)
+            } else {
+                simulate(&config, MacMode::Naive, duration, &mut rng)
+            };
+            (
+                sched.wlan_delivery_ratio(),
+                naive.wlan_delivery_ratio(),
+                sched.backscatter_per(),
+                naive.backscatter_per(),
+                sched.dummy_overhead(),
+            )
+        },
+    );
 
     let mut wlan_sched = Vec::new();
     let mut wlan_naive = Vec::new();
     let mut bs_per_sched = Vec::new();
     let mut bs_per_naive = Vec::new();
     let mut dummy_overhead = Vec::new();
-
-    // Instrument the largest sweep point (both modes into one recorder):
-    // grants and dummy frames come from the scheduled run, collisions
-    // from the naive one.
-    let max_devices = *params.device_counts.iter().max().expect("non-empty");
-    let mut recorder = Recorder::new();
-
-    for &n in &params.device_counts {
-        let config = MacConfig::default_with_devices(n).expect("valid config");
-        let mut rng = SeedRng::new(params.seed);
-        let sched = if n == max_devices {
-            simulate_observed(
-                &config,
-                MacMode::Scheduled,
-                duration,
-                &mut rng,
-                &mut recorder,
-            )
-        } else {
-            simulate(&config, MacMode::Scheduled, duration, &mut rng)
-        };
-        let mut rng = SeedRng::new(params.seed);
-        let naive = if n == max_devices {
-            simulate_observed(&config, MacMode::Naive, duration, &mut rng, &mut recorder)
-        } else {
-            simulate(&config, MacMode::Naive, duration, &mut rng)
-        };
-        wlan_sched.push(sched.wlan_delivery_ratio());
-        wlan_naive.push(naive.wlan_delivery_ratio());
-        bs_per_sched.push(sched.backscatter_per());
-        bs_per_naive.push(naive.backscatter_per());
-        dummy_overhead.push(sched.dummy_overhead());
+    for &(ws, wn, ps, pn, dummy) in &sweep.outputs {
+        wlan_sched.push(ws);
+        wlan_naive.push(wn);
+        bs_per_sched.push(ps);
+        bs_per_naive.push(pn);
+        dummy_overhead.push(dummy);
     }
 
     let last = params.device_counts.len() - 1;
@@ -133,7 +152,7 @@ pub fn run(params: &Params) -> ExperimentReport {
     report.push_series("backscatter PER (scheduled)", bs_per_sched);
     report.push_series("backscatter PER (naive)", bs_per_naive);
     report.push_series("dummy overhead (scheduled)", dummy_overhead);
-    report.attach_metrics(recorder.snapshot());
+    report.attach_metrics(sweep.metrics);
     report
 }
 

@@ -6,6 +6,7 @@
 //! vote is the ablation (DESIGN.md §5.4).
 
 use crate::report::{ExperimentReport, Row};
+use crate::sweep::SweepRunner;
 use zeiot_core::rng::SeedRng;
 use zeiot_data::train::{TrainScene, TrainSceneGenerator};
 use zeiot_nn::eval::ConfusionMatrix;
@@ -57,8 +58,24 @@ pub fn to_labelled(scene: &TrainScene) -> LabelledScene {
     }
 }
 
-/// Runs E4.
+/// Runs E4 serially (equivalent to [`run_with`] at any thread count).
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Per-scene evaluation tallies, merged in scene order after the sweep.
+struct SceneTally {
+    pos_correct: usize,
+    pos_total: usize,
+    /// `(truth, weighted prediction, unweighted prediction)` per car.
+    votes: Vec<(usize, usize, usize)>,
+}
+
+/// Runs E4 with the test-scene evaluation fanned out across threads.
+/// Scene generation and estimator fitting stay serial (they thread one
+/// RNG); evaluation is RNG-free, so per-scene tallies folded in scene
+/// order are identical for every thread count.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     let generator = TrainSceneGenerator::paper_train().expect("paper train");
     let mut rng = SeedRng::new(params.seed);
     let train: Vec<LabelledScene> = (0..params.train_scenes)
@@ -70,23 +87,36 @@ pub fn run(params: &Params) -> ExperimentReport {
 
     let estimator = CongestionEstimator::fit(&train).expect("fit");
 
+    let sweep = runner.run_seeded(params.seed, test.len(), |index, _rng, _recorder| {
+        let scene = &test[index];
+        let positions = estimator.estimate_positions(&scene.observation);
+        let pos_total = positions.iter().zip(&scene.user_car).count();
+        let pos_correct = positions
+            .iter()
+            .zip(&scene.user_car)
+            .filter(|(p, &truth)| p.car == truth)
+            .count();
+        let weighted = estimator.estimate_congestion(&scene.observation, &positions, true);
+        let unweighted = estimator.estimate_congestion(&scene.observation, &positions, false);
+        SceneTally {
+            pos_correct,
+            pos_total,
+            votes: (0..scene.observation.cars)
+                .map(|car| (scene.congestion[car], weighted[car], unweighted[car]))
+                .collect(),
+        }
+    });
+
     let mut pos_correct = 0usize;
     let mut pos_total = 0usize;
     let mut cm_weighted = ConfusionMatrix::new(3);
     let mut cm_unweighted = ConfusionMatrix::new(3);
-    for scene in &test {
-        let positions = estimator.estimate_positions(&scene.observation);
-        for (p, &truth) in positions.iter().zip(&scene.user_car) {
-            if p.car == truth {
-                pos_correct += 1;
-            }
-            pos_total += 1;
-        }
-        let weighted = estimator.estimate_congestion(&scene.observation, &positions, true);
-        let unweighted = estimator.estimate_congestion(&scene.observation, &positions, false);
-        for car in 0..scene.observation.cars {
-            cm_weighted.record(scene.congestion[car], weighted[car]);
-            cm_unweighted.record(scene.congestion[car], unweighted[car]);
+    for tally in &sweep.outputs {
+        pos_correct += tally.pos_correct;
+        pos_total += tally.pos_total;
+        for &(truth, weighted, unweighted) in &tally.votes {
+            cm_weighted.record(truth, weighted);
+            cm_unweighted.record(truth, unweighted);
         }
     }
     let pos_accuracy = pos_correct as f64 / pos_total as f64;

@@ -7,6 +7,7 @@
 //! up to two people".
 
 use crate::report::{ExperimentReport, Row};
+use crate::sweep::SweepRunner;
 use zeiot_core::geometry::Point2;
 use zeiot_core::rng::SeedRng;
 use zeiot_net::rssi::RssiSampler;
@@ -92,30 +93,55 @@ fn measurement_round(
     })
 }
 
-/// Runs E5.
+/// Runs E5 serially (equivalent to [`run_with`] at any thread count).
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Distinguishes the calibration sweep's derived RNG streams from the
+/// evaluation sweep's (same point indices, different master).
+const TEST_SWEEP_SALT: u64 = 0x7e57_0000_0000_0001;
+
+/// Runs E5 with one sweep point per occupancy count, for both the
+/// calibration and the evaluation rounds; each point draws from its own
+/// derived stream, so results are identical for every thread count.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     let sampler = RssiSampler::ieee802154(laboratory())
         .expect("sampler")
         .with_noise_sigma(1.2)
         .expect("valid sigma");
-    let mut rng = SeedRng::new(params.seed);
 
-    let mut training = Vec::new();
-    for count in 0..=params.max_people {
-        for _ in 0..params.train_rounds {
-            if let Some(f) = measurement_round(&sampler, count, &mut rng) {
-                training.push((f, count));
-            }
-        }
-    }
+    let calibration = runner.run_seeded(
+        params.seed,
+        params.max_people + 1,
+        |count, rng, _recorder| {
+            (0..params.train_rounds)
+                .filter_map(|_| measurement_round(&sampler, count, rng))
+                .collect::<Vec<_>>()
+        },
+    );
+    let training: Vec<(CountingFeatures, usize)> = calibration
+        .outputs
+        .into_iter()
+        .enumerate()
+        .flat_map(|(count, features)| features.into_iter().map(move |f| (f, count)))
+        .collect();
     let counter = PeopleCounter::fit(&training).expect("fit");
 
+    let evaluation = runner.run_seeded(
+        params.seed ^ TEST_SWEEP_SALT,
+        params.max_people + 1,
+        |count, rng, _recorder| {
+            (0..params.test_rounds)
+                .filter_map(|_| measurement_round(&sampler, count, rng))
+                .map(|f| counter.predict(&f))
+                .collect::<Vec<_>>()
+        },
+    );
     let mut cm = ConfusionMatrix::new(params.max_people + 1);
-    for count in 0..=params.max_people {
-        for _ in 0..params.test_rounds {
-            if let Some(f) = measurement_round(&sampler, count, &mut rng) {
-                cm.record(count, counter.predict(&f));
-            }
+    for (count, predictions) in evaluation.outputs.iter().enumerate() {
+        for &predicted in predictions {
+            cm.record(count, predicted);
         }
     }
 

@@ -7,7 +7,7 @@
 //! walking and the orientations of the antennas have divergence".
 
 use crate::report::{ExperimentReport, Row};
-use zeiot_core::rng::SeedRng;
+use crate::sweep::SweepRunner;
 use zeiot_data::csi::{AntennaOrientation, CsiGenerator, CsiPattern, CsiSample};
 use zeiot_sensing::csi::CsiLocalizer;
 
@@ -64,10 +64,32 @@ fn pattern_name(p: CsiPattern) -> String {
     format!("{behaviour}/{antenna}")
 }
 
-/// Runs E6.
+/// Runs E6 serially (equivalent to [`run_with`] at any thread count).
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Runs E6 with one sweep point per behaviour/antenna pattern, each
+/// sampling from its own derived stream; results are identical for every
+/// thread count.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     let generator = CsiGenerator::new(params.seed).expect("generator");
-    let mut rng = SeedRng::new(params.seed ^ 0xABCD);
+    let patterns = CsiPattern::all();
+
+    let sweep = runner.run_seeded(
+        params.seed ^ 0xABCD,
+        patterns.len(),
+        |index, rng, _recorder| {
+            let (train, test) = generator.split(
+                patterns[index],
+                params.train_per_position,
+                params.test_per_position,
+                rng,
+            );
+            let localizer = CsiLocalizer::fit(&to_pairs(train), params.k).expect("fit");
+            localizer.evaluate(&to_pairs(test)).accuracy()
+        },
+    );
 
     let mut report = ExperimentReport::new(
         "E6",
@@ -75,22 +97,13 @@ pub fn run(params: &Params) -> ExperimentReport {
     );
     let mut best = (0.0f64, String::new());
     let mut accuracies = Vec::new();
-    for pattern in CsiPattern::all() {
-        let (train, test) = generator.split(
-            pattern,
-            params.train_per_position,
-            params.test_per_position,
-            &mut rng,
-        );
-        let localizer = CsiLocalizer::fit(&to_pairs(train), params.k).expect("fit");
-        let cm = localizer.evaluate(&to_pairs(test));
-        let acc = cm.accuracy();
+    for (pattern, &acc) in patterns.iter().zip(&sweep.outputs) {
         accuracies.push(acc);
         if acc > best.0 {
-            best = (acc, pattern_name(pattern));
+            best = (acc, pattern_name(*pattern));
         }
         report.push(Row::measured_only(
-            format!("accuracy ({})", pattern_name(pattern)),
+            format!("accuracy ({})", pattern_name(*pattern)),
             acc,
             "fraction",
         ));

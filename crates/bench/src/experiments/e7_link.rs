@@ -8,6 +8,7 @@
 //! AP) and reports PER/goodput curves plus the 90 %-success range.
 
 use crate::report::{ExperimentReport, Row};
+use crate::sweep::SweepRunner;
 use zeiot_backscatter::phy::BackscatterLink;
 
 /// Tunable experiment size.
@@ -40,29 +41,48 @@ impl Params {
     }
 }
 
-/// Runs E7.
+/// Runs E7 serially (equivalent to [`run_with`] at any thread count).
 ///
 /// # Panics
 ///
 /// Panics if `params.distances_m` is empty.
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Runs E7 with the distance sweep fanned out across threads; the link
+/// model is RNG-free, so results are identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `params.distances_m` is empty.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     assert!(!params.distances_m.is_empty(), "need at least one distance");
     let zigbee = BackscatterLink::zigbee_testbed().expect("profile");
     let wifi = BackscatterLink::wifi_full_duplex_ap().expect("profile");
 
-    let sweep = |link: &BackscatterLink| -> (Vec<f64>, Vec<f64>) {
-        let mut per = Vec::new();
-        let mut goodput = Vec::new();
-        for &d in &params.distances_m {
-            let e2r = params.exciter_to_tag_m + d; // colinear geometry
-            per.push(1.0 - link.packet_success(params.exciter_to_tag_m, d, e2r));
-            goodput.push(link.goodput_bps(params.exciter_to_tag_m, d, e2r));
-        }
-        (per, goodput)
-    };
+    let sweep = runner.run_seeded(0, params.distances_m.len(), |index, _rng, _recorder| {
+        let d = params.distances_m[index];
+        let e2r = params.exciter_to_tag_m + d; // colinear geometry
+        let point = |link: &BackscatterLink| {
+            (
+                1.0 - link.packet_success(params.exciter_to_tag_m, d, e2r),
+                link.goodput_bps(params.exciter_to_tag_m, d, e2r),
+            )
+        };
+        (point(&zigbee), point(&wifi))
+    });
 
-    let (zig_per, zig_goodput) = sweep(&zigbee);
-    let (wifi_per, wifi_goodput) = sweep(&wifi);
+    let mut zig_per = Vec::new();
+    let mut zig_goodput = Vec::new();
+    let mut wifi_per = Vec::new();
+    let mut wifi_goodput = Vec::new();
+    for &((zp, zg), (wp, wg)) in &sweep.outputs {
+        zig_per.push(zp);
+        zig_goodput.push(zg);
+        wifi_per.push(wp);
+        wifi_goodput.push(wg);
+    }
     let zig_range = zigbee
         .max_range_m(params.exciter_to_tag_m, 0.9, 500.0)
         .unwrap_or(0.0);

@@ -8,6 +8,7 @@
 //! intermittent device.
 
 use crate::report::{ExperimentReport, Row};
+use crate::sweep::SweepRunner;
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
 use zeiot_core::units::{Joule, Watt};
@@ -15,7 +16,7 @@ use zeiot_energy::capacitor::Capacitor;
 use zeiot_energy::consumer::{DeviceState, PowerProfile};
 use zeiot_energy::harvester::ConstantSource;
 use zeiot_energy::intermittent::{IntermittentDevice, Task};
-use zeiot_obs::{Label, Recorder, Snapshot};
+use zeiot_obs::{Label, Recorder};
 
 /// Tunable experiment size.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,12 +76,23 @@ fn duty_cycle_at(harvest_uw: f64, seconds: u64, rng: &mut SeedRng, recorder: &mu
         .duty_cycle
 }
 
-/// Runs E8.
+/// Runs E8 serially (equivalent to [`run_with`] at any thread count).
 ///
 /// # Panics
 ///
 /// Panics if `params.harvest_uw` is empty.
 pub fn run(params: &Params) -> ExperimentReport {
+    run_with(params, &SweepRunner::serial())
+}
+
+/// Runs E8 with the harvest-power sweep fanned out across threads; each
+/// point simulates its own device from its own derived stream and
+/// recorder, so results are identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `params.harvest_uw` is empty.
+pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
     assert!(!params.harvest_uw.is_empty(), "need at least one point");
     let tag = PowerProfile::backscatter_tag().expect("profile");
     let node = PowerProfile::active_802154_node().expect("profile");
@@ -93,21 +105,18 @@ pub fn run(params: &Params) -> ExperimentReport {
     let bs_epb = tag.energy_per_bit(DeviceState::Backscatter, 250e3).value();
     let radio_epb = node.energy_per_bit(DeviceState::ActiveRadio, 250e3).value();
 
-    let mut rng = SeedRng::new(params.seed);
     // Each sweep point runs its own device whose sim clock restarts at
     // zero, so traces from consecutive points are not globally
-    // time-ordered: record each point separately and merge snapshots.
-    let mut metrics = Snapshot::default();
-    let duty: Vec<f64> = params
-        .harvest_uw
-        .iter()
-        .map(|&h| {
-            let mut recorder = Recorder::new();
-            let d = duty_cycle_at(h, params.seconds, &mut rng, &mut recorder);
-            metrics.merge(recorder.snapshot());
-            d
-        })
-        .collect();
+    // time-ordered: each point records separately and the runner merges
+    // the snapshots in point order.
+    let sweep = runner.run_seeded(
+        params.seed,
+        params.harvest_uw.len(),
+        |index, rng, recorder| {
+            duty_cycle_at(params.harvest_uw[index], params.seconds, rng, recorder)
+        },
+    );
+    let duty = sweep.outputs;
 
     let mut report = ExperimentReport::new("E8", "Zero-energy power budget and duty cycles");
     report.push(Row::with_paper(
@@ -144,7 +153,7 @@ pub fn run(params: &Params) -> ExperimentReport {
     ));
     report.push_series("harvest power (µW)", params.harvest_uw.clone());
     report.push_series("duty cycle", duty);
-    report.attach_metrics(metrics);
+    report.attach_metrics(sweep.metrics);
     report
 }
 

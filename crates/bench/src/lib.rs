@@ -24,8 +24,16 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use report::{ExperimentReport, Row};
+pub use sweep::{SweepOutcome, SweepRunner};
+
+/// Builds the sweep runner a binary's parsed flags ask for: `--threads N`
+/// (with `0` or no flag meaning "available parallelism").
+pub fn runner_from_flags(map: &std::collections::BTreeMap<String, f64>) -> SweepRunner {
+    SweepRunner::new(map.get("threads").copied().unwrap_or(0.0) as usize)
+}
 
 /// Parses `--key value` style arguments into overrides; unknown keys are
 /// rejected with a helpful message listing `allowed`.
@@ -93,6 +101,19 @@ mod tests {
         assert_eq!(take_string_flag(&mut args, "jsonl").unwrap(), None);
         let mut dangling: Vec<String> = vec!["--jsonl".to_string()];
         assert!(take_string_flag(&mut dangling, "jsonl").is_err());
+    }
+
+    #[test]
+    fn runner_from_flags_reads_threads() {
+        let mut map = std::collections::BTreeMap::new();
+        assert!(runner_from_flags(&map).threads() >= 1);
+        map.insert("threads".to_owned(), 3.0);
+        assert_eq!(runner_from_flags(&map).threads(), 3);
+        map.insert("threads".to_owned(), 0.0);
+        assert_eq!(
+            runner_from_flags(&map).threads(),
+            SweepRunner::default().threads()
+        );
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every E1–E8 harness is, at heart, a sweep: a list of independent
+//! points (device counts, harvest powers, CSI patterns, model arms…)
+//! each evaluated from a seed. [`SweepRunner`] fans those points out
+//! across threads while keeping the result **bit-identical to the serial
+//! run**, which rests on three rules:
+//!
+//! 1. **Per-point RNG derivation.** Each point's generator is
+//!    [`SeedRng::for_point`]`(master_seed, index)` — a pure function of
+//!    the master seed and the point index, never a stream threaded from
+//!    point to point. No point's randomness depends on which thread ran
+//!    it or what ran before it.
+//! 2. **Per-point recorders.** Each point records observability into its
+//!    own [`Recorder`]; no shared mutable instrument exists during the
+//!    sweep.
+//! 3. **Index-ordered fan-in.** Outputs land in slots indexed by point,
+//!    and the per-point snapshots are merged with
+//!    [`Snapshot::merge_in_order`] after *all* points finish — completion
+//!    order never leaks into the result.
+//!
+//! `--threads 1` therefore runs the exact computation a `--threads 8` run
+//! does, just on one thread; `tests/parallel_determinism.rs` at the
+//! workspace root asserts the reports are byte-identical.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use zeiot_core::rng::SeedRng;
+use zeiot_obs::{Recorder, Snapshot};
+
+/// Everything a sweep produced: one output per point, in point order,
+/// plus the index-ordered merge of every point's observability snapshot.
+#[derive(Debug)]
+pub struct SweepOutcome<T> {
+    /// Per-point outputs, indexed by point.
+    pub outputs: Vec<T>,
+    /// All points' recorders, merged in point order.
+    pub metrics: Snapshot,
+}
+
+/// Fans the points of an experiment sweep out across threads; see the
+/// module docs for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    threads: NonZeroUsize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit thread count; `0` means "use the host's
+    /// available parallelism" (the binaries' `--threads` default).
+    pub fn new(threads: usize) -> Self {
+        let threads = match NonZeroUsize::new(threads) {
+            Some(t) => t,
+            None => NonZeroUsize::new(rayon::current_num_threads())
+                .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero")),
+        };
+        Self { threads }
+    }
+
+    /// The single-threaded runner — today's serial harness behavior.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Evaluates `points` sweep points, each with its own derived RNG and
+    /// its own recorder, and returns outputs and metrics in point-index
+    /// order regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any point's closure.
+    pub fn run_seeded<T, F>(&self, master_seed: u64, points: usize, f: F) -> SweepOutcome<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut SeedRng, &mut Recorder) -> T + Sync,
+    {
+        let workers = self.threads.get().min(points.max(1));
+        let evaluate = |index: usize| {
+            let mut rng = SeedRng::for_point(master_seed, index as u64);
+            let mut recorder = Recorder::new();
+            let output = f(index, &mut rng, &mut recorder);
+            (output, recorder.snapshot())
+        };
+
+        let results: Vec<(T, Snapshot)> = if workers <= 1 {
+            (0..points).map(evaluate).collect()
+        } else {
+            // Index-addressed slots: workers race for the *next point*,
+            // never for where a result lands.
+            let slots: Vec<Mutex<Option<(T, Snapshot)>>> =
+                (0..points).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            rayon::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= points {
+                            break;
+                        }
+                        let result = evaluate(index);
+                        *slots[index].lock().expect("slot lock") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("slot lock")
+                        .expect("every point evaluated")
+                })
+                .collect()
+        };
+
+        let mut outputs = Vec::with_capacity(points);
+        let mut snapshots = Vec::with_capacity(points);
+        for (output, snapshot) in results {
+            outputs.push(output);
+            snapshots.push(snapshot);
+        }
+        SweepOutcome {
+            outputs,
+            metrics: Snapshot::merge_in_order(snapshots),
+        }
+    }
+}
+
+impl Default for SweepRunner {
+    /// Defaults to the host's available parallelism, like the binaries.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use zeiot_core::time::SimTime;
+    use zeiot_obs::Label;
+
+    fn sweep_with(threads: usize) -> SweepOutcome<Vec<u64>> {
+        SweepRunner::new(threads).run_seeded(42, 9, |index, rng, recorder| {
+            recorder.add("sweep.draws", Label::part(format!("p{index}")), 3);
+            recorder.sample(
+                "sweep.first",
+                Label::Global,
+                SimTime::from_secs(index as u64),
+                rng.uniform(),
+            );
+            (0..3).map(|_| rng.next_u64()).collect()
+        })
+    }
+
+    #[test]
+    fn outputs_are_in_point_order_and_thread_invariant() {
+        let serial = sweep_with(1);
+        for threads in [2, 4, 8] {
+            let parallel = sweep_with(threads);
+            assert_eq!(serial.outputs, parallel.outputs, "threads={threads}");
+            assert_eq!(serial.metrics, parallel.metrics, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn points_use_derived_streams() {
+        let outcome = sweep_with(1);
+        // Every point's stream equals its SeedRng::for_point derivation…
+        for (index, output) in outcome.outputs.iter().enumerate() {
+            let mut rng = SeedRng::for_point(42, index as u64);
+            let _ = rng.uniform(); // the closure's sample() draw
+            let expected: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+            assert_eq!(output, &expected);
+        }
+        // …and distinct points get distinct streams.
+        assert_ne!(outcome.outputs[0], outcome.outputs[1]);
+    }
+
+    #[test]
+    fn metrics_merge_in_point_order() {
+        let outcome = sweep_with(4);
+        let labels: Vec<String> = outcome
+            .metrics
+            .counters_named("sweep.draws")
+            .map(|e| e.label.to_string())
+            .collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted, "per-point labels out of order");
+        assert_eq!(outcome.metrics.counter_total("sweep.draws"), 27);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert_eq!(
+            SweepRunner::new(0).threads(),
+            rayon::current_num_threads().max(1)
+        );
+        assert_eq!(SweepRunner::serial().threads(), 1);
+        assert!(SweepRunner::default().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_sweeps_and_more_threads_than_points_are_fine() {
+        let empty = SweepRunner::new(4).run_seeded(1, 0, |_, _, _| 0u8);
+        assert!(empty.outputs.is_empty());
+        let tiny = SweepRunner::new(16).run_seeded(1, 2, |i, _, _| i);
+        assert_eq!(tiny.outputs, vec![0, 1]);
+    }
+}

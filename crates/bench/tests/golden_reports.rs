@@ -1,0 +1,52 @@
+//! Golden-report regression tests.
+//!
+//! E1 and E4 reduced reports at the default seed are committed as JSON
+//! fixtures; any change to data generation, training, evaluation, or the
+//! sweep layer that shifts a single byte of the report fails here. To
+//! re-bless after an intentional change:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p zeiot-bench --test golden_reports
+//! ```
+
+use std::path::PathBuf;
+use zeiot_bench::experiments::{e1_temperature, e4_train};
+use zeiot_bench::SweepRunner;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("fixtures dir");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture; if intentional, re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn e1_reduced_report_matches_golden() {
+    let report =
+        e1_temperature::run_with(&e1_temperature::Params::reduced(), &SweepRunner::serial());
+    check_golden("e1_reduced.json", &report.to_json());
+}
+
+#[test]
+fn e4_reduced_report_matches_golden() {
+    let report = e4_train::run_with(&e4_train::Params::reduced(), &SweepRunner::serial());
+    check_golden("e4_reduced.json", &report.to_json());
+}

@@ -102,6 +102,25 @@ impl Assignment {
     /// each unit to the candidate node minimizing its total hop distance
     /// to its producers and consumers.
     pub fn balanced_correspondence(graph: &UnitGraph, topo: &Topology) -> Self {
+        Self::balanced_correspondence_threaded(graph, topo, 1)
+    }
+
+    /// [`Assignment::balanced_correspondence`] with the local search's
+    /// candidate scoring fanned out over `threads` workers (`0` meaning
+    /// available parallelism).
+    ///
+    /// Only the *scoring* of move candidates runs concurrently — every
+    /// candidate is evaluated against the same immutable assignment,
+    /// routing table, and load vector, and the winning move is applied
+    /// serially. Because serial and parallel paths score the same
+    /// candidate set and select by the same total order (cost, then node
+    /// id), the accepted-move sequence — and therefore the returned
+    /// assignment — is identical for every thread count.
+    pub fn balanced_correspondence_threaded(
+        graph: &UnitGraph,
+        topo: &Topology,
+        threads: usize,
+    ) -> Self {
         let routes = RoutingTable::shortest_paths(topo);
         let cap = graph.total_units().div_ceil(topo.len());
         let bbox = bounding_box(topo);
@@ -164,6 +183,17 @@ impl Assignment {
         // Pass 2: local-search sweeps under the cap. Only spatial units
         // move — a dense unit's traffic is placement-invariant, and
         // letting it chase its producers would re-concentrate load.
+        //
+        // Candidate *scoring* is side-effect free (it reads the frozen
+        // assignment and routing table), so it fans out across threads;
+        // the *move* — the only mutation — is applied serially. Selection
+        // uses a total order (cost, then node id) so the accepted-move
+        // sequence does not depend on scoring order or thread count.
+        let threads = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        };
         let consumers = reverse_dependencies(graph);
         for _sweep in 0..3 {
             let mut improved = false;
@@ -192,24 +222,39 @@ impl Assignment {
                     };
                     let current_cost = cost_at(current, &assignment);
                     // Candidates: current node's neighbourhood plus the
-                    // hosts of this unit's producers.
+                    // hosts of this unit's producers, minus full nodes.
                     let mut candidates: Vec<NodeId> = topo.neighbors(current).to_vec();
                     for &d in graph.dependencies(l, u) {
                         candidates.push(assignment.host_of(l - 1, d));
                     }
                     candidates.sort_unstable();
                     candidates.dedup();
-                    for cand in candidates {
-                        if cand == current || load[cand.index()] >= cap {
-                            continue;
+                    candidates.retain(|&c| c != current && load[c.index()] < cap);
+
+                    let mut costs = vec![0usize; candidates.len()];
+                    if threads > 1 && candidates.len() > 1 {
+                        let frozen = &assignment;
+                        rayon::scope(|s| {
+                            for (slot, &cand) in costs.iter_mut().zip(&candidates) {
+                                let cost_at = &cost_at;
+                                s.spawn(move |_| *slot = cost_at(cand, frozen));
+                            }
+                        });
+                    } else {
+                        for (slot, &cand) in costs.iter_mut().zip(&candidates) {
+                            *slot = cost_at(cand, &assignment);
                         }
-                        if cost_at(cand, &assignment) < current_cost {
-                            load[current.index()] -= 1;
-                            load[cand.index()] += 1;
-                            assignment.unit_host[l - 1][u] = cand;
-                            improved = true;
-                            break;
-                        }
+                    }
+                    let best = candidates
+                        .iter()
+                        .zip(&costs)
+                        .filter(|&(_, &cost)| cost < current_cost)
+                        .min_by_key(|&(cand, &cost)| (cost, cand.raw()));
+                    if let Some((&cand, _)) = best {
+                        load[current.index()] -= 1;
+                        load[cand.index()] += 1;
+                        assignment.unit_host[l - 1][u] = cand;
+                        improved = true;
                     }
                 }
             }
@@ -291,6 +336,24 @@ impl Assignment {
     }
 }
 
+/// `consumers[l][p]` = units of layer `l+1` reading unit `p` of layer
+/// `l`, for **every** value-producing layer including the input layer —
+/// the edge relation [`crate::cost::CostModel`] traverses. Dependency
+/// lists may contain duplicates; each occurrence is one edge here.
+pub(crate) fn producer_consumers(graph: &UnitGraph) -> Vec<Vec<Vec<usize>>> {
+    let mut consumers: Vec<Vec<Vec<usize>>> = (0..graph.layer_count() - 1)
+        .map(|l| vec![Vec::new(); graph.units_in_layer(l)])
+        .collect();
+    for l in 1..graph.layer_count() {
+        for u in 0..graph.units_in_layer(l) {
+            for &d in graph.dependencies(l, u) {
+                consumers[l - 1][d].push(u);
+            }
+        }
+    }
+    consumers
+}
+
 /// `consumers[l][u]` = units of layer `l+2` reading unit `u` of layer
 /// `l+1` (reverse of the dependency relation, computational layers only).
 pub(crate) fn reverse_dependencies(graph: &UnitGraph) -> Vec<Vec<Vec<usize>>> {
@@ -360,6 +423,85 @@ mod proptests {
             prop_assert_eq!(
                 a.units_per_node().iter().sum::<usize>(),
                 graph.total_units()
+            );
+        }
+
+        #[test]
+        fn input_units_are_pinned_to_their_nearest_sensor(
+            seed in 0u64..500,
+            n in 6usize..30,
+        ) {
+            let config = CnnConfig::new(1, 6, 6, 2, 3, 2, 8, 2).unwrap();
+            let graph = config.unit_graph().unwrap();
+            let mut rng = SeedRng::new(seed);
+            let topo = zeiot_net::Topology::random(n, 10.0, 10.0, 5.0, &mut rng).unwrap();
+            let bbox = bounding_box(&topo);
+            // Every strategy pins inputs the same way; check one of each.
+            let balanced = Assignment::balanced_correspondence(&graph, &topo);
+            let central = Assignment::centralized(&graph, &topo);
+            for i in 0..graph.units_in_layer(0) {
+                let Some(p) = graph.input_position(i) else { continue };
+                let scaled = scale_into(p, bbox);
+                let host = balanced.host_of(0, i);
+                prop_assert_eq!(host, central.host_of(0, i));
+                let d_host = topo.position(host).distance(scaled);
+                for other in topo.node_ids() {
+                    prop_assert!(
+                        d_host <= topo.position(other).distance(scaled) + 1e-9,
+                        "input {} hosted on {:?}, but {:?} is closer",
+                        i, host, other
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn balanced_max_load_never_exceeds_grid_projection_load(
+            seed in 0u64..500,
+            n in 6usize..30,
+        ) {
+            // Pigeonhole: grid projection places units with no cap, so
+            // its largest per-node load is at least ⌈units/nodes⌉ — the
+            // very cap the balanced heuristic enforces.
+            let config = CnnConfig::new(1, 6, 6, 2, 3, 2, 8, 2).unwrap();
+            let graph = config.unit_graph().unwrap();
+            let mut rng = SeedRng::new(seed);
+            let topo = zeiot_net::Topology::random(n, 10.0, 10.0, 5.0, &mut rng).unwrap();
+            let balanced = Assignment::balanced_correspondence(&graph, &topo);
+            let grid = Assignment::grid_projection(&graph, &topo);
+            prop_assert!(
+                balanced.max_units_per_node() <= grid.max_units_per_node(),
+                "balanced load {} > grid-projection load {}",
+                balanced.max_units_per_node(), grid.max_units_per_node()
+            );
+        }
+
+        #[test]
+        fn balanced_peak_traffic_beats_centralized_on_grid_deployments(
+            rows in 3usize..8,
+            cols in 3usize..7,
+            half_field in 3usize..7,
+        ) {
+            // The paper's headline on its grid deployments: spreading
+            // units strictly reduces the maximal per-node traffic below
+            // the all-on-one-sink baseline. (On arbitrary random meshes
+            // relay hubs can break this; the claim is about the
+            // deployment class the paper evaluates.)
+            let field = 2 * half_field; // 3×3 conv output is field−2: even
+            let config = CnnConfig::new(1, field, field, 2, 3, 2, 8, 2).unwrap();
+            let graph = config.unit_graph().unwrap();
+            let topo = zeiot_net::Topology::grid(rows, cols, 2.0, 3.0).unwrap();
+            let cost = crate::cost::CostModel::new(&topo);
+            let central = cost
+                .forward_cost(&graph, &Assignment::centralized(&graph, &topo))
+                .max_cost();
+            let balanced = cost
+                .forward_cost(&graph, &Assignment::balanced_correspondence(&graph, &topo))
+                .max_cost();
+            prop_assert!(
+                balanced < central,
+                "balanced peak {} >= centralized peak {}",
+                balanced, central
             );
         }
 

@@ -15,7 +15,7 @@
 //! matter how many of its units read it) — a natural systems optimization
 //! ablated in the benches.
 
-use crate::assignment::{reverse_dependencies, Assignment};
+use crate::assignment::{producer_consumers, Assignment};
 use std::collections::BTreeSet;
 use zeiot_net::routing::RoutingTable;
 use zeiot_net::topology::Topology;
@@ -43,51 +43,52 @@ impl CostModel {
     /// counting): each dependency edge whose producer and consumer live
     /// on different nodes costs one message over the mesh route.
     pub fn forward_cost(&self, graph: &UnitGraph, assignment: &Assignment) -> TrafficLedger {
-        let mut ledger = TrafficLedger::new(self.node_count);
-        for l in 1..graph.layer_count() {
-            for u in 0..graph.units_in_layer(l) {
-                let dst = assignment.host_of(l, u);
-                for &d in graph.dependencies(l, u) {
-                    let src = assignment.host_of(l - 1, d);
-                    if src != dst {
-                        ledger.send(&self.routes, src, dst, 1);
-                    }
-                }
-            }
-        }
-        ledger
+        self.forward_traffic(graph, assignment, false)
     }
 
     /// Forward-pass traffic with node-level value caching: a producing
     /// node sends each value at most once per consumer *node* (ablation:
     /// how much a value cache would save each strategy).
     pub fn forward_cost_cached(&self, graph: &UnitGraph, assignment: &Assignment) -> TrafficLedger {
-        let consumers = reverse_dependencies(graph);
+        self.forward_traffic(graph, assignment, true)
+    }
+
+    /// The single forward-pass edge traversal behind [`Self::forward_cost`]
+    /// and [`Self::forward_cost_cached`]: walk every value-producing unit
+    /// and its consumers exactly once, counting either one message per
+    /// cross-node dependency edge (`cache_per_node == false`, the paper's
+    /// counting) or one message per distinct consumer node
+    /// (`cache_per_node == true`, the value-cache ablation). Sharing the
+    /// traversal keeps the two costings from ever drifting apart in which
+    /// edges they see — `forward_implementations_agree` locks in the
+    /// equality against an independent consumer-side reference.
+    fn forward_traffic(
+        &self,
+        graph: &UnitGraph,
+        assignment: &Assignment,
+        cache_per_node: bool,
+    ) -> TrafficLedger {
+        let consumers = producer_consumers(graph);
         let mut ledger = TrafficLedger::new(self.node_count);
-        // Input layer values.
-        for l in 1..graph.layer_count() {
-            // `p` indexes `consumers` only on the l >= 2 branch below;
-            // iterating `consumers` directly would be wrong-shaped.
-            #[allow(clippy::needless_range_loop)]
-            for p in 0..graph.units_in_layer(l - 1) {
-                let src = assignment.host_of(l - 1, p);
-                let mut dest_nodes = BTreeSet::new();
-                let unit_consumers: Vec<usize> = if l >= 2 {
-                    consumers[l - 2][p].clone()
-                } else {
-                    // Consumers of input values: scan layer 1 deps.
-                    (0..graph.units_in_layer(1))
-                        .filter(|&u| graph.dependencies(1, u).binary_search(&p).is_ok())
-                        .collect()
-                };
-                for u in unit_consumers {
-                    let dst = assignment.host_of(l, u);
-                    if dst != src {
-                        dest_nodes.insert(dst);
+        for (l, layer) in consumers.iter().enumerate() {
+            for (p, unit_consumers) in layer.iter().enumerate() {
+                let src = assignment.host_of(l, p);
+                if cache_per_node {
+                    let dest_nodes: BTreeSet<_> = unit_consumers
+                        .iter()
+                        .map(|&u| assignment.host_of(l + 1, u))
+                        .filter(|&dst| dst != src)
+                        .collect();
+                    for dst in dest_nodes {
+                        ledger.send(&self.routes, src, dst, 1);
                     }
-                }
-                for dst in dest_nodes {
-                    ledger.send(&self.routes, src, dst, 1);
+                } else {
+                    for &u in unit_consumers {
+                        let dst = assignment.host_of(l + 1, u);
+                        if dst != src {
+                            ledger.send(&self.routes, src, dst, 1);
+                        }
+                    }
                 }
             }
         }
@@ -216,6 +217,64 @@ mod tests {
             .sum();
         assert_eq!(cost.rx(NodeId::new(0)), expected);
         assert!(expected > 500, "expected large sink load, got {expected}");
+    }
+
+    /// Dependency-side reference costing: one message per cross-node
+    /// dependency edge, walked consumer-first — the pre-refactor
+    /// `forward_cost` traversal, kept as an independent oracle.
+    fn forward_cost_reference(
+        model: &CostModel,
+        graph: &UnitGraph,
+        assignment: &Assignment,
+    ) -> TrafficLedger {
+        let mut ledger = TrafficLedger::new(model.node_count);
+        for l in 1..graph.layer_count() {
+            for u in 0..graph.units_in_layer(l) {
+                let dst = assignment.host_of(l, u);
+                for &d in graph.dependencies(l, u) {
+                    let src = assignment.host_of(l - 1, d);
+                    if src != dst {
+                        ledger.send(&model.routes, src, dst, 1);
+                    }
+                }
+            }
+        }
+        ledger
+    }
+
+    #[test]
+    fn forward_implementations_agree() {
+        // The unified producer-side traversal must charge exactly the
+        // edges the consumer-side reference charges — on structured
+        // strategies and on fully randomized assignments.
+        let (graph, topo) = setup();
+        let model = CostModel::new(&topo);
+        let mut rng = zeiot_core::rng::SeedRng::new(4242);
+        let mut assignments = vec![
+            Assignment::centralized(&graph, &topo),
+            Assignment::grid_projection(&graph, &topo),
+            Assignment::balanced_correspondence(&graph, &topo),
+        ];
+        for _ in 0..10 {
+            let mut random = Assignment::centralized(&graph, &topo);
+            for l in 1..graph.layer_count() {
+                for u in 0..graph.units_in_layer(l) {
+                    random.set_host(l, u, NodeId::new(rng.below(topo.len()) as u32));
+                }
+            }
+            assignments.push(random);
+        }
+        for a in &assignments {
+            assert_eq!(
+                model.forward_cost(&graph, a),
+                forward_cost_reference(&model, &graph, a),
+            );
+            // The cached path walks the same edges; deduplication can
+            // only remove sends, never add or reroute them.
+            let cached = model.forward_cost_cached(&graph, a);
+            let plain = model.forward_cost(&graph, a);
+            assert!(cached.total_cost() <= plain.total_cost());
+        }
     }
 
     #[test]

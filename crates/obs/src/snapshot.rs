@@ -160,6 +160,22 @@ impl Snapshot {
         self.trace_dropped += other.trace_dropped;
     }
 
+    /// Merges per-sweep-point snapshots in point-index order.
+    ///
+    /// Parallel sweep harnesses record each point into its own
+    /// [`Recorder`] and hand the snapshots here **in point order**; since
+    /// [`Snapshot::merge`] uses stable sorts, entries that share a
+    /// `(name, label)` key keep that point order, so the merged snapshot
+    /// is byte-identical no matter how many threads evaluated the points
+    /// or in what order they finished.
+    pub fn merge_in_order(points: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for snapshot in points {
+            merged.merge(snapshot);
+        }
+        merged
+    }
+
     /// All counter entries of one family.
     pub fn counters_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a CounterEntry> {
         self.counters.iter().filter(move |e| e.name == name)
@@ -391,6 +407,35 @@ mod tests {
             .all(|w| { (&w[0].name, &w[0].label) <= (&w[1].name, &w[1].label) }));
         assert_eq!(snap.trace.len(), 2);
         assert!(snap.trace[0].time <= snap.trace[1].time);
+    }
+
+    #[test]
+    fn merge_in_order_is_deterministic_for_colliding_keys() {
+        // Three "sweep points" that all record the same (name, label)
+        // instruments — as parallel experiment points do. Merging in
+        // point order must keep the entries in point order (stable
+        // sorts), so a parallel run that merges point snapshots by index
+        // reproduces the serial run byte for byte.
+        let point = |value: u64, volts: f64| {
+            let mut rec = Recorder::new();
+            rec.add("energy.harvested_uj", Label::Global, value);
+            rec.sample("volts", Label::Global, SimTime::from_secs(1), volts);
+            rec.snapshot()
+        };
+        let parts: Vec<Snapshot> = vec![point(1, 1.0), point(2, 2.0), point(3, 3.0)];
+        let merged = Snapshot::merge_in_order(parts.clone());
+        let again = Snapshot::merge_in_order(parts);
+        assert_eq!(merged, again);
+        let values: Vec<u64> = merged
+            .counters_named("energy.harvested_uj")
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(values, vec![1, 2, 3], "point order lost in merge");
+        let volts: Vec<f64> = merged
+            .series_named("volts")
+            .map(|e| e.points[0].1)
+            .collect();
+        assert_eq!(volts, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Serial-equivalence safety net for the parallel sweep layer.
+//!
+//! Every experiment fans its sweep points out through
+//! [`zeiot_bench::SweepRunner`]; these tests pin the contract that makes
+//! that safe: the merged [`ExperimentReport`] serialized as JSON is
+//! **byte-identical** between `--threads 1` and `--threads 4` at a fixed
+//! seed, for every experiment, and the threaded
+//! `balanced_correspondence` local search returns exactly the serial
+//! assignment.
+
+use zeiot_bench::experiments::{
+    e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi, e7_link, e8_energy,
+};
+use zeiot_bench::SweepRunner;
+use zeiot_core::rng::SeedRng;
+use zeiot_microdeep::{Assignment, CnnConfig};
+use zeiot_net::Topology;
+
+/// Asserts byte-identical JSON between a serial and a 4-thread run.
+fn assert_thread_invariant(name: &str, serial: &str, parallel: &str) {
+    assert_eq!(
+        serial, parallel,
+        "{name}: report JSON differs between --threads 1 and --threads 4"
+    );
+}
+
+#[test]
+fn e1_report_is_thread_invariant() {
+    let params = e1_temperature::Params::reduced();
+    let serial = e1_temperature::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e1_temperature::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E1", &serial, &parallel);
+}
+
+#[test]
+fn e2_report_is_thread_invariant() {
+    let params = e2_motion::Params::reduced();
+    let serial = e2_motion::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e2_motion::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E2", &serial, &parallel);
+}
+
+#[test]
+fn e3_report_is_thread_invariant() {
+    let params = e3_mac::Params::reduced();
+    let serial = e3_mac::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e3_mac::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E3", &serial, &parallel);
+}
+
+#[test]
+fn e4_report_is_thread_invariant() {
+    let params = e4_train::Params::reduced();
+    let serial = e4_train::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e4_train::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E4", &serial, &parallel);
+}
+
+#[test]
+fn e5_report_is_thread_invariant() {
+    let params = e5_counting::Params::reduced();
+    let serial = e5_counting::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e5_counting::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E5", &serial, &parallel);
+}
+
+#[test]
+fn e6_report_is_thread_invariant() {
+    let params = e6_csi::Params::reduced();
+    let serial = e6_csi::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e6_csi::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E6", &serial, &parallel);
+}
+
+#[test]
+fn e7_report_is_thread_invariant() {
+    let params = e7_link::Params::reduced();
+    let serial = e7_link::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e7_link::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E7", &serial, &parallel);
+}
+
+#[test]
+fn e8_report_is_thread_invariant() {
+    let params = e8_energy::Params::reduced();
+    let serial = e8_energy::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e8_energy::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E8", &serial, &parallel);
+}
+
+/// E8's merged per-point metrics — not just the report rows — must also
+/// be identical across thread counts (exported snapshots feed JSONL).
+#[test]
+fn e8_exported_snapshot_is_thread_invariant() {
+    let params = e8_energy::Params::reduced();
+    let serial = e8_energy::run_with(&params, &SweepRunner::serial()).export_snapshot();
+    let parallel = e8_energy::run_with(&params, &SweepRunner::new(4)).export_snapshot();
+    assert_eq!(serial, parallel);
+}
+
+/// An uneven thread count (3) exercises the work-stealing index counter
+/// with a worker count that does not divide the point count.
+#[test]
+fn e8_report_is_invariant_at_odd_thread_counts() {
+    let params = e8_energy::Params::reduced();
+    let serial = e8_energy::run_with(&params, &SweepRunner::serial()).to_json();
+    for threads in [2usize, 3, 8] {
+        let parallel = e8_energy::run_with(&params, &SweepRunner::new(threads)).to_json();
+        assert_thread_invariant("E8", &serial, &parallel);
+    }
+}
+
+/// The threaded local search must return exactly the serial assignment:
+/// candidate scoring is side-effect free and selection uses a total
+/// order, so the accepted-move sequence cannot depend on thread count.
+#[test]
+fn balanced_correspondence_is_thread_invariant() {
+    let config = CnnConfig::new(1, 8, 8, 4, 3, 2, 16, 2).expect("config");
+    let graph = config.unit_graph().expect("graph");
+    for seed in 0..10u64 {
+        let mut rng = SeedRng::new(seed);
+        let n = 8 + (seed as usize) * 2;
+        let topo = Topology::random(n, 12.0, 12.0, 5.0, &mut rng).expect("topology");
+        let serial = Assignment::balanced_correspondence(&graph, &topo);
+        for threads in [2usize, 4, 0] {
+            let parallel = Assignment::balanced_correspondence_threaded(&graph, &topo, threads);
+            assert_eq!(
+                serial, parallel,
+                "assignment differs at seed {seed}, threads {threads}"
+            );
+        }
+    }
+}

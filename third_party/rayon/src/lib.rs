@@ -1,0 +1,129 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This container builds without network access, so the workspace vendors a
+//! minimal API-compatible subset of `rayon` 1.x backed by `std::thread`
+//! scoped threads: [`join`], [`scope`] / [`Scope::spawn`], and
+//! [`current_num_threads`]. That is the entire surface zeiot uses — the
+//! bench `SweepRunner` and MicroDeep's parallel candidate scoring build
+//! their deterministic fan-out/fan-in loops on top of these primitives,
+//! so swapping in the real work-stealing `rayon` is a one-line
+//! `Cargo.toml` change with no call-site edits.
+//!
+//! Unlike the real crate there is no persistent worker pool: each
+//! [`scope`] spawns fresh OS threads. For the coarse-grained work zeiot
+//! parallelizes (whole sweep points, whole candidate batches) the spawn
+//! cost is noise; callers that might be handed fine-grained work gate on
+//! batch size before fanning out.
+
+use std::num::NonZeroUsize;
+
+/// The number of threads the host can usefully run in parallel, mirroring
+/// `rayon::current_num_threads` (the stub has no pool, so this is
+/// [`std::thread::available_parallelism`] with a fallback of 1).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results,
+/// mirroring `rayon::join`. `b` runs on a freshly spawned scoped thread
+/// while `a` runs on the caller's thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// A scope in which tasks can be spawned that borrow from the enclosing
+/// stack frame, mirroring `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope, mirroring `rayon::Scope::spawn`.
+    /// The task receives the scope again so it can spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope, runs `f` inside it, and blocks until every task
+/// spawned into the scope has finished, mirroring `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_owned());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_nested_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_the_enclosing_frame() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; data.len()];
+        scope(|s| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = x * x);
+            }
+        });
+        assert_eq!(out, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
