@@ -41,6 +41,9 @@ pub mod mac;
 pub mod phy;
 pub mod registry;
 
-pub use mac::{simulate_observed, MacConfig, MacMode, MacReport};
+pub use mac::{
+    simulate_observed, simulate_with_faults, simulate_with_faults_observed, MacConfig, MacFaults,
+    MacMode, MacReport,
+};
 pub use phy::BackscatterLink;
 pub use registry::{CycleRegistry, Registration};

@@ -15,13 +15,14 @@
 //! error rate of backscatter communication increases when there is not
 //! enough wireless LAN traffic").
 
-use crate::registry::Registration;
+use crate::registry::{CycleRegistry, Registration};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use zeiot_core::error::{ConfigError, Result};
 use zeiot_core::id::DeviceId;
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::{SimDuration, SimTime};
+use zeiot_fault::RecoveryPolicy;
 use zeiot_obs::{Label, Recorder, Severity};
 use zeiot_sim::{Context, Engine, World};
 
@@ -115,6 +116,60 @@ impl MacConfig {
     }
 }
 
+/// Fault injection for the scheduled MAC: grant loss on the downlink and
+/// periodic AP state loss.
+///
+/// A *lost grant* models the tag missing the AP's announcement — the AP
+/// still transmits the dummy carrier (the airtime is spent), but the tag
+/// never modulates it. Recovery follows the configured
+/// [`RecoveryPolicy`]: `Retransmit` re-queues the grant after the
+/// policy's simulated-time backoff, everything else abandons the sample
+/// (a MAC has nothing to degrade-fill with, so `Degrade` behaves like
+/// `FailFast` here).
+///
+/// An *AP reset* drops the access point's volatile state: queued grants
+/// die with it and every device must re-register its cycle before the
+/// scheduler can serve it again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacFaults {
+    /// Probability that a granted device misses its grant.
+    pub grant_loss_prob: f64,
+    /// What the AP does about a missed grant.
+    pub recovery: RecoveryPolicy,
+    /// Interval between AP state losses (`None` = never).
+    pub ap_reset_interval: Option<SimDuration>,
+}
+
+impl MacFaults {
+    /// No faults: [`simulate_with_faults`] degenerates byte-for-byte to
+    /// [`simulate`].
+    pub fn none() -> Self {
+        Self {
+            grant_loss_prob: 0.0,
+            recovery: RecoveryPolicy::FailFast,
+            ap_reset_interval: None,
+        }
+    }
+
+    /// Validates the fault configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a loss probability outside `[0, 1]` or a zero
+    /// reset interval.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.grant_loss_prob) {
+            return Err(ConfigError::new("grant_loss_prob", "must be in [0, 1]"));
+        }
+        if let Some(interval) = self.ap_reset_interval {
+            if interval.is_zero() {
+                return Err(ConfigError::new("ap_reset_interval", "must be non-zero"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MacReport {
@@ -136,6 +191,16 @@ pub struct MacReport {
     pub busy_airtime: SimDuration,
     /// Simulated duration.
     pub duration: SimDuration,
+    /// Grants the tag missed (fault injection).
+    pub grant_losses: u64,
+    /// Lost grants re-queued under a `Retransmit` policy.
+    pub grant_retries: u64,
+    /// Lost grants given up on (policy exhausted or non-retrying).
+    pub grants_abandoned: u64,
+    /// AP state losses.
+    pub ap_resets: u64,
+    /// Cycle re-registrations forced by AP resets.
+    pub reregistrations: u64,
 }
 
 impl MacReport {
@@ -182,23 +247,41 @@ enum Event {
     WlanArrival,
     DeviceSample(usize),
     TxEnd(Tx),
+    /// A lost grant comes back up for scheduling (retransmit policy).
+    GrantRetry(usize),
+    /// The AP loses its volatile state.
+    ApReset,
 }
 
 #[derive(Debug, Clone)]
 enum Tx {
-    Wlan { riders: Vec<usize> },
-    Dummy { rider: usize },
+    Wlan {
+        riders: Vec<usize>,
+    },
+    Dummy {
+        rider: usize,
+    },
+    /// A dummy carrier whose grant the tag never heard: the airtime is
+    /// spent, nothing is modulated.
+    DummyLost {
+        rider: usize,
+    },
 }
 
 struct MacWorld<'a> {
     mode: MacMode,
     config: MacConfig,
+    faults: MacFaults,
     rng: SeedRng,
     channel_busy: bool,
     wlan_queue: u64,
     grant_queue: VecDeque<usize>,
     naive_pending: Vec<usize>,
     sample_pending: Vec<bool>,
+    /// Per-device count of grant retries consumed for the current sample.
+    retry_count: Vec<u32>,
+    /// The AP's cycle registry; rebuilt from scratch on every AP reset.
+    registry: CycleRegistry,
     report: MacReport,
     deadline: SimTime,
     recorder: Option<&'a mut Recorder>,
@@ -231,7 +314,16 @@ impl MacWorld<'_> {
                         rec.inc("mac.grants", label);
                         rec.inc("mac.dummy_frames", Label::Global);
                     }
-                    ctx.schedule_in(airtime, Event::TxEnd(Tx::Dummy { rider: device }));
+                    // Grant loss is rolled only under fault injection so
+                    // the fault-free RNG stream is untouched.
+                    let lost = self.faults.grant_loss_prob > 0.0
+                        && self.rng.chance(self.faults.grant_loss_prob);
+                    let tx = if lost {
+                        Tx::DummyLost { rider: device }
+                    } else {
+                        Tx::Dummy { rider: device }
+                    };
+                    ctx.schedule_in(airtime, Event::TxEnd(tx));
                 }
             }
             MacMode::Naive => {
@@ -253,10 +345,32 @@ impl MacWorld<'_> {
 
     fn finish_sample(&mut self, device: usize, delivered: bool) {
         self.sample_pending[device] = false;
+        self.retry_count[device] = 0;
         if delivered {
             self.report.bs_delivered += 1;
         }
     }
+
+    /// Rebuilds the AP registry from scratch, re-admitting every device
+    /// (the recovery an AP reset forces).
+    fn reregister_all(&mut self) {
+        self.registry = fresh_registry(&self.config);
+        for reg in self.config.devices.clone() {
+            let admitted = match self.recorder.as_deref_mut() {
+                Some(rec) => self.registry.register_observed(reg, rec).is_ok(),
+                None => self.registry.register(reg).is_ok(),
+            };
+            if admitted {
+                self.report.reregistrations += 1;
+            }
+        }
+    }
+}
+
+/// An AP-side registry sized for the configured channel; the budget is
+/// the whole band (admission control is exercised, not stressed, here).
+fn fresh_registry(config: &MacConfig) -> CycleRegistry {
+    CycleRegistry::new(config.bs_bit_rate_bps, 1.0).expect("validated bit rate")
 }
 
 impl World for MacWorld<'_> {
@@ -343,8 +457,67 @@ impl World for MacWorld<'_> {
                         let ok = self.rng.chance(self.config.bs_packet_success);
                         self.finish_sample(rider, ok);
                     }
+                    Tx::DummyLost { rider } => {
+                        // The airtime was spent but the tag never heard
+                        // the grant; recover per policy.
+                        self.report.grant_losses += 1;
+                        if let Some(rec) = self.recorder.as_deref_mut() {
+                            let label = Label::device(self.config.devices[rider].device);
+                            rec.inc("mac.grant_losses", label);
+                        }
+                        let next_retry = self.retry_count[rider] + 1;
+                        let scheduled = self
+                            .faults
+                            .recovery
+                            .retry_schedule()
+                            .map(|s| ctx.schedule_retry(&s, next_retry, Event::GrantRetry(rider)))
+                            .unwrap_or(false);
+                        if scheduled {
+                            self.retry_count[rider] = next_retry;
+                            self.report.grant_retries += 1;
+                        } else {
+                            self.report.grants_abandoned += 1;
+                            self.finish_sample(rider, false);
+                        }
+                    }
                 }
                 self.try_start_tx(ctx);
+            }
+            Event::GrantRetry(device) => {
+                // Only meaningful while the sample is still wanted; a
+                // supersession or an AP reset may have settled it already.
+                if ctx.now() < self.deadline && self.sample_pending[device] {
+                    self.grant_queue.push_back(device);
+                    self.try_start_tx(ctx);
+                }
+            }
+            Event::ApReset => {
+                if ctx.now() < self.deadline {
+                    self.report.ap_resets += 1;
+                    if let Some(rec) = self.recorder.as_deref_mut() {
+                        rec.inc("mac.ap_resets", Label::Global);
+                        rec.trace(
+                            ctx.now(),
+                            Severity::Warn,
+                            Label::Global,
+                            format!(
+                                "AP reset: {} queued grants lost, re-registering {} devices",
+                                self.grant_queue.len(),
+                                self.config.devices.len()
+                            ),
+                        );
+                    }
+                    // Queued grants die with the AP's volatile state.
+                    let orphaned: Vec<usize> = self.grant_queue.drain(..).collect();
+                    for device in orphaned {
+                        self.report.grants_abandoned += 1;
+                        self.finish_sample(device, false);
+                    }
+                    self.reregister_all();
+                    if let Some(interval) = self.faults.ap_reset_interval {
+                        ctx.schedule_in(interval, Event::ApReset);
+                    }
+                }
             }
         }
     }
@@ -362,7 +535,47 @@ pub fn simulate(
     duration: SimDuration,
     rng: &mut SeedRng,
 ) -> MacReport {
-    simulate_inner(config, mode, duration, rng, None)
+    simulate_inner(config, mode, duration, rng, &MacFaults::none(), None)
+}
+
+/// Like [`simulate`], under fault injection: grants can be missed by the
+/// tag (recovered per the configured [`RecoveryPolicy`]) and the AP can
+/// periodically lose its registry and grant queue.
+///
+/// With [`MacFaults::none`] the report is byte-for-byte identical to
+/// [`simulate`] at the same seed — the fault paths never consume RNG.
+///
+/// # Panics
+///
+/// Panics if `config` or `faults` fail validation, or `config` has no
+/// devices.
+pub fn simulate_with_faults(
+    config: &MacConfig,
+    mode: MacMode,
+    duration: SimDuration,
+    rng: &mut SeedRng,
+    faults: &MacFaults,
+) -> MacReport {
+    simulate_inner(config, mode, duration, rng, faults, None)
+}
+
+/// [`simulate_with_faults`] with observability: the counters of
+/// [`simulate_observed`] plus `mac.grant_losses` per device,
+/// `mac.ap_resets`, registration churn via the registry counters, and a
+/// warning trace per AP reset.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_with_faults`].
+pub fn simulate_with_faults_observed(
+    config: &MacConfig,
+    mode: MacMode,
+    duration: SimDuration,
+    rng: &mut SeedRng,
+    faults: &MacFaults,
+    recorder: &mut Recorder,
+) -> MacReport {
+    simulate_inner(config, mode, duration, rng, faults, Some(recorder))
 }
 
 /// Like [`simulate`], additionally recording observability metrics into
@@ -381,7 +594,14 @@ pub fn simulate_observed(
     rng: &mut SeedRng,
     recorder: &mut Recorder,
 ) -> MacReport {
-    simulate_inner(config, mode, duration, rng, Some(recorder))
+    simulate_inner(
+        config,
+        mode,
+        duration,
+        rng,
+        &MacFaults::none(),
+        Some(recorder),
+    )
 }
 
 fn simulate_inner(
@@ -389,20 +609,30 @@ fn simulate_inner(
     mode: MacMode,
     duration: SimDuration,
     rng: &mut SeedRng,
+    faults: &MacFaults,
     recorder: Option<&mut Recorder>,
 ) -> MacReport {
     config.validate().expect("invalid MAC config");
+    faults.validate().expect("invalid MAC fault config");
     assert!(!config.devices.is_empty(), "need at least one device");
     let n = config.devices.len();
+    // Initial cycle registration (uncounted: it predates the run).
+    let mut registry = fresh_registry(config);
+    for reg in &config.devices {
+        let _ = registry.register(*reg);
+    }
     let world = MacWorld {
         mode,
         config: config.clone(),
+        faults: faults.clone(),
         rng: rng.split(),
         channel_busy: false,
         wlan_queue: 0,
         grant_queue: VecDeque::new(),
         naive_pending: Vec::new(),
         sample_pending: vec![false; n],
+        retry_count: vec![0; n],
+        registry,
         report: MacReport::default(),
         deadline: SimTime::ZERO + duration,
         recorder,
@@ -413,6 +643,9 @@ fn simulate_inner(
         // Stagger first samples across the cycle to avoid phase artifacts.
         let offset = reg.cycle.mul_f64(i as f64 / n as f64);
         engine.schedule_at(SimTime::ZERO + offset, Event::DeviceSample(i));
+    }
+    if let Some(interval) = faults.ap_reset_interval {
+        engine.schedule_at(SimTime::ZERO + interval, Event::ApReset);
     }
     engine.run_until(SimTime::ZERO + duration + SimDuration::from_secs(1));
     let mut report = engine.into_world().report;
@@ -589,6 +822,195 @@ mod tests {
             .sum();
         assert_eq!(dropped, report.bs_dropped);
         assert_eq!(rec.counter_value("mac.dummy_frames", &Label::Global), 0);
+    }
+
+    #[test]
+    fn no_faults_is_byte_identical_to_plain_simulate() {
+        let config = MacConfig::default_with_devices(15).unwrap();
+        for mode in [MacMode::Scheduled, MacMode::Naive] {
+            let mut rng = SeedRng::new(11);
+            let plain = simulate(&config, mode, SimDuration::from_secs(20), &mut rng);
+            let mut rng = SeedRng::new(11);
+            let faulted = simulate_with_faults(
+                &config,
+                mode,
+                SimDuration::from_secs(20),
+                &mut rng,
+                &MacFaults::none(),
+            );
+            assert_eq!(plain, faulted, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn grant_loss_without_retries_abandons_samples() {
+        let config = MacConfig::default_with_devices(10).unwrap();
+        let faults = MacFaults {
+            grant_loss_prob: 0.3,
+            recovery: RecoveryPolicy::FailFast,
+            ap_reset_interval: None,
+        };
+        let mut rng = SeedRng::new(12);
+        let report = simulate_with_faults(
+            &config,
+            MacMode::Scheduled,
+            SimDuration::from_secs(20),
+            &mut rng,
+            &faults,
+        );
+        assert!(report.grant_losses > 0);
+        assert_eq!(report.grant_losses, report.grants_abandoned);
+        assert_eq!(report.grant_retries, 0);
+        // Lost grants translate into undelivered samples.
+        let mut rng = SeedRng::new(12);
+        let clean = simulate(
+            &config,
+            MacMode::Scheduled,
+            SimDuration::from_secs(20),
+            &mut rng,
+        );
+        assert!(report.bs_delivered < clean.bs_delivered);
+    }
+
+    #[test]
+    fn retransmission_recovers_most_lost_grants() {
+        let config = MacConfig::default_with_devices(10).unwrap();
+        let retrying = MacFaults {
+            grant_loss_prob: 0.3,
+            recovery: RecoveryPolicy::Retransmit {
+                max_retries: 4,
+                timeout: SimDuration::from_millis(10),
+                backoff: 2.0,
+            },
+            ap_reset_interval: None,
+        };
+        let abandoning = MacFaults {
+            recovery: RecoveryPolicy::FailFast,
+            ..retrying.clone()
+        };
+        let run = |faults: &MacFaults| {
+            let mut rng = SeedRng::new(13);
+            simulate_with_faults(
+                &config,
+                MacMode::Scheduled,
+                SimDuration::from_secs(20),
+                &mut rng,
+                faults,
+            )
+        };
+        let with_retry = run(&retrying);
+        let without = run(&abandoning);
+        assert!(with_retry.grant_retries > 0);
+        assert!(
+            with_retry.backscatter_delivery_ratio() > without.backscatter_delivery_ratio(),
+            "retry={} abandon={}",
+            with_retry.backscatter_delivery_ratio(),
+            without.backscatter_delivery_ratio()
+        );
+        // 0.3^5 residual loss: nearly everything is recovered.
+        assert!(with_retry.grants_abandoned * 20 < with_retry.grant_losses.max(20));
+    }
+
+    #[test]
+    fn zero_retry_retransmit_matches_fail_fast() {
+        let config = MacConfig::default_with_devices(12).unwrap();
+        let run = |recovery: RecoveryPolicy| {
+            let faults = MacFaults {
+                grant_loss_prob: 0.25,
+                recovery,
+                ap_reset_interval: None,
+            };
+            let mut rng = SeedRng::new(14);
+            simulate_with_faults(
+                &config,
+                MacMode::Scheduled,
+                SimDuration::from_secs(15),
+                &mut rng,
+                &faults,
+            )
+        };
+        let fail_fast = run(RecoveryPolicy::FailFast);
+        let zero_retry = run(RecoveryPolicy::Retransmit {
+            max_retries: 0,
+            timeout: SimDuration::from_millis(10),
+            backoff: 1.0,
+        });
+        assert_eq!(fail_fast, zero_retry);
+    }
+
+    #[test]
+    fn ap_resets_force_reregistration_and_lose_queued_grants() {
+        let config = MacConfig::default_with_devices(20).unwrap();
+        let faults = MacFaults {
+            grant_loss_prob: 0.0,
+            recovery: RecoveryPolicy::FailFast,
+            ap_reset_interval: Some(SimDuration::from_secs(5)),
+        };
+        let mut rng = SeedRng::new(15);
+        let mut rec = Recorder::new();
+        let report = simulate_with_faults_observed(
+            &config,
+            MacMode::Scheduled,
+            SimDuration::from_secs(21),
+            &mut rng,
+            &faults,
+            &mut rec,
+        );
+        assert_eq!(report.ap_resets, 4);
+        assert_eq!(report.reregistrations, 4 * 20);
+        assert_eq!(
+            rec.counter_value("mac.ap_resets", &Label::Global),
+            report.ap_resets
+        );
+        let reregistered: u64 = rec
+            .counters()
+            .filter(|(name, _, _)| *name == "mac.registrations")
+            .map(|(_, _, v)| v)
+            .sum();
+        assert_eq!(reregistered, report.reregistrations);
+        assert!(!rec.trace_buffer().is_empty());
+    }
+
+    #[test]
+    fn fault_reports_are_deterministic() {
+        let run = || {
+            let config = MacConfig::default_with_devices(10).unwrap();
+            let faults = MacFaults {
+                grant_loss_prob: 0.2,
+                recovery: RecoveryPolicy::Retransmit {
+                    max_retries: 2,
+                    timeout: SimDuration::from_millis(5),
+                    backoff: 2.0,
+                },
+                ap_reset_interval: Some(SimDuration::from_secs(7)),
+            };
+            let mut rng = SeedRng::new(16);
+            simulate_with_faults(
+                &config,
+                MacMode::Scheduled,
+                SimDuration::from_secs(20),
+                &mut rng,
+                &faults,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_config_validation() {
+        assert!(MacFaults::none().validate().is_ok());
+        assert!(MacFaults {
+            grant_loss_prob: 1.5,
+            ..MacFaults::none()
+        }
+        .validate()
+        .is_err());
+        assert!(MacFaults {
+            ap_reset_interval: Some(SimDuration::ZERO),
+            ..MacFaults::none()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

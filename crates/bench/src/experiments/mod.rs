@@ -13,5 +13,6 @@ pub mod e5_counting;
 pub mod e6_csi;
 pub mod e7_link;
 pub mod e8_energy;
+pub mod e9_faults;
 pub mod x1_planner;
 pub mod x2_fusion;

@@ -172,6 +172,35 @@ impl<H: HarvestSource> IntermittentDevice<H> {
         self.run_inner(task, budget, rng, Some((recorder, label)))
     }
 
+    /// Simulates the device under a continuous compute load for `budget`
+    /// and returns its power-state transition trace: `(time, is_on)`
+    /// pairs, starting with the initial state at time zero and then one
+    /// entry per turn-on/brownout edge. The trace is what
+    /// `zeiot_fault::FaultPlan::with_outages_from_trace` consumes to turn
+    /// capacitor brownouts into radio outage windows.
+    pub fn power_trace(&mut self, budget: SimDuration, rng: &mut SeedRng) -> Vec<(SimTime, bool)> {
+        let mut now = SimTime::ZERO;
+        let deadline = SimTime::ZERO + budget;
+        let mut trace = vec![(now, self.capacitor.is_on())];
+        while now < deadline {
+            let harvest = self.harvester.power_at(now, rng);
+            self.capacitor.charge(harvest, self.step_duration);
+            if self.capacitor.is_on() {
+                // Always-on compute draw: the worst case for brownouts.
+                let draw = self
+                    .profile
+                    .energy(DeviceState::Compute, self.step_duration);
+                self.capacitor.drain(draw);
+            }
+            now += self.step_duration;
+            let is_on = self.capacitor.is_on();
+            if is_on != trace.last().map(|&(_, s)| s).unwrap_or(!is_on) {
+                trace.push((now, is_on));
+            }
+        }
+        trace
+    }
+
     fn run_inner(
         &mut self,
         task: &Task,
@@ -459,6 +488,38 @@ mod tests {
             .trace_buffer()
             .iter()
             .any(|(_, e)| e.severity == Severity::Warn && e.message == "brownout"));
+    }
+
+    #[test]
+    fn power_trace_records_state_transitions() {
+        // Harvest below the 20 µW compute draw: the device must
+        // duty-cycle, so the trace has alternating on/off edges.
+        let mut dev = device(10e-6);
+        let mut rng = SeedRng::new(7);
+        let trace = dev.power_trace(SimDuration::from_secs(120), &mut rng);
+        assert!(trace.len() > 2, "expected duty-cycling, got {trace:?}");
+        assert_eq!(trace[0].0, SimTime::ZERO);
+        for pair in trace.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "trace out of order: {pair:?}");
+            assert_ne!(pair[0].1, pair[1].1, "consecutive equal states");
+        }
+        // Deterministic given the same seed.
+        let mut dev2 = device(10e-6);
+        let mut rng2 = SeedRng::new(7);
+        assert_eq!(
+            trace,
+            dev2.power_trace(SimDuration::from_secs(120), &mut rng2)
+        );
+    }
+
+    #[test]
+    fn power_trace_with_ample_harvest_stays_on() {
+        let mut dev = device(1e-3);
+        let mut rng = SeedRng::new(8);
+        let trace = dev.power_trace(SimDuration::from_secs(30), &mut rng);
+        // Initial state plus at most one turn-on edge.
+        assert!(trace.len() <= 2, "{trace:?}");
+        assert!(trace.last().unwrap().1, "device should end up on");
     }
 
     #[test]

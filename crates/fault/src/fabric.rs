@@ -1,0 +1,504 @@
+//! The stateful message fabric: a [`FaultPlan`] plus a [`RecoveryPolicy`]
+//! plus running counters.
+//!
+//! Subsystems route every cross-node message through a [`LinkFabric`].
+//! The fabric assigns each message a monotone sequence number, rolls the
+//! plan's deterministic per-attempt decisions, drives the policy's
+//! bounded retransmission loop (advancing its simulated clock by the
+//! backoff delays, so timeouts are simulated-time, never wall-clock), and
+//! tallies [`FaultStats`]. Because sequence numbers are allocated in the
+//! caller's deterministic iteration order and every decision is a pure
+//! hash, a fabric-mediated computation stays bit-reproducible.
+
+use crate::plan::{FaultPlan, LinkEvent};
+use crate::policy::RecoveryPolicy;
+use zeiot_core::id::NodeId;
+use zeiot_core::time::{SimDuration, SimTime};
+use zeiot_obs::{Label, Recorder};
+
+/// The outcome of transmitting one message through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrived after `attempts` transmissions.
+    Delivered {
+        /// Whether the payload arrived corrupted.
+        corrupted: bool,
+        /// Transmissions used (1 = first try).
+        attempts: u32,
+    },
+    /// Every allowed attempt was lost.
+    Failed {
+        /// Transmissions used.
+        attempts: u32,
+    },
+}
+
+impl Delivery {
+    /// Whether the message made it through (possibly corrupted).
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Delivery::Delivered { .. })
+    }
+}
+
+/// Running fault-injection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transmission attempts (including retransmissions).
+    pub sent: u64,
+    /// Messages that arrived (intact or corrupted).
+    pub delivered: u64,
+    /// Attempts lost to link drops or outages.
+    pub drops: u64,
+    /// Retransmission attempts.
+    pub retries: u64,
+    /// Messages delivered with corrupted payloads.
+    pub corrupted: u64,
+    /// Messages lost after exhausting every allowed attempt.
+    pub failed: u64,
+    /// Lost values substituted by a degrade policy.
+    pub degraded: u64,
+    /// Messages recovered by retransmission (delivered after ≥1 retry).
+    pub recovered: u64,
+    /// Extra route traversals spent on recoveries, in hops: each retry of
+    /// a message re-walks its `hops`-hop route.
+    pub recovery_latency_hops: u64,
+    /// Consuming computations aborted under a fail-fast policy.
+    pub aborted: u64,
+}
+
+impl FaultStats {
+    /// Messages offered to the fabric (attempts minus retransmissions).
+    pub fn offered(&self) -> u64 {
+        self.sent - self.retries
+    }
+
+    /// Fraction of attempts lost.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.drops as f64 / self.sent as f64
+    }
+
+    /// Mean recovery latency in hops over recovered messages.
+    pub fn mean_recovery_latency_hops(&self) -> f64 {
+        if self.recovered == 0 {
+            return 0.0;
+        }
+        self.recovery_latency_hops as f64 / self.recovered as f64
+    }
+
+    /// Traffic overhead of recovery: attempts per offered message.
+    pub fn traffic_overhead(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 1.0;
+        }
+        self.sent as f64 / offered as f64
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.drops += other.drops;
+        self.retries += other.retries;
+        self.corrupted += other.corrupted;
+        self.failed += other.failed;
+        self.degraded += other.degraded;
+        self.recovered += other.recovered;
+        self.recovery_latency_hops += other.recovery_latency_hops;
+        self.aborted += other.aborted;
+    }
+
+    /// Writes the counters into `recorder` under `label` as
+    /// `fault.sent`, `fault.drops`, `fault.retries`, `fault.degraded`,
+    /// `fault.recovery_latency_hops` and friends.
+    pub fn record_to(&self, recorder: &mut Recorder, label: Label) {
+        for (name, value) in [
+            ("fault.sent", self.sent),
+            ("fault.delivered", self.delivered),
+            ("fault.drops", self.drops),
+            ("fault.retries", self.retries),
+            ("fault.corrupted", self.corrupted),
+            ("fault.failed", self.failed),
+            ("fault.degraded", self.degraded),
+            ("fault.recovered", self.recovered),
+            ("fault.recovery_latency_hops", self.recovery_latency_hops),
+            ("fault.aborted", self.aborted),
+        ] {
+            recorder.add(name, label.clone(), value);
+        }
+    }
+}
+
+/// The stateful fabric; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_core::id::NodeId;
+/// use zeiot_fault::{Delivery, FaultPlan, LinkFabric, RecoveryPolicy};
+///
+/// let mut fabric = LinkFabric::new(FaultPlan::lossless(), RecoveryPolicy::FailFast);
+/// let out = fabric.transmit(NodeId::new(0), NodeId::new(1));
+/// assert!(out.is_delivered());
+/// assert_eq!(fabric.stats().sent, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkFabric {
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    seq: u64,
+    now: SimTime,
+    stats: FaultStats,
+}
+
+impl LinkFabric {
+    /// A fabric at simulated time zero with zeroed counters.
+    pub fn new(plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        Self {
+            plan,
+            policy,
+            seq: 0,
+            now: SimTime::ZERO,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// The fabric's simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the simulated clock (e.g. one sensing cycle per
+    /// inference pass), moving messages into or out of outage windows.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now = self.now.saturating_add(d);
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Counts a degrade-substituted value.
+    pub fn note_degraded(&mut self) {
+        self.stats.degraded += 1;
+    }
+
+    /// Counts an aborted consuming computation.
+    pub fn note_aborted(&mut self) {
+        self.stats.aborted += 1;
+    }
+
+    /// Transmits one message over a single-hop route.
+    pub fn transmit(&mut self, src: NodeId, dst: NodeId) -> Delivery {
+        self.transmit_over(src, dst, 1)
+    }
+
+    /// Transmits one message whose route is `hops` hops long, driving the
+    /// policy's retransmission loop. Retries advance the simulated clock
+    /// by the policy's backoff schedule, so a retransmission that lands
+    /// inside an outage window is (correctly) lost and one that lands
+    /// after the window ends can succeed.
+    pub fn transmit_over(&mut self, src: NodeId, dst: NodeId, hops: u32) -> Delivery {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.plan.is_lossless() {
+            // Fast path: nothing can go wrong, skip the hashing.
+            self.stats.sent += 1;
+            self.stats.delivered += 1;
+            return Delivery::Delivered {
+                corrupted: false,
+                attempts: 1,
+            };
+        }
+        let schedule = self.policy.retry_schedule();
+        let max_attempts = self.policy.max_attempts();
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                if let Some(schedule) = &schedule {
+                    if let Some(delay) = schedule.delay_for(attempt) {
+                        self.now = self.now.saturating_add(delay);
+                    }
+                }
+            }
+            self.stats.sent += 1;
+            match self.plan.decide(src, dst, seq, attempt, self.now) {
+                LinkEvent::Delivered => {
+                    self.stats.delivered += 1;
+                    if attempt > 0 {
+                        self.stats.recovered += 1;
+                        self.stats.recovery_latency_hops += u64::from(attempt) * u64::from(hops);
+                    }
+                    return Delivery::Delivered {
+                        corrupted: false,
+                        attempts: attempt + 1,
+                    };
+                }
+                LinkEvent::Corrupted => {
+                    self.stats.delivered += 1;
+                    self.stats.corrupted += 1;
+                    if attempt > 0 {
+                        self.stats.recovered += 1;
+                        self.stats.recovery_latency_hops += u64::from(attempt) * u64::from(hops);
+                    }
+                    return Delivery::Delivered {
+                        corrupted: true,
+                        attempts: attempt + 1,
+                    };
+                }
+                LinkEvent::Dropped => {
+                    self.stats.drops += 1;
+                }
+            }
+        }
+        self.stats.failed += 1;
+        Delivery::Failed {
+            attempts: max_attempts,
+        }
+    }
+
+    /// The sequence number of the next message (how many messages the
+    /// fabric has carried).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DegradeMode;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn retransmit(max_retries: u32) -> RecoveryPolicy {
+        RecoveryPolicy::Retransmit {
+            max_retries,
+            timeout: SimDuration::from_millis(50),
+            backoff: 2.0,
+        }
+    }
+
+    #[test]
+    fn lossless_fast_path_counts_messages() {
+        let mut fabric = LinkFabric::new(FaultPlan::lossless(), RecoveryPolicy::FailFast);
+        for _ in 0..10 {
+            assert!(fabric.transmit(n(0), n(1)).is_delivered());
+        }
+        assert_eq!(fabric.stats().sent, 10);
+        assert_eq!(fabric.stats().delivered, 10);
+        assert_eq!(fabric.stats().drops, 0);
+        assert_eq!(fabric.next_seq(), 10);
+    }
+
+    #[test]
+    fn retransmission_recovers_messages_and_counts_latency() {
+        let plan = FaultPlan::uniform(21, 0.5).unwrap();
+        let mut fabric = LinkFabric::new(plan, retransmit(4));
+        let mut failed = 0u64;
+        for _ in 0..2000 {
+            if !fabric.transmit_over(n(0), n(1), 3).is_delivered() {
+                failed += 1;
+            }
+        }
+        let stats = fabric.stats();
+        assert!(stats.recovered > 0);
+        assert!(stats.retries > 0);
+        // Each recovery cost at least its route length in extra hops.
+        assert!(stats.recovery_latency_hops >= stats.recovered * 3);
+        assert_eq!(stats.failed, failed);
+        // p=0.5 with 5 attempts: failure rate ~0.5^5 ≈ 3 %.
+        assert!(failed < 150, "failed={failed}");
+        assert_eq!(stats.sent, stats.delivered + stats.drops);
+    }
+
+    #[test]
+    fn zero_retry_retransmit_equals_fail_fast_exactly() {
+        let plan = FaultPlan::uniform(9, 0.3).unwrap();
+        let mut a = LinkFabric::new(plan.clone(), RecoveryPolicy::FailFast);
+        let mut b = LinkFabric::new(plan, retransmit(0));
+        for seq in 0..3000u64 {
+            let src = n((seq % 5) as u32);
+            let dst = n(((seq / 5) % 5) as u32 + 5);
+            assert_eq!(a.transmit(src, dst), b.transmit(src, dst));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn retries_advance_simulated_time_with_backoff() {
+        // Certain drop: every message exhausts its attempts and the clock
+        // advances by the full backoff schedule per message.
+        let plan = FaultPlan::uniform(2, 1.0).unwrap();
+        let mut fabric = LinkFabric::new(plan, retransmit(2));
+        let before = fabric.now();
+        let out = fabric.transmit(n(0), n(1));
+        assert!(!out.is_delivered());
+        // 50 ms + 100 ms of backoff.
+        assert_eq!(
+            fabric.now().duration_since(before),
+            SimDuration::from_millis(150)
+        );
+    }
+
+    #[test]
+    fn retransmission_rides_out_an_outage_window() {
+        // Node 1 is dark for the first 60 ms; the first attempt at t=0
+        // drops, the retry at t=50ms drops, the retry at t=150ms lands.
+        let plan = FaultPlan::lossless()
+            .with_outage(n(1), SimTime::ZERO, SimTime::from_millis(60))
+            .unwrap();
+        let mut fabric = LinkFabric::new(plan, retransmit(3));
+        match fabric.transmit(n(0), n(1)) {
+            Delivery::Delivered { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        // Fail-fast under the same plan is simply lost.
+        let plan = FaultPlan::lossless()
+            .with_outage(n(1), SimTime::ZERO, SimTime::from_millis(60))
+            .unwrap();
+        let mut ff = LinkFabric::new(plan, RecoveryPolicy::FailFast);
+        assert!(!ff.transmit(n(0), n(1)).is_delivered());
+    }
+
+    #[test]
+    fn stats_merge_and_ratios() {
+        let plan = FaultPlan::uniform(4, 0.4).unwrap();
+        let mut fabric = LinkFabric::new(plan, retransmit(1));
+        for _ in 0..500 {
+            let _ = fabric.transmit(n(0), n(1));
+        }
+        let mut total = FaultStats::default();
+        total.merge(fabric.stats());
+        total.merge(fabric.stats());
+        assert_eq!(total.sent, fabric.stats().sent * 2);
+        assert!(fabric.stats().loss_ratio() > 0.2);
+        assert!(fabric.stats().traffic_overhead() > 1.0);
+        assert!(fabric.stats().mean_recovery_latency_hops() >= 1.0);
+    }
+
+    #[test]
+    fn degrade_counters_track_substitutions() {
+        let plan = FaultPlan::uniform(6, 1.0).unwrap();
+        let mut fabric = LinkFabric::new(
+            plan,
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill,
+            },
+        );
+        if !fabric.transmit(n(0), n(1)).is_delivered() {
+            fabric.note_degraded();
+        }
+        assert_eq!(fabric.stats().degraded, 1);
+        fabric.note_aborted();
+        assert_eq!(fabric.stats().aborted, 1);
+    }
+
+    #[test]
+    fn stats_record_to_recorder() {
+        let plan = FaultPlan::uniform(8, 0.5).unwrap();
+        let mut fabric = LinkFabric::new(plan, retransmit(2));
+        for _ in 0..200 {
+            let _ = fabric.transmit(n(0), n(1));
+        }
+        let mut rec = Recorder::new();
+        fabric.stats().record_to(&mut rec, Label::Global);
+        assert_eq!(
+            rec.counter_value("fault.sent", &Label::Global),
+            fabric.stats().sent
+        );
+        assert_eq!(
+            rec.counter_value("fault.drops", &Label::Global),
+            fabric.stats().drops
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The satellite property: `Retransmit { max_retries: 0 }` is
+        /// behaviorally identical to `FailFast` for any plan seed, drop
+        /// rate, corruption rate and message stream.
+        #[test]
+        fn zero_retry_retransmit_is_fail_fast(
+            seed in 0u64..10_000,
+            drop in 0.0f64..1.0,
+            corrupt in 0.0f64..0.5,
+            messages in 1usize..400,
+            timeout_ms in 1u64..1000,
+            backoff in 1.0f64..4.0,
+        ) {
+            let plan = FaultPlan::uniform(seed, drop)
+                .unwrap()
+                .with_corruption(corrupt)
+                .unwrap();
+            let mut ff = LinkFabric::new(plan.clone(), RecoveryPolicy::FailFast);
+            let mut rt = LinkFabric::new(plan, RecoveryPolicy::Retransmit {
+                max_retries: 0,
+                timeout: zeiot_core::time::SimDuration::from_millis(timeout_ms),
+                backoff,
+            });
+            for seq in 0..messages as u64 {
+                let src = NodeId::new((seq % 7) as u32);
+                let dst = NodeId::new(7 + (seq % 3) as u32);
+                let hops = 1 + (seq % 4) as u32;
+                prop_assert_eq!(
+                    ff.transmit_over(src, dst, hops),
+                    rt.transmit_over(src, dst, hops)
+                );
+            }
+            prop_assert_eq!(ff.stats(), rt.stats());
+            prop_assert_eq!(ff.now(), rt.now());
+        }
+
+        /// A lossless plan delivers everything on the first attempt under
+        /// every policy, with identical stats.
+        #[test]
+        fn lossless_plans_never_touch_messages(
+            messages in 1usize..300,
+            policy_idx in 0usize..4,
+        ) {
+            let policy = [
+                RecoveryPolicy::FailFast,
+                RecoveryPolicy::Retransmit {
+                    max_retries: 3,
+                    timeout: zeiot_core::time::SimDuration::from_millis(10),
+                    backoff: 2.0,
+                },
+                RecoveryPolicy::Degrade { mode: crate::policy::DegradeMode::ZeroFill },
+                RecoveryPolicy::Degrade { mode: crate::policy::DegradeMode::LastValueHold },
+            ][policy_idx];
+            let mut fabric = LinkFabric::new(FaultPlan::lossless(), policy);
+            for seq in 0..messages as u64 {
+                let out = fabric.transmit(NodeId::new(0), NodeId::new((seq % 9) as u32));
+                prop_assert_eq!(out, Delivery::Delivered { corrupted: false, attempts: 1 });
+            }
+            prop_assert_eq!(fabric.stats().sent, messages as u64);
+            prop_assert_eq!(fabric.stats().delivered, messages as u64);
+            prop_assert_eq!(fabric.stats().drops, 0);
+            prop_assert_eq!(fabric.now(), SimTime::ZERO);
+        }
+    }
+}

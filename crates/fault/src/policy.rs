@@ -1,0 +1,153 @@
+//! Recovery policies: what a consumer does when a message never arrives.
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::time::SimDuration;
+use zeiot_sim::RetrySchedule;
+
+/// How a degraded consumer substitutes a lost value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeMode {
+    /// Treat the lost value as zero (a silent unit).
+    ZeroFill,
+    /// Reuse the last value successfully delivered on that edge (zero
+    /// before the first delivery).
+    LastValueHold,
+}
+
+/// What to do about a lost message.
+///
+/// The semantics the workspace implements:
+///
+/// * [`RecoveryPolicy::FailFast`] — the computation consuming the
+///   message aborts (an inference is counted failed, a MAC sample is
+///   abandoned). No retries, no substitution.
+/// * [`RecoveryPolicy::Retransmit`] — up to `max_retries` bounded
+///   retransmissions, each a fresh deterministic link roll, spaced by a
+///   simulated-time exponential-backoff schedule (`timeout`,
+///   `timeout·backoff`, …). Exhaustion behaves exactly like
+///   [`RecoveryPolicy::FailFast`] — in particular `max_retries = 0` *is*
+///   `FailFast`, a property the fault test suite pins.
+/// * [`RecoveryPolicy::Degrade`] — never abort: substitute the lost value
+///   per [`DegradeMode`] and continue degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Abort the consuming computation on the first loss.
+    FailFast,
+    /// Bounded retransmission with simulated-time backoff, then fail.
+    Retransmit {
+        /// Retransmissions after the initial attempt.
+        max_retries: u32,
+        /// Delay before the first retransmission.
+        timeout: SimDuration,
+        /// Multiplicative backoff factor per further retransmission.
+        backoff: f64,
+    },
+    /// Substitute lost values and continue.
+    Degrade {
+        /// The substitution mode.
+        mode: DegradeMode,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Total transmission attempts the policy allows per message.
+    pub fn max_attempts(&self) -> u32 {
+        match self {
+            RecoveryPolicy::Retransmit { max_retries, .. } => 1 + max_retries,
+            RecoveryPolicy::FailFast | RecoveryPolicy::Degrade { .. } => 1,
+        }
+    }
+
+    /// The degradation mode, if the policy degrades instead of failing.
+    pub fn degrade_mode(&self) -> Option<DegradeMode> {
+        match self {
+            RecoveryPolicy::Degrade { mode } => Some(*mode),
+            _ => None,
+        }
+    }
+
+    /// The simulated-time retry schedule for a retransmitting policy.
+    pub fn retry_schedule(&self) -> Option<RetrySchedule> {
+        match *self {
+            RecoveryPolicy::Retransmit {
+                max_retries,
+                timeout,
+                backoff,
+            } => RetrySchedule::new(timeout, backoff, max_retries).ok(),
+            _ => None,
+        }
+    }
+
+    /// A short stable label for reports and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::FailFast => "fail-fast",
+            RecoveryPolicy::Retransmit { .. } => "retransmit",
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill,
+            } => "zero-fill",
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::LastValueHold,
+            } => "last-value-hold",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_budgets_follow_the_policy() {
+        assert_eq!(RecoveryPolicy::FailFast.max_attempts(), 1);
+        assert_eq!(
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill
+            }
+            .max_attempts(),
+            1
+        );
+        let r = RecoveryPolicy::Retransmit {
+            max_retries: 3,
+            timeout: SimDuration::from_millis(10),
+            backoff: 2.0,
+        };
+        assert_eq!(r.max_attempts(), 4);
+        assert!(r.retry_schedule().is_some());
+        assert!(RecoveryPolicy::FailFast.retry_schedule().is_none());
+    }
+
+    #[test]
+    fn zero_retry_retransmit_has_failfast_attempt_budget() {
+        let r = RecoveryPolicy::Retransmit {
+            max_retries: 0,
+            timeout: SimDuration::from_millis(10),
+            backoff: 2.0,
+        };
+        assert_eq!(r.max_attempts(), RecoveryPolicy::FailFast.max_attempts());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RecoveryPolicy::FailFast.label(), "fail-fast");
+        assert_eq!(
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::LastValueHold
+            }
+            .label(),
+            "last-value-hold"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = RecoveryPolicy::Retransmit {
+            max_retries: 2,
+            timeout: SimDuration::from_millis(50),
+            backoff: 2.0,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RecoveryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -299,6 +299,18 @@ impl Assignment {
         self.unit_host.len() + 1
     }
 
+    /// Units per computational layer: `layer_sizes()[l]` is the number of
+    /// units in layer `l + 1` (what a deserialized placement is checked
+    /// against the config's unit graph with).
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        self.unit_host.iter().map(Vec::len).collect()
+    }
+
+    /// Number of input units.
+    pub fn input_count(&self) -> usize {
+        self.input_host.len()
+    }
+
     /// Units hosted per node (computational units only).
     pub fn units_per_node(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.node_count];

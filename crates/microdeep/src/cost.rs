@@ -123,18 +123,23 @@ impl CostModel {
     /// Ratio of an assignment's maximal per-node cost to a baseline's —
     /// the paper reports MicroDeep at "just 13 %" of the standard
     /// version's peak traffic in the temperature experiment.
+    ///
+    /// Returns `None` when the baseline generates no traffic at all (a
+    /// single-node topology hosts every unit locally), since the ratio is
+    /// undefined there — the old behaviour of reporting `0.0` silently
+    /// claimed a free assignment against a free baseline.
     pub fn peak_cost_ratio(
         &self,
         graph: &UnitGraph,
         assignment: &Assignment,
         baseline: &Assignment,
-    ) -> f64 {
+    ) -> Option<f64> {
         let a = self.forward_cost(graph, assignment).max_cost();
         let b = self.forward_cost(graph, baseline).max_cost();
         if b == 0 {
-            0.0
+            None
         } else {
-            a as f64 / b as f64
+            Some(a as f64 / b as f64)
         }
     }
 }
@@ -195,8 +200,25 @@ mod tests {
         let model = CostModel::new(&topo);
         let central = Assignment::centralized(&graph, &topo);
         let balanced = Assignment::balanced_correspondence(&graph, &topo);
-        let ratio = model.peak_cost_ratio(&graph, &balanced, &central);
+        let ratio = model
+            .peak_cost_ratio(&graph, &balanced, &central)
+            .expect("centralized baseline has traffic");
         assert!(ratio > 0.0 && ratio < 1.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn peak_cost_ratio_on_single_node_topology_is_none() {
+        // Regression: one node hosts everything, so neither assignment
+        // sends a single message and the ratio used to come back as a
+        // misleading 0.0. It is undefined, and now says so.
+        let config = CnnConfig::new(1, 6, 6, 2, 3, 2, 8, 2).unwrap();
+        let graph = config.unit_graph().unwrap();
+        let topo = Topology::grid(1, 1, 2.0, 3.0).unwrap();
+        let model = CostModel::new(&topo);
+        let central = Assignment::centralized(&graph, &topo);
+        let balanced = Assignment::balanced_correspondence(&graph, &topo);
+        assert_eq!(model.forward_cost(&graph, &central).max_cost(), 0);
+        assert_eq!(model.peak_cost_ratio(&graph, &balanced, &central), None);
     }
 
     #[test]

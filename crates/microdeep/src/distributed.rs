@@ -48,31 +48,31 @@ pub enum WeightUpdate {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct UnitKernels {
+pub(crate) struct UnitKernels {
     /// `[units, in_channels, k, k]` — one kernel per conv output unit.
-    weights: Tensor,
+    pub(crate) weights: Tensor,
     /// `[units]`.
-    bias: Tensor,
-    grad_weights: Tensor,
-    grad_bias: Tensor,
+    pub(crate) bias: Tensor,
+    pub(crate) grad_weights: Tensor,
+    pub(crate) grad_bias: Tensor,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct ConvReplica {
-    weights: Tensor, // [oc, ic, k, k]
-    bias: Tensor,    // [oc]
-    grad_weights: Tensor,
-    grad_bias: Tensor,
+pub(crate) struct ConvReplica {
+    pub(crate) weights: Tensor, // [oc, ic, k, k]
+    pub(crate) bias: Tensor,    // [oc]
+    pub(crate) grad_weights: Tensor,
+    pub(crate) grad_bias: Tensor,
     /// Number of conv units hosted by this replica's node.
-    units: usize,
+    pub(crate) units: usize,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct DenseParams {
-    weights: Tensor, // [out, in]
-    bias: Tensor,
-    grad_weights: Tensor,
-    grad_bias: Tensor,
+pub(crate) struct DenseParams {
+    pub(crate) weights: Tensor, // [out, in]
+    pub(crate) bias: Tensor,
+    pub(crate) grad_weights: Tensor,
+    pub(crate) grad_bias: Tensor,
 }
 
 impl DenseParams {
@@ -146,21 +146,24 @@ impl DenseParams {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DistributedCnn {
-    config: CnnConfig,
-    update: WeightUpdate,
+    pub(crate) config: CnnConfig,
+    pub(crate) update: WeightUpdate,
+    /// The full placement (inputs pinned to sensors, units to hosts) —
+    /// what the lossy execution path routes messages against.
+    pub(crate) assignment: Assignment,
     /// Host node of each conv output unit (layer-1 unit order).
-    conv_unit_host: Vec<NodeId>,
-    replicas: BTreeMap<NodeId, ConvReplica>,
-    per_unit: Option<UnitKernels>,
-    dense1: DenseParams,
-    dense2: DenseParams,
+    pub(crate) conv_unit_host: Vec<NodeId>,
+    pub(crate) replicas: BTreeMap<NodeId, ConvReplica>,
+    pub(crate) per_unit: Option<UnitKernels>,
+    pub(crate) dense1: DenseParams,
+    pub(crate) dense2: DenseParams,
     // Forward caches.
-    last_input: Option<Tensor>,
-    conv_pre_relu: Vec<f32>,
-    pool_out: Vec<f32>,
-    pool_argmax: Vec<usize>,
-    hidden_pre_relu: Vec<f32>,
-    hidden_out: Vec<f32>,
+    pub(crate) last_input: Option<Tensor>,
+    pub(crate) conv_pre_relu: Vec<f32>,
+    pub(crate) pool_out: Vec<f32>,
+    pub(crate) pool_argmax: Vec<usize>,
+    pub(crate) hidden_pre_relu: Vec<f32>,
+    pub(crate) hidden_out: Vec<f32>,
 }
 
 impl DistributedCnn {
@@ -235,6 +238,7 @@ impl DistributedCnn {
         Self {
             config,
             update,
+            assignment,
             conv_unit_host,
             replicas,
             per_unit,
@@ -268,11 +272,121 @@ impl DistributedCnn {
 
     /// Restores a model from [`DistributedCnn::to_json`] output.
     ///
+    /// The restored model is validated against its own config's unit
+    /// graph before being returned: a persisted placement or replica set
+    /// that no longer matches the config (a config edit, a truncated
+    /// file, a hand-patched deployment) is rejected here instead of
+    /// panicking deep inside [`DistributedCnn::forward`].
+    ///
     /// # Errors
     ///
-    /// Returns an error string on malformed input.
+    /// Returns an error string on malformed input or on a model whose
+    /// placement, replicas or parameter shapes are inconsistent with its
+    /// config.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let model: Self = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Checks internal consistency: the assignment matches the config's
+    /// unit graph, every conv unit has a hosting replica, and all
+    /// parameter tensors have the shapes the config dictates.
+    fn validate(&self) -> Result<(), String> {
+        let c = &self.config;
+        let graph = c.unit_graph().map_err(|e| format!("invalid config: {e}"))?;
+        if self.assignment.layer_count() != graph.layer_count() {
+            return Err(format!(
+                "assignment has {} layers, config's unit graph has {}",
+                self.assignment.layer_count(),
+                graph.layer_count()
+            ));
+        }
+        if self.assignment.input_count() != graph.units_in_layer(0) {
+            return Err(format!(
+                "assignment pins {} input units, config has {}",
+                self.assignment.input_count(),
+                graph.units_in_layer(0)
+            ));
+        }
+        for (i, &size) in self.assignment.layer_sizes().iter().enumerate() {
+            let expected = graph.units_in_layer(i + 1);
+            if size != expected {
+                return Err(format!(
+                    "assignment layer {} has {size} units, config needs {expected}",
+                    i + 1
+                ));
+            }
+        }
+        let conv_units = graph.units_in_layer(1);
+        if self.conv_unit_host.len() != conv_units {
+            return Err(format!(
+                "conv host table has {} entries, config has {conv_units} conv units",
+                self.conv_unit_host.len()
+            ));
+        }
+        let mut expected_units: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (u, &host) in self.conv_unit_host.iter().enumerate() {
+            if host != self.assignment.host_of(1, u) {
+                return Err(format!(
+                    "conv unit {u} hosted on {host:?} but assigned to {:?}",
+                    self.assignment.host_of(1, u)
+                ));
+            }
+            *expected_units.entry(host).or_default() += 1;
+        }
+        if !self.replicas.keys().eq(expected_units.keys()) {
+            return Err(format!(
+                "replica nodes {:?} disagree with hosting nodes {:?}",
+                self.replicas.keys().collect::<Vec<_>>(),
+                expected_units.keys().collect::<Vec<_>>()
+            ));
+        }
+        let (oc, ic, k) = (c.conv_channels(), c.in_channels(), c.kernel());
+        for (node, rep) in &self.replicas {
+            if rep.units != expected_units[node] {
+                return Err(format!(
+                    "replica on {node:?} claims {} units, hosts {}",
+                    rep.units, expected_units[node]
+                ));
+            }
+            if rep.weights.shape() != [oc, ic, k, k] || rep.bias.len() != oc {
+                return Err(format!("replica on {node:?} has wrong kernel shape"));
+            }
+            if rep.grad_weights.shape() != rep.weights.shape()
+                || rep.grad_bias.len() != rep.bias.len()
+            {
+                return Err(format!("replica on {node:?} has wrong gradient shape"));
+            }
+        }
+        if (self.update == WeightUpdate::PerUnit) != self.per_unit.is_some() {
+            return Err(format!(
+                "per-unit kernels present: {}, update mode: {:?}",
+                self.per_unit.is_some(),
+                self.update
+            ));
+        }
+        if let Some(pk) = &self.per_unit {
+            if pk.weights.shape() != [conv_units, ic, k, k] || pk.bias.len() != conv_units {
+                return Err("per-unit kernel table has wrong shape".to_string());
+            }
+        }
+        if self.dense1.weights.shape() != [c.hidden(), c.feature_len()]
+            || self.dense1.bias.len() != c.hidden()
+        {
+            return Err("dense1 parameters have wrong shape".to_string());
+        }
+        if self.dense2.weights.shape() != [c.classes(), c.hidden()]
+            || self.dense2.bias.len() != c.classes()
+        {
+            return Err("dense2 parameters have wrong shape".to_string());
+        }
+        Ok(())
+    }
+
+    /// The placement this network executes over.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
     }
 
     /// Number of convolution replicas (nodes hosting conv units).
@@ -781,6 +895,52 @@ mod tests {
             assert_eq!(net.forward(x).data(), restored.forward(x).data());
         }
         assert!(DistributedCnn::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_tampered_models() {
+        let (net, _) = setup(WeightUpdate::Independent, 22);
+        let json = net.to_json().unwrap();
+        assert!(DistributedCnn::from_json(&json).is_ok());
+
+        // Textually tamper the persisted model the way a config edit or a
+        // hand-patched deployment would, and require a clean error
+        // instead of the pre-validation behavior (a panic deep inside
+        // forward()).
+        let tamper = |from: &str, to: &str| -> String {
+            let out = json.replacen(from, to, 1);
+            assert_ne!(out, json, "tamper target `{from}` missing from JSON");
+            out
+        };
+
+        // Config no longer matching the persisted placement: the model
+        // was built for 8×8 inputs / 2 classes.
+        assert!(DistributedCnn::from_json(&tamper("\"in_height\":8", "\"in_height\":10")).is_err());
+        assert!(DistributedCnn::from_json(&tamper("\"classes\":2", "\"classes\":3")).is_err());
+
+        // A replica claiming to host the wrong number of conv units.
+        let bad_units = tamper("\"units\":8}", "\"units\":9}");
+        let err = DistributedCnn::from_json(&bad_units).unwrap_err();
+        assert!(err.contains("replica"), "unexpected error: {err}");
+
+        // A placement entry pointing a conv unit at a node other than
+        // the one the assignment records.
+        let first_host = json
+            .split("\"conv_unit_host\":[")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .expect("conv_unit_host present");
+        let other = if first_host == "3" { "4" } else { "3" };
+        assert!(DistributedCnn::from_json(&tamper(
+            &format!("\"conv_unit_host\":[{first_host},"),
+            &format!("\"conv_unit_host\":[{other},"),
+        ))
+        .is_err());
+
+        // A replica weight tensor reshaped away from [oc, ic, k, k].
+        assert!(
+            DistributedCnn::from_json(&tamper("\"shape\":[2,1,3,3]", "\"shape\":[2,1,9]")).is_err()
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod config;
 pub mod cost;
 pub mod distributed;
 pub mod instrument;
+pub mod lossy;
 pub mod resilience;
 
 pub use assignment::Assignment;
@@ -66,3 +67,4 @@ pub use config::CnnConfig;
 pub use cost::CostModel;
 pub use distributed::{DistributedCnn, WeightUpdate};
 pub use instrument::TrafficInstrument;
+pub use lossy::LossyRuntime;

@@ -1,0 +1,735 @@
+//! Lossy distributed execution.
+//!
+//! The plain [`DistributedCnn`] forward/backward passes assume a perfect
+//! radio fabric: every cross-node activation and gradient arrives intact.
+//! This module executes the same network through a
+//! [`zeiot_fault::LinkFabric`], so every CNN edge whose producer and
+//! consumer live on different nodes becomes a real message that can be
+//! dropped, delayed into a brownout window, retransmitted, corrupted, or
+//! substituted by a degrade policy.
+//!
+//! Determinism contract: with [`zeiot_fault::FaultPlan::lossless`] the
+//! lossy pass is **byte-for-byte identical** to the plain pass — the
+//! floating-point accumulation order is replicated exactly, and the
+//! fabric's lossless fast path never perturbs a value. Under faults, all
+//! loss decisions are pure hashes of the message coordinates, so a run is
+//! reproducible across thread counts and repetitions.
+//!
+//! Recovery semantics per [`RecoveryPolicy`]:
+//!
+//! * `FailFast` — the first lost forward message aborts the inference
+//!   ([`DistributedCnn::forward_lossy`] returns `None`).
+//! * `Retransmit` — each lost message is retried on the fabric's
+//!   simulated-time backoff schedule; exhaustion aborts like `FailFast`.
+//! * `Degrade` — lost values are substituted (zero, or the last value
+//!   delivered on that edge) and the inference continues degraded.
+//!
+//! Backward gradient messages never abort the pass under any policy:
+//! a lost gradient contribution is simply lost mass (zero-filled), which
+//! both matches how a real mesh would behave — the producer cannot block
+//! an entire distributed epoch on one edge — and keeps
+//! `Retransmit { max_retries: 0 }` exactly equivalent to `FailFast`.
+//! Weight gradients use the locally cached producer-side activations (a
+//! node always has its own forward values), a deliberate simplification
+//! over tracking every consumer's possibly-corrupted copy.
+
+use crate::distributed::DistributedCnn;
+use std::collections::BTreeMap;
+use zeiot_core::id::NodeId;
+use zeiot_core::rng::SeedRng;
+use zeiot_core::time::SimDuration;
+use zeiot_fault::{Delivery, FaultPlan, FaultStats, LinkFabric, RecoveryPolicy};
+use zeiot_net::routing::RoutingTable;
+use zeiot_net::topology::Topology;
+use zeiot_nn::loss::cross_entropy;
+use zeiot_nn::tensor::Tensor;
+use zeiot_obs::{Label, Recorder};
+
+/// Edge stages, used to key last-value-hold state.
+const STAGE_INPUT_CONV: u64 = 0;
+const STAGE_CONV_POOL: u64 = 1;
+const STAGE_POOL_HIDDEN: u64 = 2;
+const STAGE_HIDDEN_LOGIT: u64 = 3;
+
+fn edge_key(stage: u64, producer: usize, consumer: usize) -> u64 {
+    (stage << 56) | ((producer as u64) << 28) | consumer as u64
+}
+
+/// The transport state a lossy pass runs against: the fault fabric, the
+/// mesh routes (for hop-accurate recovery latency), and the
+/// last-value-hold cache.
+#[derive(Debug)]
+pub struct LossyRuntime {
+    fabric: LinkFabric,
+    routes: RoutingTable,
+    /// Last value delivered per edge, for `DegradeMode::LastValueHold`.
+    last_seen: BTreeMap<u64, f32>,
+    /// Simulated time one full inference pass occupies; advanced after
+    /// every sample so brownout windows move across the run.
+    pass_period: SimDuration,
+}
+
+impl LossyRuntime {
+    /// Builds a runtime over `topo`'s shortest-path routes. `pass_period`
+    /// is how much simulated time each inference pass advances the
+    /// fabric's clock (one sensing cycle).
+    pub fn new(
+        plan: FaultPlan,
+        policy: RecoveryPolicy,
+        topo: &Topology,
+        pass_period: SimDuration,
+    ) -> Self {
+        Self {
+            fabric: LinkFabric::new(plan, policy),
+            routes: RoutingTable::shortest_paths(topo),
+            last_seen: BTreeMap::new(),
+            pass_period,
+        }
+    }
+
+    /// The running fault counters.
+    pub fn stats(&self) -> &FaultStats {
+        self.fabric.stats()
+    }
+
+    /// The underlying fabric (clock, plan, policy).
+    pub fn fabric(&self) -> &LinkFabric {
+        &self.fabric
+    }
+
+    /// Writes the fault counters into `recorder` under `label`.
+    pub fn record_to(&self, recorder: &mut Recorder, label: Label) {
+        self.fabric.stats().record_to(recorder, label);
+    }
+
+    /// Advances the fabric clock by one pass period.
+    pub fn advance_pass(&mut self) {
+        let period = self.pass_period;
+        self.fabric.advance(period);
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.routes.hop_distance(src, dst).unwrap_or(1).max(1) as u32
+    }
+
+    /// Transports one forward value over the edge `(stage, producer,
+    /// consumer)`. Colocated endpoints are free (no message, no stats),
+    /// matching [`crate::cost::CostModel`]'s counting. Returns `None`
+    /// when the message is lost and the policy does not degrade.
+    fn fetch(
+        &mut self,
+        value: f32,
+        src: NodeId,
+        dst: NodeId,
+        stage: u64,
+        producer: usize,
+        consumer: usize,
+    ) -> Option<f32> {
+        if src == dst {
+            return Some(value);
+        }
+        let hops = self.hops(src, dst);
+        match self.fabric.transmit_over(src, dst, hops) {
+            Delivery::Delivered { corrupted, .. } => {
+                let value = if corrupted {
+                    let seq = self.fabric.next_seq() - 1;
+                    self.fabric.plan().corrupt_value(value, src, dst, seq)
+                } else {
+                    value
+                };
+                self.last_seen
+                    .insert(edge_key(stage, producer, consumer), value);
+                Some(value)
+            }
+            Delivery::Failed { .. } => match self.fabric.policy().degrade_mode() {
+                Some(zeiot_fault::DegradeMode::ZeroFill) => {
+                    self.fabric.note_degraded();
+                    Some(0.0)
+                }
+                Some(zeiot_fault::DegradeMode::LastValueHold) => {
+                    self.fabric.note_degraded();
+                    Some(
+                        self.last_seen
+                            .get(&edge_key(stage, producer, consumer))
+                            .copied()
+                            .unwrap_or(0.0),
+                    )
+                }
+                None => None,
+            },
+        }
+    }
+
+    /// Transports one backward gradient contribution; losses zero-fill
+    /// under every policy (see the module docs).
+    fn fetch_gradient(&mut self, grad: f32, src: NodeId, dst: NodeId) -> f32 {
+        if src == dst {
+            return grad;
+        }
+        let hops = self.hops(src, dst);
+        match self.fabric.transmit_over(src, dst, hops) {
+            Delivery::Delivered { corrupted, .. } => {
+                if corrupted {
+                    let seq = self.fabric.next_seq() - 1;
+                    self.fabric.plan().corrupt_value(grad, src, dst, seq)
+                } else {
+                    grad
+                }
+            }
+            Delivery::Failed { .. } => 0.0,
+        }
+    }
+}
+
+impl DistributedCnn {
+    /// Forward pass through a lossy fabric. Returns `None` when a lost
+    /// message aborts the inference (fail-fast, or retransmission
+    /// exhausted); under a degrade policy the pass always completes.
+    ///
+    /// With a lossless plan this is byte-for-byte identical to
+    /// [`DistributedCnn::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape disagrees with the config.
+    pub fn forward_lossy(&mut self, input: &Tensor, rt: &mut LossyRuntime) -> Option<Tensor> {
+        let c = self.config;
+        assert_eq!(
+            input.shape(),
+            &[c.in_channels(), c.in_height(), c.in_width()],
+            "input shape mismatch"
+        );
+        let (oh, ow) = c.conv_dims();
+        let (ph, pw) = c.pool_dims();
+        let oc = c.conv_channels();
+        let k = c.kernel();
+        let (ih, iw) = (c.in_height(), c.in_width());
+        let kernel_len = c.in_channels() * k * k;
+
+        // Convolution: each conv unit pulls its receptive field from the
+        // sensors hosting the input units.
+        let mut conv = vec![0.0f32; oc * oh * ow];
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let unit = o * oh * ow + oy * ow + ox;
+                    let dst = self.conv_unit_host[unit];
+                    let (weights, bias): (&[f32], f32) = match &self.per_unit {
+                        Some(pk) => (
+                            &pk.weights.data()[unit * kernel_len..(unit + 1) * kernel_len],
+                            pk.bias.data()[unit],
+                        ),
+                        None => {
+                            let rep = &self.replicas[&dst];
+                            (
+                                &rep.weights.data()[o * kernel_len..(o + 1) * kernel_len],
+                                rep.bias.data()[o],
+                            )
+                        }
+                    };
+                    let mut acc = bias;
+                    let mut w_off = 0;
+                    for icn in 0..c.in_channels() {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy + ky;
+                                let ix = ox + kx;
+                                let in_unit = icn * ih * iw + iy * iw + ix;
+                                let src = self.assignment.host_of(0, in_unit);
+                                let raw = input.data()[in_unit];
+                                let v = rt.fetch(raw, src, dst, STAGE_INPUT_CONV, in_unit, unit)?;
+                                acc += weights[w_off] * v;
+                                w_off += 1;
+                            }
+                        }
+                    }
+                    conv[unit] = acc;
+                }
+            }
+        }
+        self.conv_pre_relu = conv.clone();
+        let relu: Vec<f32> = conv.iter().map(|&v| v.max(0.0)).collect();
+
+        // Max pooling: each pool unit pulls its window from the conv
+        // units' hosts.
+        let mut pooled = vec![0.0f32; oc * ph * pw];
+        let mut argmax = vec![0usize; oc * ph * pw];
+        let p = c.pool();
+        for ch in 0..oc {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let punit = ch * ph * pw + py * pw + px;
+                    let dst = self.assignment.host_of(2, punit);
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = 0;
+                    for ky in 0..p {
+                        for kx in 0..p {
+                            let y = py * p + ky;
+                            let x = px * p + kx;
+                            let off = ch * oh * ow + y * ow + x;
+                            let src = self.conv_unit_host[off];
+                            let v = rt.fetch(relu[off], src, dst, STAGE_CONV_POOL, off, punit)?;
+                            if v > best {
+                                best = v;
+                                best_off = off;
+                            }
+                        }
+                    }
+                    pooled[punit] = best;
+                    argmax[punit] = best_off;
+                }
+            }
+        }
+        self.pool_out = pooled.clone();
+        self.pool_argmax = argmax;
+
+        // Dense 1 + ReLU: each hidden unit pulls the whole pooled vector.
+        // The bias + Σ accumulation replicates DenseParams::forward
+        // exactly (dot first, bias added after) so the lossless path is
+        // bit-identical.
+        let feature_len = pooled.len();
+        let mut hidden_pre = vec![0.0f32; c.hidden()];
+        for (h, slot) in hidden_pre.iter_mut().enumerate() {
+            let dst = self.assignment.host_of(3, h);
+            let row = &self.dense1.weights.data()[h * feature_len..(h + 1) * feature_len];
+            let mut received = Vec::with_capacity(feature_len);
+            for (i, &v) in pooled.iter().enumerate() {
+                let src = self.assignment.host_of(2, i);
+                received.push(rt.fetch(v, src, dst, STAGE_POOL_HIDDEN, i, h)?);
+            }
+            let dot: f32 = row.iter().zip(&received).map(|(w, v)| w * v).sum();
+            *slot = self.dense1.bias.data()[h] + dot;
+        }
+        self.hidden_pre_relu = hidden_pre.clone();
+        let hidden: Vec<f32> = hidden_pre.iter().map(|&v| v.max(0.0)).collect();
+        self.hidden_out = hidden.clone();
+
+        // Dense 2: each class unit pulls the hidden vector.
+        let mut logits = vec![0.0f32; c.classes()];
+        for (o, slot) in logits.iter_mut().enumerate() {
+            let dst = self.assignment.host_of(4, o);
+            let row = &self.dense2.weights.data()[o * c.hidden()..(o + 1) * c.hidden()];
+            let mut received = Vec::with_capacity(c.hidden());
+            for (h, &v) in hidden.iter().enumerate() {
+                let src = self.assignment.host_of(3, h);
+                received.push(rt.fetch(v, src, dst, STAGE_HIDDEN_LOGIT, h, o)?);
+            }
+            let dot: f32 = row.iter().zip(&received).map(|(w, v)| w * v).sum();
+            *slot = self.dense2.bias.data()[o] + dot;
+        }
+        self.last_input = Some(input.clone());
+        Some(Tensor::from_vec(vec![c.classes()], logits).expect("logit shape"))
+    }
+
+    /// Backward pass through a lossy fabric: gradient contributions that
+    /// cross nodes are transported and zero-filled on loss (never
+    /// aborting — see the module docs). With a lossless plan this is
+    /// byte-for-byte identical to [`DistributedCnn::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a completed [`DistributedCnn::forward_lossy`].
+    pub fn backward_lossy(&mut self, grad_logits: &Tensor, rt: &mut LossyRuntime) {
+        let input = self
+            .last_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        let c = self.config;
+        let (oh, ow) = c.conv_dims();
+        let oc = c.conv_channels();
+        let k = c.kernel();
+        let (ih, iw) = (c.in_height(), c.in_width());
+
+        // Dense 2 ← logits. Weight/bias grads are local to the class
+        // unit's host; the grad contribution to each hidden unit crosses
+        // host(4, o) → host(3, h).
+        let hidden_len = self.hidden_out.len();
+        let mut grad_hidden = vec![0.0f32; hidden_len];
+        for (o, &g) in grad_logits.data().iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let src = self.assignment.host_of(4, o);
+            self.dense2.grad_bias.data_mut()[o] += g;
+            let row_start = o * hidden_len;
+            #[allow(clippy::needless_range_loop)]
+            for h in 0..hidden_len {
+                self.dense2.grad_weights.data_mut()[row_start + h] += g * self.hidden_out[h];
+                let contribution = g * self.dense2.weights.data()[row_start + h];
+                let dst = self.assignment.host_of(3, h);
+                grad_hidden[h] += rt.fetch_gradient(contribution, src, dst);
+            }
+        }
+        // ReLU on hidden (local).
+        let grad_hidden_pre: Vec<f32> = grad_hidden
+            .iter()
+            .zip(&self.hidden_pre_relu)
+            .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+            .collect();
+        // Dense 1 ← hidden: contributions cross host(3, h) → host(2, i).
+        let pool_len = self.pool_out.len();
+        let mut grad_pool = vec![0.0f32; pool_len];
+        for (h, &g) in grad_hidden_pre.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let src = self.assignment.host_of(3, h);
+            self.dense1.grad_bias.data_mut()[h] += g;
+            let row_start = h * pool_len;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..pool_len {
+                self.dense1.grad_weights.data_mut()[row_start + i] += g * self.pool_out[i];
+                let contribution = g * self.dense1.weights.data()[row_start + i];
+                let dst = self.assignment.host_of(2, i);
+                grad_pool[i] += rt.fetch_gradient(contribution, src, dst);
+            }
+        }
+        // Un-pool: the gradient flows from the pool unit's host to the
+        // argmax conv unit's host.
+        let mut grad_relu = vec![0.0f32; oc * oh * ow];
+        for (i, &src_unit) in self.pool_argmax.iter().enumerate() {
+            let g = grad_pool[i];
+            if g == 0.0 {
+                continue;
+            }
+            let src = self.assignment.host_of(2, i);
+            let dst = self.conv_unit_host[src_unit];
+            grad_relu[src_unit] += rt.fetch_gradient(g, src, dst);
+        }
+        // ReLU on conv, then local kernel gradient accumulation — the
+        // conv unit's inputs were cached at forward time on its own node.
+        let grad_conv: Vec<f32> = grad_relu
+            .iter()
+            .zip(&self.conv_pre_relu)
+            .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+            .collect();
+        let kernel_len = c.in_channels() * k * k;
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let unit = o * oh * ow + oy * ow + ox;
+                    let g = grad_conv[unit];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let (grad_w, grad_b_slot): (&mut [f32], &mut f32) = match &mut self.per_unit {
+                        Some(pk) => (
+                            &mut pk.grad_weights.data_mut()
+                                [unit * kernel_len..(unit + 1) * kernel_len],
+                            &mut pk.grad_bias.data_mut()[unit],
+                        ),
+                        None => {
+                            let rep = self
+                                .replicas
+                                .get_mut(&self.conv_unit_host[unit])
+                                .expect("replica exists");
+                            (
+                                &mut rep.grad_weights.data_mut()
+                                    [o * kernel_len..(o + 1) * kernel_len],
+                                &mut rep.grad_bias.data_mut()[o],
+                            )
+                        }
+                    };
+                    *grad_b_slot += g;
+                    let mut w_off = 0;
+                    for icn in 0..c.in_channels() {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy + ky;
+                                let ix = ox + kx;
+                                grad_w[w_off] += g * input.data()[icn * ih * iw + iy * iw + ix];
+                                w_off += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Trains one epoch through a lossy fabric; aborted samples (lost
+    /// messages under a non-degrading policy) are skipped and counted via
+    /// the fabric's `aborted` stat. Returns the mean loss over completed
+    /// samples, or `None` if every sample aborted.
+    ///
+    /// With a lossless plan this trains byte-for-byte identically to
+    /// [`DistributedCnn::train_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `batch_size` is zero.
+    pub fn train_epoch_lossy(
+        &mut self,
+        data: &[(Tensor, usize)],
+        lr: f32,
+        batch_size: usize,
+        rng: &mut SeedRng,
+        rt: &mut LossyRuntime,
+    ) -> Option<f32> {
+        assert!(!data.is_empty() && batch_size > 0, "invalid training call");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        rng.shuffle(&mut order);
+        let mut total = 0.0;
+        let mut completed = 0usize;
+        for batch in order.chunks(batch_size) {
+            // Per-batch sub-accumulator, matching train_epoch's FP
+            // addition grouping exactly.
+            let mut batch_loss = 0.0;
+            let mut batch_completed = 0usize;
+            for &i in batch {
+                let (x, t) = &data[i];
+                match self.forward_lossy(x, rt) {
+                    Some(logits) => {
+                        let (loss, grad) = cross_entropy(&logits, *t);
+                        batch_loss += loss;
+                        self.backward_lossy(&grad, rt);
+                        batch_completed += 1;
+                    }
+                    None => rt.fabric.note_aborted(),
+                }
+                rt.advance_pass();
+            }
+            total += batch_loss;
+            completed += batch_completed;
+            if batch_completed > 0 {
+                self.apply_gradients(lr / batch_completed as f32);
+            }
+        }
+        (completed > 0).then(|| total / completed as f32)
+    }
+
+    /// Accuracy over a labelled set through a lossy fabric; an aborted
+    /// inference counts as a misclassification (the mesh produced no
+    /// answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn accuracy_lossy(&mut self, data: &[(Tensor, usize)], rt: &mut LossyRuntime) -> f64 {
+        assert!(!data.is_empty(), "empty evaluation set");
+        let mut correct = 0usize;
+        for (x, t) in data {
+            match self.forward_lossy(x, rt) {
+                Some(logits) => {
+                    if logits.argmax() == *t {
+                        correct += 1;
+                    }
+                }
+                None => rt.fabric.note_aborted(),
+            }
+            rt.advance_pass();
+        }
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::config::CnnConfig;
+    use crate::distributed::WeightUpdate;
+    use zeiot_fault::DegradeMode;
+
+    fn small_setup(
+        update: WeightUpdate,
+        seed: u64,
+    ) -> (DistributedCnn, Vec<(Tensor, usize)>, Topology) {
+        let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2).unwrap();
+        let topo = Topology::grid(3, 3, 2.0, 3.0).unwrap();
+        let graph = config.unit_graph().unwrap();
+        let assignment = Assignment::balanced_correspondence(&graph, &topo);
+        let mut rng = SeedRng::new(seed);
+        let net = DistributedCnn::new(config, assignment, update, &mut rng);
+
+        let mut data = Vec::new();
+        let mut drng = SeedRng::new(99);
+        for _ in 0..30 {
+            for class in 0..2usize {
+                let mut img = Tensor::zeros(vec![1, 8, 8]);
+                for y in 0..4 {
+                    for x in 0..4 {
+                        let (yy, xx) = if class == 0 { (y, x) } else { (y + 4, x + 4) };
+                        img.set(&[0, yy, xx], 1.0 + drng.normal_with(0.0, 0.1) as f32);
+                    }
+                }
+                data.push((img, class));
+            }
+        }
+        (net, data, topo)
+    }
+
+    fn runtime(plan: FaultPlan, policy: RecoveryPolicy, topo: &Topology) -> LossyRuntime {
+        LossyRuntime::new(plan, policy, topo, SimDuration::from_millis(500))
+    }
+
+    #[test]
+    fn lossless_forward_is_bit_identical_to_plain_forward() {
+        for update in [
+            WeightUpdate::Synchronized,
+            WeightUpdate::Independent,
+            WeightUpdate::PerUnit,
+        ] {
+            let (mut a, data, topo) = small_setup(update, 5);
+            let (mut b, _, _) = small_setup(update, 5);
+            let mut rt = runtime(FaultPlan::lossless(), RecoveryPolicy::FailFast, &topo);
+            for (x, _) in data.iter().take(8) {
+                let plain = a.forward(x);
+                let lossy = b.forward_lossy(x, &mut rt).expect("lossless never aborts");
+                assert_eq!(plain.data(), lossy.data(), "{update:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_training_is_bit_identical_to_plain_training() {
+        let (mut plain, data, topo) = small_setup(WeightUpdate::Independent, 6);
+        let (mut lossy, _, _) = small_setup(WeightUpdate::Independent, 6);
+        let mut rng_a = SeedRng::new(3);
+        let mut rng_b = SeedRng::new(3);
+        let mut rt = runtime(FaultPlan::lossless(), RecoveryPolicy::FailFast, &topo);
+        for _ in 0..3 {
+            let la = plain.train_epoch(&data, 0.05, 8, &mut rng_a);
+            let lb = lossy
+                .train_epoch_lossy(&data, 0.05, 8, &mut rng_b, &mut rt)
+                .expect("lossless epoch completes");
+            assert_eq!(la, lb);
+        }
+        for (x, _) in data.iter().take(8) {
+            assert_eq!(plain.forward(x).data(), lossy.forward(x).data());
+        }
+        // The fabric carried messages but touched none of them.
+        assert!(rt.stats().sent > 0);
+        assert_eq!(rt.stats().drops, 0);
+        assert_eq!(rt.stats().sent, rt.stats().delivered);
+    }
+
+    #[test]
+    fn fail_fast_aborts_under_certain_loss() {
+        let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 7);
+        let plan = FaultPlan::uniform(1, 1.0).unwrap();
+        let mut rt = runtime(plan, RecoveryPolicy::FailFast, &topo);
+        assert!(net.forward_lossy(&data[0].0, &mut rt).is_none());
+        let acc = net.accuracy_lossy(&data, &mut rt);
+        assert_eq!(acc, 0.0);
+        assert!(rt.stats().aborted > 0);
+    }
+
+    #[test]
+    fn degrade_policies_never_abort() {
+        for mode in [DegradeMode::ZeroFill, DegradeMode::LastValueHold] {
+            let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 8);
+            let plan = FaultPlan::uniform(2, 0.3).unwrap();
+            let mut rt = runtime(plan, RecoveryPolicy::Degrade { mode }, &topo);
+            for (x, _) in data.iter().take(10) {
+                assert!(net.forward_lossy(x, &mut rt).is_some(), "{mode:?}");
+            }
+            assert!(rt.stats().degraded > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn retransmission_survives_moderate_loss() {
+        let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 9);
+        let plan = FaultPlan::uniform(3, 0.05).unwrap();
+        let policy = RecoveryPolicy::Retransmit {
+            max_retries: 4,
+            timeout: SimDuration::from_millis(20),
+            backoff: 2.0,
+        };
+        let mut rt = runtime(plan, policy, &topo);
+        let completed = data
+            .iter()
+            .take(20)
+            .filter(|(x, _)| net.forward_lossy(x, &mut rt).is_some())
+            .count();
+        // p(per-message failure) = 0.05^5: essentially everything makes it.
+        assert!(completed >= 19, "completed={completed}");
+        assert!(rt.stats().retries > 0);
+        assert!(rt.stats().recovered > 0);
+    }
+
+    #[test]
+    fn lossy_runs_are_reproducible() {
+        let run = || {
+            let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 10);
+            let plan = FaultPlan::uniform(4, 0.1).unwrap();
+            let mut rt = runtime(
+                plan,
+                RecoveryPolicy::Degrade {
+                    mode: DegradeMode::LastValueHold,
+                },
+                &topo,
+            );
+            let mut rng = SeedRng::new(5);
+            let loss = net.train_epoch_lossy(&data, 0.05, 8, &mut rng, &mut rt);
+            let acc = net.accuracy_lossy(&data, &mut rt);
+            (loss, acc, *rt.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn degraded_training_still_learns_under_loss() {
+        let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 11);
+        let plan = FaultPlan::uniform(5, 0.1).unwrap();
+        let mut rt = runtime(
+            plan,
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill,
+            },
+            &topo,
+        );
+        let mut rng = SeedRng::new(6);
+        for _ in 0..12 {
+            net.train_epoch_lossy(&data, 0.08, 8, &mut rng, &mut rt);
+        }
+        let acc = net.accuracy_lossy(&data, &mut rt);
+        assert!(acc > 0.6, "acc={acc}");
+    }
+
+    #[test]
+    fn outage_windows_black_out_a_node() {
+        let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 12);
+        // Node 4 (center of the 3×3 grid) dark for the whole run.
+        let plan = FaultPlan::lossless()
+            .with_outage(
+                NodeId::new(4),
+                zeiot_core::time::SimTime::ZERO,
+                zeiot_core::time::SimTime::from_secs(3600),
+            )
+            .unwrap();
+        let mut rt = runtime(
+            plan,
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill,
+            },
+            &topo,
+        );
+        let out = net.forward_lossy(&data[0].0, &mut rt);
+        assert!(out.is_some());
+        assert!(rt.stats().degraded > 0, "center node exchanges messages");
+    }
+
+    #[test]
+    fn stats_reach_the_recorder() {
+        let (mut net, data, topo) = small_setup(WeightUpdate::Independent, 13);
+        let plan = FaultPlan::uniform(6, 0.2).unwrap();
+        let mut rt = runtime(
+            plan,
+            RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill,
+            },
+            &topo,
+        );
+        let _ = net.forward_lossy(&data[0].0, &mut rt);
+        let mut rec = Recorder::new();
+        rt.record_to(&mut rec, Label::Global);
+        assert_eq!(
+            rec.counter_value("fault.sent", &Label::Global),
+            rt.stats().sent
+        );
+        assert!(rec.counter_value("fault.degraded", &Label::Global) > 0);
+    }
+}

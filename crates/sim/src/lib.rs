@@ -37,9 +37,11 @@
 pub mod engine;
 pub mod metrics;
 pub mod queue;
+pub mod timeout;
 pub mod trace;
 
 pub use engine::{Context, Engine, NoopObserver, Observer, World};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricSet, TimeSeries};
 pub use queue::EventQueue;
+pub use timeout::RetrySchedule;
 pub use trace::TraceBuffer;

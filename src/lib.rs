@@ -16,6 +16,7 @@
 //! | [`net`] | `zeiot-net` | WSN topologies, routing, traffic accounting, synchronized flooding, RSSI sampling |
 //! | [`nn`] | `zeiot-nn` | tensors, CNN layers with backprop, training, unit-graph topology |
 //! | [`microdeep`] | `zeiot-microdeep` | **the paper's contribution**: distributed CNN assignment, cost model, independent-update training, resilience |
+//! | [`fault`] | `zeiot-fault` | deterministic fault injection: lossy links, brownout windows, corruption, recovery policies |
 //! | [`sensing`] | `zeiot-sensing` | train congestion/positioning, people counting, CSI localization, PEM, sociograms, trajectories |
 //! | [`plan`] | `zeiot-plan` | design-support planner: collection trees, TDMA schedules, failure replanning |
 //! | [`data`] | `zeiot-data` | synthetic datasets standing in for the paper's hardware captures |
@@ -37,7 +38,7 @@
 //! let microdeep = Assignment::balanced_correspondence(&graph, &topo);
 //!
 //! let cost = CostModel::new(&topo);
-//! let peak_ratio = cost.peak_cost_ratio(&graph, &microdeep, &central);
+//! let peak_ratio = cost.peak_cost_ratio(&graph, &microdeep, &central).expect("baseline has traffic");
 //! assert!(peak_ratio < 1.0); // MicroDeep flattens the hottest node
 //! # Ok(())
 //! # }
@@ -51,6 +52,7 @@ pub use zeiot_backscatter as backscatter;
 pub use zeiot_core as core;
 pub use zeiot_data as data;
 pub use zeiot_energy as energy;
+pub use zeiot_fault as fault;
 pub use zeiot_microdeep as microdeep;
 pub use zeiot_net as net;
 pub use zeiot_nn as nn;

@@ -31,7 +31,9 @@ fn temperature_pipeline_learns_and_saves_traffic() {
 
     let cost = CostModel::new(&topo);
     let central = Assignment::centralized(&graph, &topo);
-    let ratio = cost.peak_cost_ratio(&graph, &assignment, &central);
+    let ratio = cost
+        .peak_cost_ratio(&graph, &assignment, &central)
+        .expect("centralized baseline has traffic");
     assert!(ratio < 0.5, "peak ratio {ratio}");
 }
 

@@ -9,7 +9,7 @@
 //! assignment.
 
 use zeiot_bench::experiments::{
-    e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi, e7_link, e8_energy,
+    e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi, e7_link, e8_energy, e9_faults,
 };
 use zeiot_bench::SweepRunner;
 use zeiot_core::rng::SeedRng;
@@ -86,6 +86,27 @@ fn e8_report_is_thread_invariant() {
     let serial = e8_energy::run_with(&params, &SweepRunner::serial()).to_json();
     let parallel = e8_energy::run_with(&params, &SweepRunner::new(4)).to_json();
     assert_thread_invariant("E8", &serial, &parallel);
+}
+
+/// E9 crosses fault plans with recovery policies; its loss decisions are
+/// pure hashes of the message coordinates, so neither accuracy curves
+/// nor fault counters may move with the thread count.
+#[test]
+fn e9_report_is_thread_invariant() {
+    let params = e9_faults::Params::reduced();
+    let serial = e9_faults::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e9_faults::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E9", &serial, &parallel);
+}
+
+/// E9's exported per-point fault counters must also be thread-invariant
+/// (they feed the JSONL export).
+#[test]
+fn e9_exported_snapshot_is_thread_invariant() {
+    let params = e9_faults::Params::reduced();
+    let serial = e9_faults::run_with(&params, &SweepRunner::serial()).export_snapshot();
+    let parallel = e9_faults::run_with(&params, &SweepRunner::new(4)).export_snapshot();
+    assert_eq!(serial, parallel);
 }
 
 /// E8's merged per-point metrics — not just the report rows — must also
