@@ -1,33 +1,20 @@
 //! Ablation-suite harness: `cargo run --release -p zeiot-bench --bin
-//! ablations [--samples N] [--epochs N] [--seed N] [--json 1]`.
+//! ablations [--samples N] [--epochs N] [--mac_seconds N] [--seed N]
+//! [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::{override_u64, override_usize, run_experiment};
 use zeiot_bench::experiments::ablations::{run, Params};
-use zeiot_bench::parse_args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let map = parse_args(&args, &["samples", "epochs", "mac_seconds", "seed", "json"])
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let mut params = Params::default();
-    if let Some(&v) = map.get("samples") {
-        params.samples = v as usize;
-    }
-    if let Some(&v) = map.get("epochs") {
-        params.epochs = v as usize;
-    }
-    if let Some(&v) = map.get("mac_seconds") {
-        params.mac_seconds = v as u64;
-    }
-    if let Some(&v) = map.get("seed") {
-        params.seed = v as u64;
-    }
-    let report = run(&params);
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
+    run_experiment(
+        &["samples", "epochs", "mac_seconds", "seed"],
+        |map, _runner| {
+            let mut params = Params::default();
+            override_usize(map, "samples", &mut params.samples);
+            override_usize(map, "epochs", &mut params.epochs);
+            override_u64(map, "mac_seconds", &mut params.mac_seconds);
+            override_u64(map, "seed", &mut params.seed);
+            run(&params)
+        },
+    );
 }

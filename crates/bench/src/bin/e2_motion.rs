@@ -2,47 +2,16 @@
 //! [--samples N] [--epochs N] [--subjects N] [--seed N] [--threads N]
 //! [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::{override_u64, override_usize, run_experiment};
 use zeiot_bench::experiments::e2_motion::{run_with, Params};
-use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jsonl = take_string_flag(&mut args, "jsonl").unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
+    run_experiment(&["samples", "epochs", "subjects", "seed"], |map, runner| {
+        let mut params = Params::default();
+        override_usize(map, "samples", &mut params.samples);
+        override_usize(map, "epochs", &mut params.epochs);
+        override_usize(map, "subjects", &mut params.subjects);
+        override_u64(map, "seed", &mut params.seed);
+        run_with(&params, runner)
     });
-    let map = parse_args(
-        &args,
-        &["samples", "epochs", "subjects", "seed", "threads", "json"],
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let mut params = Params::default();
-    if let Some(&v) = map.get("samples") {
-        params.samples = v as usize;
-    }
-    if let Some(&v) = map.get("epochs") {
-        params.epochs = v as usize;
-    }
-    if let Some(&v) = map.get("subjects") {
-        params.subjects = v as usize;
-    }
-    if let Some(&v) = map.get("seed") {
-        params.seed = v as u64;
-    }
-    let report = run_with(&params, &runner_from_flags(&map));
-    if let Some(path) = &jsonl {
-        zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
-            .unwrap_or_else(|e| {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            });
-    }
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
 }

@@ -1,37 +1,14 @@
 //! E3 harness: `cargo run --release -p zeiot-bench --bin e3_mac
 //! [--seconds N] [--seed N] [--threads N] [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::{override_u64, run_experiment};
 use zeiot_bench::experiments::e3_mac::{run_with, Params};
-use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jsonl = take_string_flag(&mut args, "jsonl").unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
+    run_experiment(&["seconds", "seed"], |map, runner| {
+        let mut params = Params::default();
+        override_u64(map, "seconds", &mut params.seconds);
+        override_u64(map, "seed", &mut params.seed);
+        run_with(&params, runner)
     });
-    let map = parse_args(&args, &["seconds", "seed", "threads", "json"]).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let mut params = Params::default();
-    if let Some(&v) = map.get("seconds") {
-        params.seconds = v as u64;
-    }
-    if let Some(&v) = map.get("seed") {
-        params.seed = v as u64;
-    }
-    let report = run_with(&params, &runner_from_flags(&map));
-    if let Some(path) = &jsonl {
-        zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
-            .unwrap_or_else(|e| {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            });
-    }
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
 }

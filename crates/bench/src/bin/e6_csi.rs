@@ -2,54 +2,19 @@
 //! [--train_per_position N] [--test_per_position N] [--k N] [--seed N]
 //! [--threads N] [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::{override_u64, override_usize, run_experiment};
 use zeiot_bench::experiments::e6_csi::{run_with, Params};
-use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jsonl = take_string_flag(&mut args, "jsonl").unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let map = parse_args(
-        &args,
-        &[
-            "train_per_position",
-            "test_per_position",
-            "k",
-            "seed",
-            "threads",
-            "json",
-        ],
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let mut params = Params::default();
-    if let Some(&v) = map.get("train_per_position") {
-        params.train_per_position = v as usize;
-    }
-    if let Some(&v) = map.get("test_per_position") {
-        params.test_per_position = v as usize;
-    }
-    if let Some(&v) = map.get("k") {
-        params.k = v as usize;
-    }
-    if let Some(&v) = map.get("seed") {
-        params.seed = v as u64;
-    }
-    let report = run_with(&params, &runner_from_flags(&map));
-    if let Some(path) = &jsonl {
-        zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
-            .unwrap_or_else(|e| {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            });
-    }
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
+    run_experiment(
+        &["train_per_position", "test_per_position", "k", "seed"],
+        |map, runner| {
+            let mut params = Params::default();
+            override_usize(map, "train_per_position", &mut params.train_per_position);
+            override_usize(map, "test_per_position", &mut params.test_per_position);
+            override_usize(map, "k", &mut params.k);
+            override_u64(map, "seed", &mut params.seed);
+            run_with(&params, runner)
+        },
+    );
 }

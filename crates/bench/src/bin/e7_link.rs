@@ -1,34 +1,13 @@
 //! E7 harness: `cargo run --release -p zeiot-bench --bin e7_link
 //! [--exciter_to_tag_m M] [--threads N] [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::{override_f64, run_experiment};
 use zeiot_bench::experiments::e7_link::{run_with, Params};
-use zeiot_bench::{parse_args, runner_from_flags, take_string_flag};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jsonl = take_string_flag(&mut args, "jsonl").unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
+    run_experiment(&["exciter_to_tag_m"], |map, runner| {
+        let mut params = Params::default();
+        override_f64(map, "exciter_to_tag_m", &mut params.exciter_to_tag_m);
+        run_with(&params, runner)
     });
-    let map = parse_args(&args, &["exciter_to_tag_m", "threads", "json"]).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let mut params = Params::default();
-    if let Some(&v) = map.get("exciter_to_tag_m") {
-        params.exciter_to_tag_m = v;
-    }
-    let report = run_with(&params, &runner_from_flags(&map));
-    if let Some(path) = &jsonl {
-        zeiot_obs::write_jsonl(std::path::Path::new(path), &report.export_snapshot())
-            .unwrap_or_else(|e| {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            });
-    }
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
 }

@@ -1,19 +1,9 @@
 //! X1 harness: `cargo run --release -p zeiot-bench --bin x1_planner
-//! [--json 1]`.
+//! [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::run_experiment;
 use zeiot_bench::experiments::x1_planner::{run, Params};
-use zeiot_bench::parse_args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let map = parse_args(&args, &["json"]).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let report = run(&Params::default());
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
+    run_experiment(&[], |_map, _runner| run(&Params::default()));
 }

@@ -1,23 +1,13 @@
 //! X2 harness: `cargo run --release -p zeiot-bench --bin x2_fusion
-//! [--seed N] [--json 1]`.
+//! [--seed N] [--json 1] [--jsonl PATH]`.
 
+use zeiot_bench::cli::{override_u64, run_experiment};
 use zeiot_bench::experiments::x2_fusion::{run, Params};
-use zeiot_bench::parse_args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let map = parse_args(&args, &["seed", "json"]).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
+    run_experiment(&["seed"], |map, _runner| {
+        let mut params = Params::default();
+        override_u64(map, "seed", &mut params.seed);
+        run(&params)
     });
-    let mut params = Params::default();
-    if let Some(&v) = map.get("seed") {
-        params.seed = v as u64;
-    }
-    let report = run(&params);
-    if map.get("json").copied().unwrap_or(0.0) != 0.0 {
-        println!("{}", report.to_json());
-    } else {
-        println!("{report}");
-    }
 }

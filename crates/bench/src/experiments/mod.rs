@@ -1,10 +1,11 @@
-//! The eight experiment harnesses (see DESIGN.md §4 for the index).
+//! The experiment harnesses (see DESIGN.md §4 for the index).
 //!
 //! Each module exposes a `Params` struct whose `Default` is the
 //! paper-scale configuration, a `reduced()` constructor for fast CI runs,
 //! and a `run(&Params) -> ExperimentReport`.
 
 pub mod ablations;
+pub mod e10_serving;
 pub mod e1_temperature;
 pub mod e2_motion;
 pub mod e3_mac;

@@ -4,10 +4,11 @@
 //! paper's evaluation, plus Criterion micro-benchmarks of the hot paths.
 //!
 //! Each experiment is a library function (`experiments::e1_temperature`
-//! … `e8_energy`) returning an [`ExperimentReport`] of paper-vs-measured
-//! rows; the `src/bin/e*.rs` binaries are thin CLI wrappers. Integration
-//! tests run reduced-size variants of the same functions, so the harness
-//! logic itself is under test.
+//! … `e10_serving`) returning an [`ExperimentReport`] of
+//! paper-vs-measured rows; the `src/bin/e*.rs` binaries are thin
+//! wrappers over the shared [`cli::run_experiment`] front end.
+//! Integration tests run reduced-size variants of the same functions,
+//! so the harness logic itself is under test.
 //!
 //! Run everything (release mode strongly recommended):
 //!
@@ -20,8 +21,11 @@
 //! cargo run --release -p zeiot-bench --bin e6_csi
 //! cargo run --release -p zeiot-bench --bin e7_link
 //! cargo run --release -p zeiot-bench --bin e8_energy
+//! cargo run --release -p zeiot-bench --bin e9_faults
+//! cargo run --release -p zeiot-bench --bin e10_serving
 //! ```
 
+pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod sweep;
@@ -52,7 +56,11 @@ pub fn parse_args(
             return Err(format!("expected --flag, got {key}"));
         };
         if !allowed.contains(&name) {
-            return Err(format!("unknown flag --{name}; allowed: {allowed:?}"));
+            let valid: Vec<String> = allowed.iter().map(|a| format!("--{a}")).collect();
+            return Err(format!(
+                "unknown flag --{name}; valid flags: {}",
+                valid.join(", ")
+            ));
         }
         let Some(value) = it.next() else {
             return Err(format!("--{name} needs a value"));
@@ -130,6 +138,11 @@ mod tests {
     #[test]
     fn parse_args_rejects_unknown_and_malformed() {
         let bad: Vec<String> = ["--nope", "1"].iter().map(|s| s.to_string()).collect();
+        let err = parse_args(&bad, &["samples", "seed"]).unwrap_err();
+        assert!(
+            err.contains("--samples") && err.contains("--seed"),
+            "unknown-flag error should name the valid flags: {err}"
+        );
         assert!(parse_args(&bad, &["samples"]).is_err());
         let dangling: Vec<String> = ["--samples"].iter().map(|s| s.to_string()).collect();
         assert!(parse_args(&dangling, &["samples"]).is_err());

@@ -1,0 +1,130 @@
+//! Conservation laws of [`FaultStats`]: no transmission attempt and no
+//! offered message is ever double-counted or lost by the bookkeeping,
+//! for *any* fault plan, recovery policy and message schedule.
+//!
+//! The two invariants pinned here:
+//!
+//! * **attempt-level** — every attempt either arrives or is dropped:
+//!   `sent == delivered + drops`.
+//! * **message-level** — every offered message either arrives (possibly
+//!   corrupted, possibly after retries) or fails after exhausting its
+//!   attempts: `offered() == delivered + failed`.
+
+use proptest::prelude::*;
+use zeiot_core::id::NodeId;
+use zeiot_core::time::{SimDuration, SimTime};
+use zeiot_fault::{DegradeMode, FaultPlan, FaultStats, LinkFabric, RecoveryPolicy};
+
+/// The swept policy space.
+fn policy(idx: usize, max_retries: u32, timeout_ms: u64, backoff: f64) -> RecoveryPolicy {
+    match idx % 4 {
+        0 => RecoveryPolicy::FailFast,
+        1 => RecoveryPolicy::Retransmit {
+            max_retries,
+            timeout: SimDuration::from_millis(timeout_ms),
+            backoff,
+        },
+        2 => RecoveryPolicy::Degrade {
+            mode: DegradeMode::ZeroFill,
+        },
+        _ => RecoveryPolicy::Degrade {
+            mode: DegradeMode::LastValueHold,
+        },
+    }
+}
+
+/// Checks every conservation law one fabric's counters must satisfy.
+fn assert_conserved(stats: &FaultStats, messages: u64) {
+    assert_eq!(
+        stats.sent,
+        stats.delivered + stats.drops,
+        "attempt conservation: {stats:?}"
+    );
+    assert_eq!(stats.offered(), messages, "offered(): {stats:?}");
+    assert_eq!(
+        stats.offered(),
+        stats.delivered + stats.failed,
+        "message conservation: {stats:?}"
+    );
+    assert!(stats.corrupted <= stats.delivered, "{stats:?}");
+    assert!(stats.recovered <= stats.delivered, "{stats:?}");
+    assert_eq!(stats.retries, stats.sent - stats.offered(), "{stats:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation holds for random uniform-loss plans with corruption
+    /// and outage windows, under every policy, over a random message
+    /// schedule with interleaved clock advances.
+    #[test]
+    fn fault_stats_conserve_attempts_and_messages(
+        seed in 0u64..100_000,
+        drop in 0.0f64..1.0,
+        corrupt in 0.0f64..0.5,
+        outage_node in 0u32..6,
+        outage_ms in 0u64..500,
+        policy_idx in 0usize..4,
+        max_retries in 0u32..5,
+        timeout_ms in 1u64..200,
+        backoff in 1.0f64..3.0,
+        messages in 1usize..500,
+        advance_every in 1usize..32,
+    ) {
+        let mut plan = FaultPlan::uniform(seed, drop)
+            .expect("valid drop rate")
+            .with_corruption(corrupt)
+            .expect("valid corruption rate");
+        if outage_ms > 0 {
+            plan = plan
+                .with_outage(
+                    NodeId::new(outage_node),
+                    SimTime::ZERO,
+                    SimTime::from_millis(outage_ms),
+                )
+                .expect("valid window");
+        }
+        let mut fabric = LinkFabric::new(
+            plan,
+            policy(policy_idx, max_retries, timeout_ms, backoff),
+        );
+        for seq in 0..messages as u64 {
+            let src = NodeId::new((seq % 5) as u32);
+            let dst = NodeId::new((seq % 7) as u32);
+            let hops = 1 + (seq % 3) as u32;
+            let _ = fabric.transmit_over(src, dst, hops);
+            if (seq as usize).is_multiple_of(advance_every) {
+                fabric.advance(SimDuration::from_millis(10));
+            }
+        }
+        assert_conserved(fabric.stats(), messages as u64);
+        prop_assert_eq!(fabric.next_seq(), messages as u64);
+    }
+
+    /// Conservation survives merging: the merged counters of two
+    /// independent fabrics satisfy the same laws with summed totals.
+    #[test]
+    fn fault_stats_conservation_survives_merge(
+        seed in 0u64..100_000,
+        drop_a in 0.0f64..1.0,
+        drop_b in 0.0f64..1.0,
+        messages_a in 1usize..300,
+        messages_b in 1usize..300,
+        policy_idx in 0usize..4,
+    ) {
+        let run = |plan_seed: u64, drop: f64, messages: usize| {
+            let plan = FaultPlan::uniform(plan_seed, drop).expect("valid drop rate");
+            let mut fabric = LinkFabric::new(plan, policy(policy_idx, 2, 50, 2.0));
+            for seq in 0..messages as u64 {
+                let _ = fabric.transmit(NodeId::new(0), NodeId::new(1 + (seq % 4) as u32));
+            }
+            *fabric.stats()
+        };
+        let a = run(seed, drop_a, messages_a);
+        let b = run(seed ^ 0xB, drop_b, messages_b);
+        let mut merged = FaultStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_conserved(&merged, (messages_a + messages_b) as u64);
+    }
+}

@@ -108,6 +108,14 @@ impl LossyRuntime {
         self.fabric.advance(period);
     }
 
+    /// Counts a consuming computation the caller had to give up on (a
+    /// [`DistributedCnn::forward_lossy`] that returned `None`); external
+    /// drivers such as a serving layer use this to keep the fabric's
+    /// `aborted` stat honest.
+    pub fn note_aborted(&mut self) {
+        self.fabric.note_aborted();
+    }
+
     fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
         self.routes.hop_distance(src, dst).unwrap_or(1).max(1) as u32
     }

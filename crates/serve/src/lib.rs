@@ -1,0 +1,76 @@
+//! # zeiot-serve
+//!
+//! A deterministic, virtual-time, multi-tenant inference serving layer:
+//! the piece that turns MicroDeep deployments into a *service*. Every
+//! crate below this one evaluates a single deployment at a time; this
+//! crate admits a **stream** of context-recognition requests from many
+//! tenants, schedules them across sharded worker queues with
+//! micro-batching and deadline-aware (EDF) dispatch, applies per-tenant
+//! admission control with typed load-shedding, and — when a shard's
+//! radio fabric misbehaves — falls back down a degradation ladder
+//! instead of failing.
+//!
+//! The design constraint shared with the rest of the workspace is
+//! **determinism**: the serving loop runs on the simulated clock
+//! ([`zeiot_core::time::SimTime`]), arrival streams are pure functions of
+//! `(seed, tenant index)` via [`zeiot_core::rng::SeedRng::for_point`],
+//! every queue uses a total order for tie-breaking, and fault decisions
+//! are the pure hashes of [`zeiot_fault::FaultPlan`]. A run is therefore
+//! byte-reproducible across repetitions and — when driven as sweep
+//! points by `zeiot-bench` — across thread counts.
+//!
+//! ## The degradation ladder
+//!
+//! 1. **Full** — the inference completes exactly (no fabric, or every
+//!    message delivered intact).
+//! 2. **Degraded** — the fabric lost or corrupted messages but a
+//!    [`zeiot_fault::RecoveryPolicy::Degrade`] substitution (zero-fill /
+//!    last-value-hold via `microdeep::lossy`) completed the pass.
+//! 3. **Stale** — the fabric aborted the pass (fail-fast or exhausted
+//!    retransmissions) and the shard answered from its per-tenant
+//!    stale-result cache.
+//! 4. **Failed** — no rung could answer; the request is counted, never
+//!    silently dropped.
+//!
+//! Requests that admission control turns away are **shed** with a typed
+//! [`RejectReason`] rather than queued unboundedly.
+//!
+//! # Example
+//!
+//! ```
+//! use zeiot_core::rng::SeedRng;
+//! use zeiot_core::time::SimDuration;
+//! use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, WeightUpdate};
+//! use zeiot_net::Topology;
+//! use zeiot_nn::tensor::Tensor;
+//! use zeiot_serve::{ArrivalProcess, ServeConfig, Server, Tenant, TenantSpec};
+//!
+//! let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2).unwrap();
+//! let topo = Topology::grid(3, 3, 2.0, 3.0).unwrap();
+//! let graph = config.unit_graph().unwrap();
+//! let assignment = Assignment::balanced_correspondence(&graph, &topo);
+//! let mut rng = SeedRng::new(7);
+//! let net = DistributedCnn::new(config, assignment, WeightUpdate::Independent, &mut rng);
+//! let pool = vec![(Tensor::zeros(vec![1, 8, 8]), 0usize)];
+//!
+//! let spec = TenantSpec::new("demo", ArrivalProcess::poisson(5.0), SimDuration::from_millis(500));
+//! let tenant = Tenant::new(spec, net, pool).unwrap();
+//! let serve_config = ServeConfig::new(1, 2, 16, SimDuration::from_millis(20)).unwrap();
+//! let mut server = Server::new(serve_config, topo, vec![tenant]).unwrap();
+//! let outcome = server.run(42, SimDuration::from_secs(2), None);
+//! assert_eq!(outcome.report.total().offered, outcome.completions.len() as u64);
+//! ```
+
+pub mod arrival;
+pub mod request;
+pub mod server;
+pub mod shard;
+pub mod stats;
+pub mod tenant;
+
+pub use arrival::ArrivalProcess;
+pub use request::{Completion, Outcome, RejectReason, Request, ServiceMode, TenantId};
+pub use server::{DegradedServing, ServeConfig, ServeOutcome, Server};
+pub use shard::Shard;
+pub use stats::{ServeReport, TenantStats};
+pub use tenant::{Tenant, TenantSpec};

@@ -1,0 +1,317 @@
+//! One sharded worker queue: bounded admission, EDF ordering,
+//! micro-batched dispatch, and the degradation ladder.
+//!
+//! A shard is a single virtual-time worker in front of a bounded queue.
+//! Its life is a deterministic alternation of two moves:
+//!
+//! * **offer** — an arrival is presented; the shard first dispatches
+//!   every micro-batch that completes at or before the arrival instant,
+//!   then applies admission control (shard queue bound, then the
+//!   tenant's cap) and either enqueues the request or sheds it with a
+//!   typed [`RejectReason`].
+//! * **dispatch** — when the worker frees up, it pops the
+//!   earliest-deadline request (ties broken by `(tenant, seq)`, a total
+//!   order) and gathers up to `batch − 1` more queued requests of the
+//!   *same tenant* in EDF order — micro-batching amortizes the per-batch
+//!   dispatch overhead, but only across requests that share a model.
+//!   The batch occupies the worker for `batch_overhead + k ·
+//!   service_time` and every request in it completes at the batch's end.
+//!
+//! A request already past its deadline when dispatched is still served
+//! (and counted as a deadline miss): the tenant gets its answer late
+//! rather than never, which matches how the rest of the workspace
+//! prefers degraded answers over silence.
+
+use crate::request::{Completion, Outcome, RejectReason, Request, ServiceMode, TenantId};
+use crate::stats::TenantStats;
+use crate::tenant::Tenant;
+use std::collections::BTreeMap;
+use zeiot_core::time::{SimDuration, SimTime};
+use zeiot_fault::FaultStats;
+use zeiot_microdeep::lossy::LossyRuntime;
+use zeiot_obs::{Label, Recorder};
+
+/// `argmax` with the same first-tie-wins rule as
+/// [`zeiot_nn::tensor::Tensor::argmax`].
+fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// One worker + bounded EDF queue; see the module docs.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    batch: usize,
+    queue_capacity: usize,
+    service_time: SimDuration,
+    batch_overhead: SimDuration,
+    /// EDF order with a total tie-break: `(deadline, tenant, seq)`.
+    queue: BTreeMap<(SimTime, TenantId, u64), Request>,
+    queued_per_tenant: BTreeMap<TenantId, usize>,
+    free_at: SimTime,
+    fabric: Option<LossyRuntime>,
+    stale_enabled: bool,
+    stale: BTreeMap<TenantId, Vec<f32>>,
+    completions: Vec<Completion>,
+}
+
+impl Shard {
+    /// Builds an idle shard. `fabric` is the shard's (optional) lossy
+    /// transport; `stale_enabled` arms the stale-result cache rung of
+    /// the degradation ladder.
+    pub(crate) fn new(
+        index: usize,
+        batch: usize,
+        queue_capacity: usize,
+        service_time: SimDuration,
+        batch_overhead: SimDuration,
+        fabric: Option<LossyRuntime>,
+        stale_enabled: bool,
+    ) -> Self {
+        Self {
+            index,
+            batch,
+            queue_capacity,
+            service_time,
+            batch_overhead,
+            queue: BTreeMap::new(),
+            queued_per_tenant: BTreeMap::new(),
+            free_at: SimTime::ZERO,
+            fabric,
+            stale_enabled,
+            stale: BTreeMap::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// The shard's index within the server.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Requests currently queued (not in service).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The fabric's fault counters, when this shard serves through one.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fabric.as_ref().map(|rt| rt.stats())
+    }
+
+    fn metric_label(&self) -> Label {
+        Label::part(format!("shard{}", self.index))
+    }
+
+    /// Presents one arrival to the shard.
+    pub(crate) fn offer(
+        &mut self,
+        req: Request,
+        tenants: &mut [Tenant],
+        stats: &mut [TenantStats],
+        recorder: Option<&mut Recorder>,
+    ) {
+        self.dispatch_until(req.arrival, tenants, stats);
+        // After the catch-up dispatches, an empty queue means the worker
+        // is idle: the next batch cannot start before this arrival.
+        if self.queue.is_empty() && self.free_at < req.arrival {
+            self.free_at = req.arrival;
+        }
+        let tenant = req.tenant;
+        let queued = self.queued_per_tenant.get(&tenant).copied().unwrap_or(0);
+        let reject = if self.queue.len() >= self.queue_capacity {
+            Some(RejectReason::ShardQueueFull)
+        } else if queued >= tenants[tenant].spec.max_queued {
+            Some(RejectReason::TenantLimit)
+        } else {
+            None
+        };
+        match reject {
+            Some(reason) => {
+                match reason {
+                    RejectReason::ShardQueueFull => stats[tenant].shed_shard_full += 1,
+                    RejectReason::TenantLimit => stats[tenant].shed_tenant_limit += 1,
+                }
+                self.completions.push(Completion {
+                    tenant,
+                    seq: req.seq,
+                    arrival: req.arrival,
+                    outcome: Outcome::Shed { reason },
+                });
+            }
+            None => {
+                stats[tenant].admitted += 1;
+                *self.queued_per_tenant.entry(tenant).or_insert(0) += 1;
+                self.queue
+                    .insert((req.deadline, tenant, req.seq), req.clone());
+            }
+        }
+        if let Some(rec) = recorder {
+            rec.sample(
+                "serve.queue_depth",
+                self.metric_label(),
+                req.arrival,
+                self.queue.len() as f64,
+            );
+        }
+    }
+
+    /// Dispatches micro-batches while the worker frees up at or before
+    /// `t` and work is queued.
+    fn dispatch_until(&mut self, t: SimTime, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
+        while !self.queue.is_empty() && self.free_at <= t {
+            self.dispatch_batch(tenants, stats);
+        }
+    }
+
+    /// Dispatches everything still queued (end of the arrival stream).
+    pub(crate) fn drain(&mut self, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
+        while !self.queue.is_empty() {
+            self.dispatch_batch(tenants, stats);
+        }
+    }
+
+    /// Takes the completion log (sorted later by the server).
+    pub(crate) fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Writes the shard's fabric counters into `recorder` under its
+    /// `shard<i>` label.
+    pub(crate) fn record_fabric(&self, recorder: &mut Recorder) {
+        if let Some(rt) = &self.fabric {
+            rt.record_to(recorder, self.metric_label());
+        }
+    }
+
+    fn dispatch_batch(&mut self, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
+        let start = self.free_at;
+        let (&head_key, _) = self.queue.iter().next().expect("non-empty queue");
+        let tenant = head_key.1;
+        // EDF head plus up to `batch - 1` more requests of the same
+        // tenant, in EDF order.
+        let keys: Vec<(SimTime, TenantId, u64)> = self
+            .queue
+            .keys()
+            .filter(|k| k.1 == tenant)
+            .take(self.batch)
+            .copied()
+            .collect();
+        let batch: Vec<Request> = keys
+            .iter()
+            .map(|k| self.queue.remove(k).expect("key just listed"))
+            .collect();
+        *self
+            .queued_per_tenant
+            .get_mut(&tenant)
+            .expect("tenant has queued requests") -= batch.len();
+        let completion = start + self.batch_overhead + self.service_time * batch.len() as u64;
+        self.free_at = completion;
+        for req in batch {
+            let answer = self.execute(&req, tenants);
+            let s = &mut stats[req.tenant];
+            let outcome = match answer {
+                Some((mode, logits)) => {
+                    s.served += 1;
+                    match mode {
+                        ServiceMode::Full => {}
+                        ServiceMode::Degraded => s.degraded += 1,
+                        ServiceMode::Stale => s.stale += 1,
+                    }
+                    let missed = completion > req.deadline;
+                    if missed {
+                        s.deadline_misses += 1;
+                    }
+                    s.push_latency(completion.duration_since(req.arrival));
+                    let prediction = argmax(&logits);
+                    if let Some(label) = req.label {
+                        s.labelled += 1;
+                        if prediction == label {
+                            s.correct += 1;
+                        }
+                    }
+                    Outcome::Served {
+                        completion,
+                        mode,
+                        logits,
+                        prediction,
+                        missed_deadline: missed,
+                    }
+                }
+                None => {
+                    s.failed += 1;
+                    Outcome::Failed
+                }
+            };
+            self.completions.push(Completion {
+                tenant: req.tenant,
+                seq: req.seq,
+                arrival: req.arrival,
+                outcome,
+            });
+        }
+    }
+
+    /// Runs one inference down the degradation ladder.
+    fn execute(
+        &mut self,
+        req: &Request,
+        tenants: &mut [Tenant],
+    ) -> Option<(ServiceMode, Vec<f32>)> {
+        let net = &mut tenants[req.tenant].net;
+        match &mut self.fabric {
+            // No fabric: the exact in-memory pass, byte-identical to
+            // calling `DistributedCnn::forward` directly.
+            None => Some((ServiceMode::Full, net.forward(&req.input).data().to_vec())),
+            Some(rt) => {
+                let substituted_before = rt.stats().degraded + rt.stats().corrupted;
+                let out = net.forward_lossy(&req.input, rt);
+                rt.advance_pass();
+                match out {
+                    Some(logits) => {
+                        let substituted_after = rt.stats().degraded + rt.stats().corrupted;
+                        let mode = if substituted_after > substituted_before {
+                            ServiceMode::Degraded
+                        } else {
+                            ServiceMode::Full
+                        };
+                        let logits = logits.data().to_vec();
+                        if self.stale_enabled {
+                            self.stale.insert(req.tenant, logits.clone());
+                        }
+                        Some((mode, logits))
+                    }
+                    None => {
+                        rt.note_aborted();
+                        if self.stale_enabled {
+                            self.stale
+                                .get(&req.tenant)
+                                .cloned()
+                                .map(|logits| (ServiceMode::Stale, logits))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_matches_tensor_semantics() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1); // first tie wins
+        assert_eq!(argmax(&[-1.0]), 0);
+        assert_eq!(argmax(&[0.5, 0.25, 0.9]), 2);
+    }
+}

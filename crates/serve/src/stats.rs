@@ -1,0 +1,246 @@
+//! Per-tenant serving statistics and the run-level report.
+
+use crate::request::TenantId;
+use zeiot_core::time::SimDuration;
+use zeiot_fault::FaultStats;
+
+/// Counters and latency samples for one tenant (or, merged, for the
+/// whole run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Requests the tenant's arrival process generated.
+    pub offered: u64,
+    /// Requests admitted into a shard queue.
+    pub admitted: u64,
+    /// Requests answered (any [`crate::ServiceMode`]).
+    pub served: u64,
+    /// Served requests whose pass was completed by degrade substitution.
+    pub degraded: u64,
+    /// Served requests answered from the stale-result cache.
+    pub stale: u64,
+    /// Admitted requests the fabric aborted with no fallback.
+    pub failed: u64,
+    /// Requests shed because the shard queue was full.
+    pub shed_shard_full: u64,
+    /// Requests shed because the tenant hit its admission cap.
+    pub shed_tenant_limit: u64,
+    /// Served requests that completed after their deadline.
+    pub deadline_misses: u64,
+    /// Served requests whose prediction matched the ground-truth label.
+    pub correct: u64,
+    /// Served requests that carried a ground-truth label.
+    pub labelled: u64,
+    /// End-to-end latency (arrival → completion) of every served
+    /// request, in seconds, in completion order.
+    latencies: Vec<f64>,
+}
+
+impl TenantStats {
+    /// Records one served request's latency.
+    pub(crate) fn push_latency(&mut self, latency: SimDuration) {
+        self.latencies.push(latency.as_secs_f64());
+    }
+
+    /// Requests shed for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_shard_full + self.shed_tenant_limit
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed() as f64 / self.offered as f64
+    }
+
+    /// Fraction of served requests that overran their deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.served == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.served as f64
+    }
+
+    /// Served requests per second of horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn throughput_hz(&self, horizon: SimDuration) -> f64 {
+        assert!(!horizon.is_zero(), "zero horizon");
+        self.served as f64 / horizon.as_secs_f64()
+    }
+
+    /// Classification accuracy over served, labelled requests.
+    pub fn accuracy(&self) -> f64 {
+        if self.labelled == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.labelled as f64
+    }
+
+    /// Nearest-rank latency quantile in seconds (`q` in `[0, 1]`), or
+    /// `None` if nothing was served.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Median latency in seconds.
+    pub fn p50_latency(&self) -> Option<f64> {
+        self.latency_quantile(0.5)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99_latency(&self) -> Option<f64> {
+        self.latency_quantile(0.99)
+    }
+
+    /// The recorded latency samples, in completion order (seconds).
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Adds `other` into `self` (latency samples are appended in call
+    /// order).
+    pub fn merge(&mut self, other: &TenantStats) {
+        self.offered += other.offered;
+        self.admitted += other.admitted;
+        self.served += other.served;
+        self.degraded += other.degraded;
+        self.stale += other.stale;
+        self.failed += other.failed;
+        self.shed_shard_full += other.shed_shard_full;
+        self.shed_tenant_limit += other.shed_tenant_limit;
+        self.deadline_misses += other.deadline_misses;
+        self.correct += other.correct;
+        self.labelled += other.labelled;
+        self.latencies.extend_from_slice(&other.latencies);
+    }
+}
+
+/// Everything one [`crate::Server::run`] measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The simulated horizon the arrival streams covered.
+    pub horizon: SimDuration,
+    /// Per-tenant statistics, indexed like the server's tenants.
+    pub tenants: Vec<(String, TenantStats)>,
+    /// Fault counters merged across every shard's fabric, when the run
+    /// served through one.
+    pub fault: Option<FaultStats>,
+}
+
+impl ServeReport {
+    /// All tenants' statistics merged.
+    pub fn total(&self) -> TenantStats {
+        let mut total = TenantStats::default();
+        for (_, stats) in &self.tenants {
+            total.merge(stats);
+        }
+        total
+    }
+
+    /// One tenant's statistics by server index.
+    pub fn tenant(&self, id: TenantId) -> Option<&TenantStats> {
+        self.tenants.get(id).map(|(_, s)| s)
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9}",
+            "tenant", "offered", "served", "shed", "miss", "stale", "thrpt/s", "p50 ms", "p99 ms"
+        )?;
+        for (name, s) in &self.tenants {
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9.2} {:>9.1} {:>9.1}",
+                name,
+                s.offered,
+                s.served,
+                s.shed(),
+                s.deadline_misses,
+                s.stale,
+                s.throughput_hz(self.horizon),
+                s.p50_latency().unwrap_or(0.0) * 1e3,
+                s.p99_latency().unwrap_or(0.0) * 1e3,
+            )?;
+        }
+        if let Some(fault) = &self.fault {
+            writeln!(
+                f,
+                "fabric: {} sent, {} drops, {} degraded substitutions",
+                fault.sent, fault.drops, fault.degraded
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(latencies: &[f64]) -> TenantStats {
+        let mut s = TenantStats {
+            offered: latencies.len() as u64 + 2,
+            admitted: latencies.len() as u64,
+            served: latencies.len() as u64,
+            shed_shard_full: 1,
+            shed_tenant_limit: 1,
+            ..TenantStats::default()
+        };
+        for &l in latencies {
+            s.push_latency(SimDuration::from_secs_f64(l));
+        }
+        s
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let s = stats_with(&[0.4, 0.1, 0.3, 0.2]);
+        assert_eq!(s.p50_latency(), Some(0.2));
+        assert_eq!(s.latency_quantile(1.0), Some(0.4));
+        assert_eq!(s.latency_quantile(0.0), Some(0.1));
+        assert_eq!(TenantStats::default().p99_latency(), None);
+    }
+
+    #[test]
+    fn rates_and_merge() {
+        let mut a = stats_with(&[0.1, 0.2]);
+        let b = stats_with(&[0.3]);
+        assert!((a.shed_rate() - 2.0 / 4.0).abs() < 1e-12);
+        a.merge(&b);
+        assert_eq!(a.offered, 7);
+        assert_eq!(a.served, 3);
+        assert_eq!(a.latencies().len(), 3);
+        assert!((a.throughput_hz(SimDuration::from_secs(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_totals_and_display() {
+        let report = ServeReport {
+            horizon: SimDuration::from_secs(10),
+            tenants: vec![
+                ("a".into(), stats_with(&[0.1])),
+                ("b".into(), stats_with(&[0.2, 0.3])),
+            ],
+            fault: None,
+        };
+        assert_eq!(report.total().served, 3);
+        assert!(report.tenant(1).is_some());
+        assert!(report.tenant(9).is_none());
+        let text = report.to_string();
+        assert!(text.contains("tenant") && text.contains('a') && text.contains('b'));
+    }
+}

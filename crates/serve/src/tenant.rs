@@ -1,0 +1,133 @@
+//! Tenants: who a request belongs to and what model answers it.
+
+use crate::arrival::ArrivalProcess;
+use zeiot_core::time::SimDuration;
+use zeiot_microdeep::DistributedCnn;
+use zeiot_nn::tensor::Tensor;
+
+/// Default per-tenant admission cap (queued requests).
+pub const DEFAULT_MAX_QUEUED: usize = 32;
+
+/// Everything about a tenant except its model: identity, offered load,
+/// latency contract, and admission cap.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Human-readable tenant name (report and metric label).
+    pub name: String,
+    /// The tenant's request-arrival model.
+    pub arrivals: ArrivalProcess,
+    /// Relative deadline granted to every request.
+    pub deadline: SimDuration,
+    /// Admission control: maximum requests this tenant may have queued
+    /// at once; arrivals beyond it are shed with
+    /// [`crate::RejectReason::TenantLimit`].
+    pub max_queued: usize,
+}
+
+impl TenantSpec {
+    /// A spec with the default admission cap.
+    pub fn new(name: impl Into<String>, arrivals: ArrivalProcess, deadline: SimDuration) -> Self {
+        Self {
+            name: name.into(),
+            arrivals,
+            deadline,
+            max_queued: DEFAULT_MAX_QUEUED,
+        }
+    }
+
+    /// Overrides the admission cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_queued` is zero.
+    pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        assert!(max_queued > 0, "admission cap must be positive");
+        self.max_queued = max_queued;
+        self
+    }
+}
+
+/// A tenant: its spec, its deployed model, and the labelled sample pool
+/// its requests draw from (request `seq` uses `pool[seq % pool.len()]`,
+/// so a request stream is reproducible without storing every input
+/// twice).
+#[derive(Debug)]
+pub struct Tenant {
+    /// The tenant's identity and contracts.
+    pub spec: TenantSpec,
+    pub(crate) net: DistributedCnn,
+    pool: Vec<(Tensor, usize)>,
+}
+
+impl Tenant {
+    /// Builds a tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pool` is empty.
+    pub fn new(
+        spec: TenantSpec,
+        net: DistributedCnn,
+        pool: Vec<(Tensor, usize)>,
+    ) -> Result<Self, String> {
+        if pool.is_empty() {
+            return Err(format!("tenant {}: empty sample pool", spec.name));
+        }
+        Ok(Self { spec, net, pool })
+    }
+
+    /// The input and ground-truth label request `seq` carries.
+    pub fn sample(&self, seq: u64) -> (&Tensor, usize) {
+        let (input, label) = &self.pool[(seq % self.pool.len() as u64) as usize];
+        (input, *label)
+    }
+
+    /// The tenant's deployed model.
+    pub fn model(&self) -> &DistributedCnn {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::rng::SeedRng;
+    use zeiot_microdeep::{Assignment, CnnConfig, WeightUpdate};
+    use zeiot_net::Topology;
+
+    fn small_net() -> DistributedCnn {
+        let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2).unwrap();
+        let topo = Topology::grid(3, 3, 2.0, 3.0).unwrap();
+        let graph = config.unit_graph().unwrap();
+        let assignment = Assignment::balanced_correspondence(&graph, &topo);
+        let mut rng = SeedRng::new(1);
+        DistributedCnn::new(config, assignment, WeightUpdate::Independent, &mut rng)
+    }
+
+    #[test]
+    fn sample_pool_wraps_around() {
+        let spec = TenantSpec::new(
+            "t",
+            ArrivalProcess::poisson(1.0),
+            SimDuration::from_millis(100),
+        );
+        let pool = vec![
+            (Tensor::zeros(vec![1, 8, 8]), 0),
+            (Tensor::zeros(vec![1, 8, 8]), 1),
+        ];
+        let tenant = Tenant::new(spec, small_net(), pool).unwrap();
+        assert_eq!(tenant.sample(0).1, 0);
+        assert_eq!(tenant.sample(1).1, 1);
+        assert_eq!(tenant.sample(2).1, 0);
+    }
+
+    #[test]
+    fn empty_pool_is_rejected() {
+        let spec = TenantSpec::new(
+            "t",
+            ArrivalProcess::poisson(1.0),
+            SimDuration::from_millis(100),
+        );
+        assert!(Tenant::new(spec, small_net(), Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! The serving layer's determinism boundary: with no fault fabric, a
+//! single-shard server is a pure scheduler around the model — the logits
+//! and predictions it returns are **byte-identical** (`assert_eq!` on
+//! the raw `f32`s) to calling [`DistributedCnn::forward`] directly on
+//! the same inputs. Queueing, batching and shedding may change *when*
+//! (or whether) a request is answered, never *what* the answer is.
+
+use zeiot_core::rng::SeedRng;
+use zeiot_core::time::SimDuration;
+use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, WeightUpdate};
+use zeiot_net::Topology;
+use zeiot_nn::tensor::Tensor;
+use zeiot_serve::{ArrivalProcess, Outcome, ServeConfig, Server, ServiceMode, Tenant, TenantSpec};
+
+fn topology() -> Topology {
+    Topology::grid(3, 3, 2.0, 3.0).unwrap()
+}
+
+fn net(seed: u64) -> DistributedCnn {
+    let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2).unwrap();
+    let graph = config.unit_graph().unwrap();
+    let assignment = Assignment::balanced_correspondence(&graph, &topology());
+    let mut rng = SeedRng::new(seed);
+    DistributedCnn::new(config, assignment, WeightUpdate::Independent, &mut rng)
+}
+
+fn pool(n: usize, seed: u64) -> Vec<(Tensor, usize)> {
+    let mut rng = SeedRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let mut img = Tensor::zeros(vec![1, 8, 8]);
+            for y in 0..8 {
+                for x in 0..8 {
+                    img.set(&[0, y, x], rng.normal_with(0.0, 1.0) as f32);
+                }
+            }
+            (img, i % 2)
+        })
+        .collect()
+}
+
+/// Serves a Poisson stream through one no-fault shard and replays every
+/// served request through a direct `forward` call on an identical model.
+#[test]
+fn no_fault_single_shard_serving_matches_direct_inference() {
+    let samples = pool(12, 99);
+    let spec = TenantSpec::new(
+        "boundary",
+        ArrivalProcess::poisson(15.0),
+        SimDuration::from_millis(300),
+    );
+    let tenant = Tenant::new(spec, net(7), samples.clone()).unwrap();
+    let config = ServeConfig::new(1, 3, 32, SimDuration::from_millis(30))
+        .unwrap()
+        .with_batch_overhead(SimDuration::from_millis(10));
+    let mut server = Server::new(config, topology(), vec![tenant]).unwrap();
+    let outcome = server.run(5, SimDuration::from_secs(4), None);
+
+    // An identical model, fed directly.
+    let mut direct = net(7);
+    let mut served = 0;
+    for completion in &outcome.completions {
+        let Outcome::Served {
+            mode,
+            logits,
+            prediction,
+            ..
+        } = &completion.outcome
+        else {
+            continue;
+        };
+        served += 1;
+        assert_eq!(*mode, ServiceMode::Full, "no fabric, no degradation");
+        let (input, _) = &samples[(completion.seq % samples.len() as u64) as usize];
+        let expected = direct.forward(input);
+        assert_eq!(
+            logits,
+            expected.data(),
+            "request seq {} diverged from direct inference",
+            completion.seq
+        );
+        assert_eq!(*prediction, expected.argmax());
+    }
+    assert!(served > 10, "stream too short to mean anything: {served}");
+}
+
+/// The boundary holds at every batch size: batching only groups worker
+/// time, it never changes the per-request forward pass.
+#[test]
+fn batch_size_never_changes_the_answers() {
+    let samples = pool(8, 3);
+    let run = |batch: usize| {
+        let spec = TenantSpec::new(
+            "t",
+            ArrivalProcess::periodic(SimDuration::from_millis(80)),
+            SimDuration::from_millis(400),
+        );
+        let tenant = Tenant::new(spec, net(11), samples.clone()).unwrap();
+        let config = ServeConfig::new(1, batch, 64, SimDuration::from_millis(20)).unwrap();
+        let mut server = Server::new(config, topology(), vec![tenant]).unwrap();
+        server
+            .run(1, SimDuration::from_secs(3), None)
+            .completions
+            .into_iter()
+            .filter_map(|c| match c.outcome {
+                Outcome::Served {
+                    logits, prediction, ..
+                } => Some((c.seq, logits, prediction)),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    let unbatched = run(1);
+    for batch in [2usize, 4, 8] {
+        assert_eq!(run(batch), unbatched, "batch {batch} changed an answer");
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`nn`] | `zeiot-nn` | tensors, CNN layers with backprop, training, unit-graph topology |
 //! | [`microdeep`] | `zeiot-microdeep` | **the paper's contribution**: distributed CNN assignment, cost model, independent-update training, resilience |
 //! | [`fault`] | `zeiot-fault` | deterministic fault injection: lossy links, brownout windows, corruption, recovery policies |
+//! | [`serve`] | `zeiot-serve` | multi-tenant inference serving: sharded EDF queues, micro-batching, admission control, degraded-mode fallback |
 //! | [`sensing`] | `zeiot-sensing` | train congestion/positioning, people counting, CSI localization, PEM, sociograms, trajectories |
 //! | [`plan`] | `zeiot-plan` | design-support planner: collection trees, TDMA schedules, failure replanning |
 //! | [`data`] | `zeiot-data` | synthetic datasets standing in for the paper's hardware captures |
@@ -60,4 +61,5 @@ pub use zeiot_obs as obs;
 pub use zeiot_plan as plan;
 pub use zeiot_rf as rf;
 pub use zeiot_sensing as sensing;
+pub use zeiot_serve as serve;
 pub use zeiot_sim as sim;

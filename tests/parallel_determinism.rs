@@ -9,7 +9,8 @@
 //! assignment.
 
 use zeiot_bench::experiments::{
-    e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi, e7_link, e8_energy, e9_faults,
+    e10_serving, e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi, e7_link,
+    e8_energy, e9_faults,
 };
 use zeiot_bench::SweepRunner;
 use zeiot_core::rng::SeedRng;
@@ -106,6 +107,28 @@ fn e9_exported_snapshot_is_thread_invariant() {
     let params = e9_faults::Params::reduced();
     let serial = e9_faults::run_with(&params, &SweepRunner::serial()).export_snapshot();
     let parallel = e9_faults::run_with(&params, &SweepRunner::new(4)).export_snapshot();
+    assert_eq!(serial, parallel);
+}
+
+/// E10 simulates a full multi-tenant serving layer per sweep point —
+/// virtual-time queues, EDF dispatch, micro-batching, degraded-mode
+/// fabrics. Each point is a serial simulation, so the merged report must
+/// not move with the thread count.
+#[test]
+fn e10_report_is_thread_invariant() {
+    let params = e10_serving::Params::reduced();
+    let serial = e10_serving::run_with(&params, &SweepRunner::serial()).to_json();
+    let parallel = e10_serving::run_with(&params, &SweepRunner::new(4)).to_json();
+    assert_thread_invariant("E10", &serial, &parallel);
+}
+
+/// E10's exported per-point serve/fault metrics must also be
+/// thread-invariant (they feed the JSONL export).
+#[test]
+fn e10_exported_snapshot_is_thread_invariant() {
+    let params = e10_serving::Params::reduced();
+    let serial = e10_serving::run_with(&params, &SweepRunner::serial()).export_snapshot();
+    let parallel = e10_serving::run_with(&params, &SweepRunner::new(4)).export_snapshot();
     assert_eq!(serial, parallel);
 }
 
