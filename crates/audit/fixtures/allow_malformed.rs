@@ -1,0 +1,11 @@
+//! Fixture: malformed annotations. A justification-free allow and an
+//! unknown rule both fire `malformed-allow`, and neither suppresses
+//! the underlying finding.
+
+use std::collections::HashMap; // zeiot-audit: allow(d1)
+
+pub fn count(xs: &[u32]) -> usize {
+    // zeiot-audit: allow(d9) -- no such rule
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len() + xs.len()
+}

@@ -1,0 +1,14 @@
+//! Fixture: correctly annotated sites — every finding is suppressed.
+
+// zeiot-audit: allow(d1) -- population map is drained through sorted keys before anything observable happens
+use std::collections::HashMap;
+
+pub fn sorted_counts(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new(); // zeiot-audit: allow(d1) -- key order never escapes: collected and sorted below
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u32, u32)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}

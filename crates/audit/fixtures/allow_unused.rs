@@ -1,0 +1,13 @@
+//! Fixture: a stale allow annotation — the site it excused was fixed,
+//! the comment stayed behind. Must fire `unused-allow`.
+
+use std::collections::BTreeMap;
+
+pub fn sorted_counts(xs: &[u32]) -> Vec<(u32, u32)> {
+    // zeiot-audit: allow(d1) -- key order never escapes (stale: the map below is a BTreeMap now)
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

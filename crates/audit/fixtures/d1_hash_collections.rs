@@ -1,0 +1,27 @@
+//! Known-bad fixture for rule d1: hash collections in a deterministic
+//! crate. Not compiled — consumed as text by `tests/fixtures.rs`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // A decoy in a string and a comment: neither may fire.
+    let _doc = "HashMap iteration order is the whole problem";
+    seen.len() + counts.len() // HashMap HashSet
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash_freely() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

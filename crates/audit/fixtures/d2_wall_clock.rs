@@ -1,0 +1,25 @@
+//! Known-bad fixture for rule d2: wall-clock time, thread identity,
+//! OS randomness, and env-dependent branching in library code.
+
+pub fn stamp() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    t.elapsed()
+}
+
+pub fn epoch() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}
+
+pub fn debug_enabled() -> bool {
+    std::env::var("ZEIOT_DEBUG").is_ok() || std::env::var_os("ZEIOT_TRACE").is_some()
+}

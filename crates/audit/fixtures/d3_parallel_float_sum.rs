@@ -1,0 +1,20 @@
+//! Known-bad fixture for rule d3: float accumulation over
+//! parallel-iterator results without a total-order merge.
+
+use rayon::prelude::*;
+
+pub fn total_energy(samples: &[f64]) -> f64 {
+    samples.par_iter().map(|s| s * s).sum()
+}
+
+pub fn folded(samples: &[f64]) -> f64 {
+    samples
+        .par_iter()
+        .map(|s| s.sqrt())
+        .fold(|| 0.0, |a, b| a + b)
+        .sum()
+}
+
+pub fn serial_sum_is_fine(samples: &[f64]) -> f64 {
+    samples.iter().map(|s| s * s).sum()
+}

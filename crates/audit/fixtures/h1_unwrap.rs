@@ -1,0 +1,24 @@
+//! Known-bad fixture for rule h1: `unwrap()`/`expect()` in library
+//! code of a typed-error crate.
+
+pub fn head(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    *first
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller promised digits")
+}
+
+pub fn guarded(xs: &[u32]) -> u32 {
+    // `unwrap_or` is total — it must not fire.
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!("7".parse::<u32>().unwrap(), 7);
+    }
+}

@@ -1,0 +1,32 @@
+//! Known-bad fixture for rule h2: a `pub fn` returning `Result`
+//! without a `# Errors` doc section.
+
+/// Parses a rate. The docs say nothing about failure.
+pub fn parse_rate(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("bad rate: {s}"))
+}
+
+/// Parses a count, over a multi-line signature.
+///
+/// # Errors
+///
+/// Returns an error when `s` is not a decimal integer.
+pub fn parse_count(
+    s: &str,
+    limit: usize,
+) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|_| format!("bad count: {s}"))?;
+    if n > limit {
+        return Err(format!("{n} over limit"));
+    }
+    Ok(n)
+}
+
+/// Infallible — no `# Errors` needed.
+pub fn double(n: usize) -> usize {
+    n * 2
+}
+
+pub(crate) fn internal(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "crate-internal: exempt".to_string())
+}

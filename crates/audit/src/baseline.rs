@@ -1,0 +1,125 @@
+//! Baseline files: grandfathered findings that don't fail the run.
+//!
+//! A baseline is a JSON array of entries; a finding matching an entry's
+//! `file` and `rule` (and `line`, when non-null) is reported with
+//! [`AllowStatus::Baselined`] instead of failing the run. Baselines are
+//! for adopting a new rule over a large surface without a flag day —
+//! new code should use allow annotations, which carry a justification
+//! and are checked for staleness.
+
+use crate::finding::{AllowStatus, Finding};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One grandfathered site. `line` is `null` to match the whole file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Workspace-relative path, as reported in findings.
+    pub file: String,
+    /// Rule identifier the entry covers.
+    pub rule: String,
+    /// Specific line, or `null` for any line in the file.
+    pub line: Option<usize>,
+}
+
+/// A loaded baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses a baseline from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self {
+            entries: serde_json::from_str(text)?,
+        })
+    }
+
+    /// Loads a baseline file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable files or malformed JSON.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Whether `finding` is grandfathered.
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|e| {
+            e.file == finding.file
+                && e.rule == finding.rule
+                && e.line.is_none_or(|l| l == finding.line)
+        })
+    }
+
+    /// Downgrades active findings covered by the baseline.
+    pub fn apply(&self, findings: &mut [Finding]) {
+        for f in findings {
+            if f.status.is_active() && self.covers(f) {
+                f.status = AllowStatus::Baselined;
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str, line: usize) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            snippet: String::new(),
+            message: String::new(),
+            status: AllowStatus::Active,
+        }
+    }
+
+    #[test]
+    fn baseline_matches_file_rule_and_optional_line() {
+        let base = Baseline::from_json(
+            r#"[{"file":"crates/sim/src/engine.rs","rule":"d2","line":null},
+                {"file":"crates/plan/src/schedule.rs","rule":"d1","line":203}]"#,
+        )
+        .unwrap();
+        assert_eq!(base.len(), 2);
+        assert!(base.covers(&finding("crates/sim/src/engine.rs", "d2", 99)));
+        assert!(!base.covers(&finding("crates/sim/src/engine.rs", "d1", 99)));
+        assert!(base.covers(&finding("crates/plan/src/schedule.rs", "d1", 203)));
+        assert!(!base.covers(&finding("crates/plan/src/schedule.rs", "d1", 204)));
+    }
+
+    #[test]
+    fn apply_downgrades_covered_findings_only() {
+        let base = Baseline::from_json(r#"[{"file":"a.rs","rule":"h1","line":null}]"#).unwrap();
+        let mut findings = vec![finding("a.rs", "h1", 3), finding("b.rs", "h1", 3)];
+        base.apply(&mut findings);
+        assert_eq!(findings[0].status, AllowStatus::Baselined);
+        assert!(findings[1].status.is_active());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::from_json("{not json").is_err());
+        assert!(Baseline::load(Path::new("/nonexistent/baseline.json")).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Rule identifiers, per-rule actions, and the workspace rule scopes.
+
+use std::fmt;
+
+/// The audit's rule set. `UnusedAllow`/`MalformedAllow` police the
+/// annotation mechanism itself so suppressions cannot rot silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash collections (`HashMap`/`HashSet`) in deterministic crates.
+    D1,
+    /// Wall-clock, thread-identity, OS randomness, or env-dependent
+    /// branching outside the CLI layer.
+    D2,
+    /// Float accumulation over parallel-iterator results without a
+    /// documented total-order merge.
+    D3,
+    /// `unwrap()`/`expect()` in library code of typed-error crates.
+    H1,
+    /// `pub fn … -> Result` without a `# Errors` doc section.
+    H2,
+    /// An allow annotation that suppressed nothing.
+    UnusedAllow,
+    /// An allow annotation with a missing justification or unknown rule.
+    MalformedAllow,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::H1,
+    Rule::H2,
+    Rule::UnusedAllow,
+    Rule::MalformedAllow,
+];
+
+impl Rule {
+    /// The identifier used in annotations, CLI flags, and reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "d1",
+            Rule::D2 => "d2",
+            Rule::D3 => "d3",
+            Rule::H1 => "h1",
+            Rule::H2 => "h2",
+            Rule::UnusedAllow => "unused-allow",
+            Rule::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parses a rule identifier.
+    pub fn parse(s: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.id() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// What the run does with an active finding of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Action {
+    /// Fail the run (non-zero exit).
+    #[default]
+    Deny,
+    /// Report without failing.
+    Warn,
+    /// Skip the rule entirely.
+    Off,
+}
+
+/// Which layer of a crate a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Library code — the full rule set applies.
+    Lib,
+    /// CLI layer (`src/bin/*`, `main.rs`) — exempt from D2 and H1:
+    /// binaries may read the environment and fail loudly.
+    Bin,
+}
+
+/// Rule scopes and actions for one audit run.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Crates whose results must be byte-identical across thread counts
+    /// and machines; D1 and D3 apply to their library *and* bin code.
+    pub deterministic_crates: Vec<String>,
+    /// Crates whose library code routes failures through typed errors;
+    /// H1 forbids `unwrap()`/`expect()` there.
+    pub typed_error_crates: Vec<String>,
+    /// Crates whose `pub fn … -> Result` APIs must document `# Errors`.
+    pub errors_doc_crates: Vec<String>,
+    /// Per-rule action, indexed by [`ALL_RULES`] order.
+    actions: [Action; ALL_RULES.len()],
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        let dets = [
+            "zeiot-core",
+            "zeiot-sim",
+            "zeiot-microdeep",
+            "zeiot-fault",
+            "zeiot-serve",
+            "zeiot-plan",
+            "zeiot-obs",
+            "zeiot-bench",
+        ];
+        Self {
+            deterministic_crates: dets.iter().map(|s| s.to_string()).collect(),
+            typed_error_crates: vec!["zeiot-serve".into(), "zeiot-fault".into()],
+            errors_doc_crates: vec!["zeiot-serve".into(), "zeiot-fault".into()],
+            actions: [Action::Deny; ALL_RULES.len()],
+        }
+    }
+}
+
+impl AuditConfig {
+    /// The action configured for `rule`.
+    pub fn action(&self, rule: Rule) -> Action {
+        self.actions[ALL_RULES
+            .iter()
+            .position(|&r| r == rule)
+            .expect("rule in ALL_RULES")]
+    }
+
+    /// Sets the action for `rule`.
+    pub fn set_action(&mut self, rule: Rule, action: Action) {
+        self.actions[ALL_RULES
+            .iter()
+            .position(|&r| r == rule)
+            .expect("rule in ALL_RULES")] = action;
+    }
+
+    /// Sets every rule's action.
+    pub fn set_all(&mut self, action: Action) {
+        self.actions = [action; ALL_RULES.len()];
+    }
+
+    /// Whether `crate_name` is in the deterministic (D1/D3) scope.
+    pub fn is_deterministic(&self, crate_name: &str) -> bool {
+        self.deterministic_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether H1 applies to `crate_name`.
+    pub fn is_typed_error(&self, crate_name: &str) -> bool {
+        self.typed_error_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether H2 applies to `crate_name`.
+    pub fn wants_errors_doc(&self, crate_name: &str) -> bool {
+        self.errors_doc_crates.iter().any(|c| c == crate_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::parse(rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::parse("d9"), None);
+    }
+
+    #[test]
+    fn default_config_scopes_match_the_determinism_contract() {
+        let cfg = AuditConfig::default();
+        assert!(cfg.is_deterministic("zeiot-sim"));
+        assert!(!cfg.is_deterministic("zeiot-rf"));
+        assert!(cfg.is_typed_error("zeiot-serve"));
+        assert!(!cfg.is_typed_error("zeiot-nn"));
+        assert_eq!(cfg.action(Rule::D1), Action::Deny);
+    }
+
+    #[test]
+    fn actions_are_per_rule() {
+        let mut cfg = AuditConfig::default();
+        cfg.set_action(Rule::D3, Action::Warn);
+        assert_eq!(cfg.action(Rule::D3), Action::Warn);
+        assert_eq!(cfg.action(Rule::D2), Action::Deny);
+        cfg.set_all(Action::Off);
+        assert_eq!(cfg.action(Rule::H2), Action::Off);
+    }
+}

@@ -1,0 +1,106 @@
+//! Findings: what a rule reports, with its allow/baseline status.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a finding stands after annotation and baseline matching.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllowStatus {
+    /// The finding stands: no annotation or baseline covers it.
+    Active,
+    /// Suppressed by a `// zeiot-audit: allow(<rule>) -- <why>` comment.
+    Suppressed {
+        /// The annotation's mandatory justification text.
+        justification: String,
+    },
+    /// Grandfathered by an entry in the baseline file.
+    Baselined,
+}
+
+impl AllowStatus {
+    /// Whether the finding still counts against the run.
+    pub fn is_active(&self) -> bool {
+        matches!(self, AllowStatus::Active)
+    }
+
+    /// Short tag used in metric labels and human output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AllowStatus::Active => "active",
+            AllowStatus::Suppressed { .. } => "suppressed",
+            AllowStatus::Baselined => "baselined",
+        }
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`d1`…`h2`, `unused-allow`, `malformed-allow`).
+    pub rule: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What the rule objects to.
+    pub message: String,
+    /// Allow/baseline status.
+    pub status: AllowStatus,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{} {} ({})\n    {}",
+            self.rule,
+            self.file,
+            self.line,
+            self.message,
+            self.status.tag(),
+            self.snippet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_serialize_with_structured_fields() {
+        let f = Finding {
+            file: "crates/sim/src/engine.rs".into(),
+            line: 12,
+            rule: "d1".into(),
+            snippet: "use std::collections::HashMap;".into(),
+            message: "hash collection in a deterministic crate".into(),
+            status: AllowStatus::Active,
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        for field in [
+            "\"file\"",
+            "\"line\"",
+            "\"rule\"",
+            "\"snippet\"",
+            "\"status\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let back: Finding = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn status_tags_and_activity() {
+        assert!(AllowStatus::Active.is_active());
+        let s = AllowStatus::Suppressed {
+            justification: "bounded".into(),
+        };
+        assert!(!s.is_active());
+        assert_eq!(s.tag(), "suppressed");
+        assert_eq!(AllowStatus::Baselined.tag(), "baselined");
+    }
+}

@@ -1,0 +1,311 @@
+//! A minimal Rust lexer that separates code from comments and strings.
+//!
+//! The audit rules are pattern searches over *code*, so the lexer's one
+//! job is classification: every character of a source file is code,
+//! string-literal interior, or comment. Each input line yields a
+//! [`Line`] whose `code` field holds the source with comments removed
+//! and string/char-literal interiors blanked (delimiters kept), and
+//! whose `comment` field holds the comment text. Rules match against
+//! `code` — so `"HashMap"` inside a string or a doc comment can never
+//! fire a finding — while allow-annotations and `# Errors` doc sections
+//! are read from `comment`.
+//!
+//! Handled syntax: line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! depth, plus byte-string forms), char literals (including escaped
+//! quotes), and lifetimes (`'a` is code, not an unterminated char
+//! literal). This is deliberately not a full lexer — no token stream,
+//! no macro expansion — which keeps the tool dependency-free.
+
+/// One source line, split into its code and comment portions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Line {
+    /// The line with comments stripped and literal interiors blanked.
+    pub code: String,
+    /// The concatenated comment text of the line (markers kept).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(usize),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Is `c` part of an identifier?
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Detects a raw-string opener at `i` (which must point at `r`):
+/// returns the hash depth if `chars[i..]` begins `r#*"`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == '"' {
+        Some(j - i - 1)
+    } else {
+        None
+    }
+}
+
+/// Splits `src` into classified [`Line`]s.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    line.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    line.comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    line.code.push('"');
+                    i += 1;
+                } else if c == 'r' && !prev_is_ident_except_b(&chars, i) {
+                    if let Some(hashes) = raw_string_open(&chars, i) {
+                        state = State::RawStr(hashes);
+                        line.code.push_str("r\"");
+                        i += 2 + hashes;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: `'\…'` and `'x'` are
+                    // literals; `'ident` (no closing quote) is a lifetime.
+                    if chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 2) == Some(&'\'')
+                            && chars.get(i + 1).is_some_and(|&n| n != '\''))
+                    {
+                        state = State::CharLit;
+                        line.code.push('\'');
+                        i += 1;
+                    } else {
+                        line.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    line.comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    line.comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character — except an escaped
+                    // newline (line continuation), which the outer loop
+                    // must still see so line numbers stay aligned.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blank the interior
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// True when the character before `i` continues an identifier other
+/// than a byte-string prefix — used to keep `var` in `for r in…` from
+/// being misread as a raw-string opener while still accepting `br"…"`.
+fn prev_is_ident_except_b(chars: &[char], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| chars[p]) {
+        None => false,
+        Some('b') => i >= 2 && is_ident(chars[i - 2]),
+        Some(p) => is_ident(p),
+    }
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]` item (attribute
+/// line through the item's closing brace). Rules skip these lines: test
+/// code may use `unwrap`, hash collections, and wall clocks freely.
+pub fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut idx = 0;
+    while idx < lines.len() {
+        if let Some(pos) = lines[idx].code.find("#[cfg(test)]") {
+            let mut depth = 0usize;
+            let mut entered = false;
+            let mut j = idx;
+            let mut start = pos;
+            while j < lines.len() {
+                mask[j] = true;
+                for c in lines[j].code[start..].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                if entered && depth == 0 {
+                    break;
+                }
+                j += 1;
+                start = 0;
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+    mask
+}
+
+/// Finds a whole-word occurrence of `word` in `code` (neighbours must
+/// not be identifier characters). Returns the byte offset.
+pub fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let at = from + rel;
+        let before_ok = code[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = code[at + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let src = "let m = \"HashMap\"; // HashMap here\n/* HashMap */ let x = 1;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code, "let m = \"\"; ");
+        assert!(lines[0].comment.contains("HashMap"));
+        assert_eq!(lines[1].code, " let x = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let src = "let r = r#\"Instant::now()\"#; let c = '\"'; let q = '\\'';\n";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("Instant"));
+        assert_eq!(lines[0].code, "let r = r\"\"; let c = ''; let q = '';");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // trailing\n";
+        let lines = split_lines(src);
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert_eq!(lines[0].comment, "// trailing");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "a /* one /* two */ still */ b\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code, "a  b");
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let src = "let s = \"first\nsecond HashMap\";\nlet t = 2;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[1].code, "\";");
+        assert_eq!(lines[2].code, "let t = 2;");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let lines = split_lines(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn whole_word_matching_rejects_substrings() {
+        assert!(find_word("let x: HashMap<u32, u32>;", "HashMap").is_some());
+        assert!(find_word("let x = MyHashMapLike;", "HashMap").is_none());
+        assert!(find_word("call(thread_rng())", "thread_rng").is_some());
+    }
+}

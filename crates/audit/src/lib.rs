@@ -1,0 +1,102 @@
+//! # zeiot-audit — workspace determinism & hygiene linter
+//!
+//! Every quantitative result in this reproduction rests on byte-exact
+//! determinism across thread counts: MicroDeep's balanced
+//! correspondence, the E1–E10 golden fixtures, the serve/fault
+//! equivalence suites. Nothing *statically* stopped a contributor from
+//! reintroducing `HashMap` iteration, wall-clock reads, or unordered
+//! float reductions — this crate is that missing tool. It is a
+//! self-contained, lexer-based analyzer (no `syn`, no new
+//! dependencies) that walks every workspace crate and enforces the
+//! determinism contract documented in DESIGN.md §7b:
+//!
+//! * **d1** — no `HashMap`/`HashSet` in deterministic crates;
+//! * **d2** — no wall clocks, thread identity, OS randomness, or env
+//!   branching outside the CLI layer;
+//! * **d3** — no float accumulation over parallel-iterator results
+//!   without a total-order merge;
+//! * **h1** — no `unwrap()`/`expect()` in library code of the
+//!   typed-error crates (`zeiot-serve`, `zeiot-fault`);
+//! * **h2** — every `pub fn … -> Result` in those crates documents its
+//!   `# Errors`.
+//!
+//! Deliberate exceptions carry an inline annotation with a mandatory
+//! justification —
+//! `// zeiot-audit: allow(<rule>) -- <why this site is sound>` — and
+//! the annotations themselves are audited: stale ones fire
+//! `unused-allow`, malformed ones fire `malformed-allow`. Legacy debt
+//! can be grandfathered through a JSON [`Baseline`] file instead.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p zeiot-audit -- --deny all
+//! cargo run -p zeiot-audit -- --warn d3 --jsonl audit.jsonl
+//! ```
+//!
+//! Findings export as structured JSONL through [`zeiot_obs`]; see
+//! [`report`].
+
+pub mod baseline;
+pub mod config;
+pub mod finding;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use config::{Action, AuditConfig, Layer, Rule, ALL_RULES};
+pub use finding::{AllowStatus, Finding};
+pub use report::AuditReport;
+pub use rules::analyze_source;
+pub use walk::{workspace_sources, SourceSpec};
+
+use std::io;
+use std::path::Path;
+
+/// Audits every workspace source under `root` with `config`, applying
+/// `baseline` to the result.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or from reading sources.
+pub fn audit_workspace(
+    root: &Path,
+    config: &AuditConfig,
+    baseline: Option<&Baseline>,
+) -> io::Result<AuditReport> {
+    let specs = workspace_sources(root)?;
+    let mut findings = Vec::new();
+    let files_scanned = specs.len();
+    for spec in &specs {
+        let src = std::fs::read_to_string(&spec.path)?;
+        findings.extend(analyze_source(
+            config,
+            &spec.crate_name,
+            &spec.rel,
+            spec.layer,
+            &src,
+        ));
+    }
+    if let Some(base) = baseline {
+        base.apply(&mut findings);
+    }
+    Ok(AuditReport {
+        findings,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn workspace_audit_runs_and_scans_every_crate() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = audit_workspace(&root, &AuditConfig::default(), None).unwrap();
+        assert!(report.files_scanned > 100, "only {}", report.files_scanned);
+    }
+}

@@ -1,0 +1,422 @@
+//! The determinism & hygiene rule set and the per-file analysis pass.
+//!
+//! Rules are pattern searches over lexed *code* (comments and string
+//! interiors never fire — see [`crate::lexer`]), scoped per crate and
+//! per layer by the [`AuditConfig`]:
+//!
+//! | rule | scope | pattern |
+//! |------|-------|---------|
+//! | `d1` | deterministic crates | `HashMap` / `HashSet` (iteration order is seed-dependent) |
+//! | `d2` | every crate, library layer | `Instant::now` / `SystemTime` / `thread_rng` / `thread::current` / `env::var` |
+//! | `d3` | deterministic crates | `.sum(` / `.reduce(` / `.fold(` within 5 lines of a `par_iter`-family call |
+//! | `h1` | typed-error crates, library layer | `.unwrap()` / `.expect(` outside tests |
+//! | `h2` | serve/fault | `pub fn … -> Result` without a `# Errors` doc section |
+//!
+//! A site that is deliberate carries a trailing or preceding
+//! `// zeiot-audit: allow(<rule>) -- <justification>` comment; the
+//! justification is mandatory, and annotations that suppress nothing
+//! (`unused-allow`) or are malformed (`malformed-allow`) are findings
+//! themselves, so suppressions cannot outlive the code they excuse.
+
+use crate::config::{Action, AuditConfig, Layer, Rule};
+use crate::finding::{AllowStatus, Finding};
+use crate::lexer::{find_word, split_lines, test_mask, Line};
+
+/// One parsed `// zeiot-audit: allow(…)` comment.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 0-based line index of the comment.
+    pub line: usize,
+    /// The rule named inside `allow(…)`, if it parsed.
+    pub rule: Option<Rule>,
+    /// Raw text inside `allow(…)`.
+    pub rule_text: String,
+    /// Justification after `--`, if present and non-empty.
+    pub justification: Option<String>,
+    /// 0-based line index the annotation covers (the annotated line
+    /// itself for trailing comments, the next code line otherwise).
+    pub target: Option<usize>,
+}
+
+const MARKER: &str = "zeiot-audit:";
+
+/// Extracts allow annotations from lexed lines.
+pub fn parse_annotations(lines: &[Line]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        // Only a comment that *is* an annotation counts — prose that
+        // merely quotes the grammar (like this crate's docs) does not.
+        let text = line.comment.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix(MARKER).map(str::trim_start) else {
+            continue;
+        };
+        let (rule_text, tail) = match rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) {
+            Some((inner, tail)) => (inner.trim().to_string(), tail),
+            None => (String::new(), rest),
+        };
+        let justification = tail
+            .trim_start()
+            .strip_prefix("--")
+            .map(str::trim)
+            .filter(|j| !j.is_empty())
+            .map(str::to_string);
+        let target = if line.code.trim().is_empty() {
+            lines[i + 1..]
+                .iter()
+                .position(|l| !l.code.trim().is_empty())
+                .map(|off| i + 1 + off)
+        } else {
+            Some(i)
+        };
+        out.push(Annotation {
+            line: i,
+            rule: Rule::parse(&rule_text),
+            rule_text,
+            justification,
+            target,
+        });
+    }
+    out
+}
+
+/// A rule hit before annotation/baseline matching.
+struct RawFinding {
+    rule: Rule,
+    line: usize, // 0-based
+    message: String,
+}
+
+fn d2_patterns() -> [&'static str; 6] {
+    [
+        "Instant::now",
+        "SystemTime",
+        "thread_rng",
+        "thread::current",
+        "env::var",
+        "env::var_os",
+    ]
+}
+
+/// Patterns whose presence marks a parallel-iterator expression.
+const PAR_PATTERNS: [&str; 3] = ["par_iter", "par_chunks", "par_bridge"];
+/// Accumulators that are order-sensitive over floats.
+const ACC_PATTERNS: [&str; 4] = [".sum(", ".sum::<", ".reduce(", ".fold("];
+/// How many lines after a parallel call an accumulator is attributed
+/// to it (a statement split across a fluent chain).
+const D3_WINDOW: usize = 5;
+
+fn scan_rules(
+    config: &AuditConfig,
+    crate_name: &str,
+    layer: Layer,
+    lines: &[Line],
+    in_test: &[bool],
+) -> Vec<RawFinding> {
+    let mut raw = Vec::new();
+    let enabled = |rule: Rule| config.action(rule) != Action::Off;
+
+    let d1 = enabled(Rule::D1) && config.is_deterministic(crate_name);
+    let d2 = enabled(Rule::D2) && layer == Layer::Lib;
+    let d3 = enabled(Rule::D3) && config.is_deterministic(crate_name);
+    let h1 = enabled(Rule::H1) && config.is_typed_error(crate_name) && layer == Layer::Lib;
+
+    let mut par_reach = 0usize; // lines remaining in the current D3 window
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] {
+            par_reach = par_reach.saturating_sub(1);
+            continue;
+        }
+        let code = line.code.as_str();
+        if d1 {
+            for word in ["HashMap", "HashSet"] {
+                if find_word(code, word).is_some() {
+                    raw.push(RawFinding {
+                        rule: Rule::D1,
+                        line: i,
+                        message: format!(
+                            "{word} in deterministic crate {crate_name}: iteration order \
+                             is seed-dependent; use BTreeMap/BTreeSet or sorted iteration"
+                        ),
+                    });
+                }
+            }
+        }
+        if d2 {
+            for pat in d2_patterns() {
+                if find_word(code, pat).is_some() {
+                    raw.push(RawFinding {
+                        rule: Rule::D2,
+                        line: i,
+                        message: format!(
+                            "`{pat}` outside the CLI layer: wall-clock, thread identity, \
+                             OS randomness, and env branching break replay determinism"
+                        ),
+                    });
+                    break; // one D2 finding per line is enough
+                }
+            }
+        }
+        if d3 {
+            if PAR_PATTERNS.iter().any(|p| code.contains(p)) {
+                par_reach = D3_WINDOW;
+            }
+            if par_reach > 0 && ACC_PATTERNS.iter().any(|p| code.contains(p)) {
+                raw.push(RawFinding {
+                    rule: Rule::D3,
+                    line: i,
+                    message: "accumulation over a parallel iterator: float reduction \
+                              order must be fixed by a total-order merge"
+                        .into(),
+                });
+                par_reach = 0; // attribute one accumulator per parallel call
+            } else {
+                par_reach = par_reach.saturating_sub(1);
+            }
+        }
+        if h1 {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) {
+                    raw.push(RawFinding {
+                        rule: Rule::H1,
+                        line: i,
+                        message: format!(
+                            "`{pat}…` in library code of {crate_name}: route the failure \
+                             through the crate's typed errors"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if enabled(Rule::H2) && config.wants_errors_doc(crate_name) && layer == Layer::Lib {
+        raw.extend(scan_errors_docs(lines, in_test));
+    }
+    raw
+}
+
+/// H2: every non-test `pub fn … -> Result` needs `# Errors` in its docs.
+fn scan_errors_docs(lines: &[Line], in_test: &[bool]) -> Vec<RawFinding> {
+    let mut raw = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let head = line.code.trim_start();
+        let is_pub_fn = [
+            "pub fn ",
+            "pub const fn ",
+            "pub async fn ",
+            "pub unsafe fn ",
+        ]
+        .iter()
+        .any(|p| head.starts_with(p));
+        if !is_pub_fn {
+            continue;
+        }
+        // Assemble the signature up to its body (or `;` for trait items).
+        let mut sig = String::new();
+        for l in lines.iter().skip(i).take(25) {
+            let code = l.code.as_str();
+            let end = code.find(['{', ';']).unwrap_or(code.len());
+            sig.push_str(&code[..end]);
+            sig.push(' ');
+            if end < code.len() {
+                break;
+            }
+        }
+        let returns_result = sig
+            .split_once("->")
+            .is_some_and(|(_, ret)| find_word(ret, "Result").is_some());
+        if !returns_result {
+            continue;
+        }
+        // Walk the fn's own doc block upward through attributes. A
+        // fully blank line or an inner doc (`//!`) ends the block —
+        // module docs never document a specific fn.
+        let mut has_errors_doc = false;
+        for l in lines[..i].iter().rev() {
+            let code = l.code.trim();
+            let comment = l.comment.trim();
+            if comment.starts_with("//!") || (code.is_empty() && comment.is_empty()) {
+                break;
+            }
+            if !code.is_empty() && !code.starts_with("#[") {
+                break;
+            }
+            if comment.contains("# Errors") {
+                has_errors_doc = true;
+                break;
+            }
+        }
+        if !has_errors_doc {
+            raw.push(RawFinding {
+                rule: Rule::H2,
+                line: i,
+                message: "`pub fn` returning Result without a `# Errors` doc section".into(),
+            });
+        }
+    }
+    raw
+}
+
+/// Runs the full rule set over one source file.
+///
+/// `rel_path` is the workspace-relative path reported in findings;
+/// `crate_name` and `layer` select which rules apply. Returns every
+/// finding — suppressed and malformed-annotation ones included — in
+/// line order.
+pub fn analyze_source(
+    config: &AuditConfig,
+    crate_name: &str,
+    rel_path: &str,
+    layer: Layer,
+    src: &str,
+) -> Vec<Finding> {
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let lines = split_lines(src);
+    let in_test = test_mask(&lines);
+    let annotations = parse_annotations(&lines);
+    let raw = scan_rules(config, crate_name, layer, &lines, &in_test);
+
+    let snippet = |line: usize| raw_lines.get(line).map_or("", |l| l.trim()).to_string();
+    let mut used = vec![false; annotations.len()];
+    let mut findings = Vec::new();
+
+    for f in raw {
+        let covering = annotations.iter().enumerate().find(|(_, a)| {
+            a.rule == Some(f.rule) && a.justification.is_some() && a.target == Some(f.line)
+        });
+        let status = match covering {
+            Some((idx, a)) => {
+                used[idx] = true;
+                AllowStatus::Suppressed {
+                    justification: a.justification.clone().expect("checked above"),
+                }
+            }
+            None => AllowStatus::Active,
+        };
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: f.line + 1,
+            rule: f.rule.id().to_string(),
+            snippet: snippet(f.line),
+            message: f.message,
+            status,
+        });
+    }
+
+    for (idx, a) in annotations.iter().enumerate() {
+        let malformed = a.rule.is_none() || a.justification.is_none();
+        if malformed && config.action(Rule::MalformedAllow) != Action::Off {
+            let what = if a.rule.is_none() {
+                format!("unknown rule `{}`", a.rule_text)
+            } else {
+                "missing `-- <justification>`".to_string()
+            };
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: a.line + 1,
+                rule: Rule::MalformedAllow.id().to_string(),
+                snippet: snippet(a.line),
+                message: format!("malformed allow annotation: {what}"),
+                status: AllowStatus::Active,
+            });
+        } else if !malformed && !used[idx] && config.action(Rule::UnusedAllow) != Action::Off {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: a.line + 1,
+                rule: Rule::UnusedAllow.id().to_string(),
+                snippet: snippet(a.line),
+                message: format!(
+                    "stale allow annotation: no `{}` finding here to suppress",
+                    a.rule.expect("well-formed").id()
+                ),
+                status: AllowStatus::Active,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule.clone()));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(crate_name: &str, src: &str) -> Vec<Finding> {
+        analyze_source(
+            &AuditConfig::default(),
+            crate_name,
+            "src/lib.rs",
+            Layer::Lib,
+            src,
+        )
+    }
+
+    #[test]
+    fn d1_ignores_non_deterministic_crates_and_tests() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let hits = audit("zeiot-sim", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].rule.as_str(), hits[0].line), ("d1", 1));
+        assert!(audit("zeiot-rf", src).is_empty());
+    }
+
+    #[test]
+    fn d2_skips_the_bin_layer() {
+        let src = "fn main() { let t = std::time::Instant::now(); let _ = t; }\n";
+        let lib = audit("zeiot-rf", src);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib[0].rule, "d2");
+        let bin = analyze_source(
+            &AuditConfig::default(),
+            "zeiot-rf",
+            "src/bin/tool.rs",
+            Layer::Bin,
+            src,
+        );
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn annotations_target_trailing_or_next_code_line() {
+        let src = "\
+// zeiot-audit: allow(d1) -- key order never escapes: drained via sorted keys
+use std::collections::HashMap;
+use std::collections::HashSet; // zeiot-audit: allow(d1) -- bounded; never iterated
+";
+        let hits = audit("zeiot-plan", src);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| !f.status.is_active()), "{hits:#?}");
+    }
+
+    #[test]
+    fn disabling_a_rule_silences_it() {
+        let mut config = AuditConfig::default();
+        config.set_action(Rule::D1, Action::Off);
+        let hits = analyze_source(
+            &config,
+            "zeiot-sim",
+            "src/lib.rs",
+            Layer::Lib,
+            "use std::collections::HashMap;\n",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn h2_accepts_documented_errors() {
+        let src = "\
+/// Frobs.
+///
+/// # Errors
+///
+/// Fails when the input is empty.
+pub fn frob(x: &[u8]) -> Result<(), String> { if x.is_empty() { Err(\"e\".into()) } else { Ok(()) } }
+";
+        assert!(audit("zeiot-serve", src).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic discovery of auditable workspace sources.
+//!
+//! The walk covers the root package's `src/` tree and every
+//! `crates/*/src/` tree, in sorted path order (so reports and JSONL
+//! dumps are byte-identical run to run). `third_party/` (vendored
+//! dependency stubs), `tests/`, `benches/`, and `examples/` are out of
+//! scope: the contract governs library and bin code that production
+//! results flow through, and `#[cfg(test)]` regions are already masked
+//! inside scanned files.
+
+use crate::config::Layer;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file to audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path used in findings.
+    pub rel: String,
+    /// Cargo package name (`zeiot`, `zeiot-sim`, …).
+    pub crate_name: String,
+    /// Library or CLI layer.
+    pub layer: Layer,
+}
+
+fn layer_of(rel: &str) -> Layer {
+    if rel.contains("/bin/") || rel.ends_with("/main.rs") {
+        Layer::Bin
+    } else {
+        Layer::Lib
+    }
+}
+
+fn push_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            push_rust_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Lists every auditable source file under the workspace `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory traversal.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceSpec>> {
+    let mut specs = Vec::new();
+    let mut trees: Vec<(String, PathBuf)> = vec![("zeiot".into(), root.join("src"))];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            trees.push((format!("zeiot-{name}"), dir.join("src")));
+        }
+    }
+    for (crate_name, src_dir) in trees {
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        push_rust_files(&src_dir, &mut files)?;
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let layer = layer_of(&rel);
+            specs.push(SourceSpec {
+                path,
+                rel,
+                crate_name: crate_name.clone(),
+                layer,
+            });
+        }
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn walk_finds_this_crate_and_classifies_layers() {
+        let specs = workspace_sources(&repo_root()).unwrap();
+        assert!(specs
+            .iter()
+            .any(|s| s.crate_name == "zeiot-audit" && s.rel.ends_with("src/rules.rs")));
+        let main = specs
+            .iter()
+            .find(|s| s.rel == "crates/audit/src/main.rs")
+            .expect("audit bin present");
+        assert_eq!(main.layer, Layer::Bin);
+        assert!(specs.iter().all(|s| !s.rel.contains("third_party")));
+    }
+
+    #[test]
+    fn walk_order_is_sorted_and_stable() {
+        let a = workspace_sources(&repo_root()).unwrap();
+        let b = workspace_sources(&repo_root()).unwrap();
+        assert_eq!(a, b);
+        let rels: Vec<&String> = a.iter().map(|s| &s.rel).collect();
+        let mut sorted = rels.clone();
+        sorted.sort();
+        // Root `src/` sorts first, then crates in name order.
+        assert_eq!(&rels[1..], &sorted[..rels.len() - 1]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The audit's own regression corpus: one known-bad fixture per rule
+//! proving the rule fires on exactly its target pattern, plus
+//! annotated fixtures proving suppression, staleness detection, and
+//! malformed-annotation policing. Fixtures live under `fixtures/` as
+//! plain text — they are never compiled.
+
+use zeiot_audit::{analyze_source, AuditConfig, Baseline, Finding, Layer};
+
+fn audit_as(crate_name: &str, rel: &str, src: &str) -> Vec<Finding> {
+    analyze_source(&AuditConfig::default(), crate_name, rel, Layer::Lib, src)
+}
+
+fn active<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.status.is_active())
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_hash_collections_only_outside_tests() {
+    let src = include_str!("../fixtures/d1_hash_collections.rs");
+    let findings = audit_as("zeiot-sim", "fixtures/d1_hash_collections.rs", src);
+    let d1 = active(&findings, "d1");
+    // Two imports + two constructor lines; the string/comment decoys
+    // and the #[cfg(test)] HashMap stay silent.
+    assert_eq!(d1.len(), 4, "{findings:#?}");
+    assert!(d1.iter().all(|f| f.line < 19));
+    assert_eq!(findings.len(), d1.len(), "only d1 may fire: {findings:#?}");
+}
+
+#[test]
+fn d2_fires_on_every_wall_clock_and_env_pattern() {
+    let src = include_str!("../fixtures/d2_wall_clock.rs");
+    let findings = audit_as("zeiot-rf", "fixtures/d2_wall_clock.rs", src);
+    let d2 = active(&findings, "d2");
+    // Instant::now, SystemTime, thread_rng, thread::current, env::var —
+    // one per offending function.
+    assert_eq!(d2.len(), 5, "{findings:#?}");
+    assert_eq!(findings.len(), d2.len());
+    let snippets: String = d2.iter().map(|f| f.snippet.as_str()).collect();
+    for pattern in [
+        "Instant::now",
+        "SystemTime::now",
+        "thread_rng",
+        "thread::current",
+        "env::var",
+    ] {
+        assert!(snippets.contains(pattern), "missing {pattern}");
+    }
+}
+
+#[test]
+fn d2_is_waived_in_the_cli_layer() {
+    let src = include_str!("../fixtures/d2_wall_clock.rs");
+    let findings = analyze_source(
+        &AuditConfig::default(),
+        "zeiot-rf",
+        "src/bin/tool.rs",
+        Layer::Bin,
+        src,
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn d3_fires_on_parallel_float_accumulation_not_serial() {
+    let src = include_str!("../fixtures/d3_parallel_float_sum.rs");
+    let findings = audit_as("zeiot-sim", "fixtures/d3_parallel_float_sum.rs", src);
+    let d3 = active(&findings, "d3");
+    assert_eq!(d3.len(), 2, "{findings:#?}");
+    // The same-line `.sum()` and the fluent-chain `.fold(`…
+    assert!(d3[0].snippet.contains(".sum()"));
+    assert!(d3[1].snippet.contains(".fold("));
+    // …but the serial `iter().sum()` at the bottom never fires.
+    assert!(d3
+        .iter()
+        .all(|f| !f.snippet.contains("iter().map(|s| s * s).sum()")
+            || f.snippet.contains("par_iter")));
+    assert_eq!(findings.len(), d3.len());
+}
+
+#[test]
+fn h1_fires_on_unwrap_and_expect_in_typed_error_crates() {
+    let src = include_str!("../fixtures/h1_unwrap.rs");
+    let findings = audit_as("zeiot-serve", "fixtures/h1_unwrap.rs", src);
+    let h1 = active(&findings, "h1");
+    // One `.unwrap()`, one `.expect(` — the total `unwrap_or` and the
+    // test-module unwrap stay silent.
+    assert_eq!(h1.len(), 2, "{findings:#?}");
+    assert_eq!(findings.len(), h1.len());
+    // The same file in a crate without typed errors is silent.
+    assert!(audit_as("zeiot-nn", "fixtures/h1_unwrap.rs", src).is_empty());
+}
+
+#[test]
+fn h2_fires_only_on_undocumented_public_result_fns() {
+    let src = include_str!("../fixtures/h2_missing_errors_doc.rs");
+    let findings = audit_as("zeiot-serve", "fixtures/h2_missing_errors_doc.rs", src);
+    let h2 = active(&findings, "h2");
+    assert_eq!(h2.len(), 1, "{findings:#?}");
+    assert!(h2[0].snippet.contains("parse_rate"));
+    assert_eq!(findings.len(), h2.len());
+}
+
+#[test]
+fn allow_annotations_suppress_with_their_justification() {
+    let src = include_str!("../fixtures/allow_suppressed.rs");
+    let findings = audit_as("zeiot-plan", "fixtures/allow_suppressed.rs", src);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    for f in &findings {
+        assert_eq!(f.rule, "d1");
+        assert!(!f.status.is_active(), "{f}");
+        match &f.status {
+            zeiot_audit::AllowStatus::Suppressed { justification } => {
+                assert!(justification.contains("sorted") || justification.contains("order"));
+            }
+            other => panic!("expected suppression, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn stale_allow_annotations_are_flagged() {
+    let src = include_str!("../fixtures/allow_unused.rs");
+    let findings = audit_as("zeiot-plan", "fixtures/allow_unused.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "unused-allow");
+    assert!(findings[0].status.is_active());
+}
+
+#[test]
+fn malformed_allow_annotations_are_flagged_and_do_not_suppress() {
+    let src = include_str!("../fixtures/allow_malformed.rs");
+    let findings = audit_as("zeiot-plan", "fixtures/allow_malformed.rs", src);
+    let malformed = active(&findings, "malformed-allow");
+    assert_eq!(malformed.len(), 2, "{findings:#?}");
+    assert!(malformed[0].message.contains("justification"));
+    assert!(malformed[1].message.contains("unknown rule `d9`"));
+    // The HashMaps the broken annotations sat next to still count.
+    assert_eq!(active(&findings, "d1").len(), 2);
+}
+
+#[test]
+fn baselines_grandfather_without_silencing_the_report() {
+    let src = include_str!("../fixtures/d1_hash_collections.rs");
+    let mut findings = audit_as("zeiot-sim", "fixtures/d1_hash_collections.rs", src);
+    let baseline = Baseline::from_json(
+        r#"[{"file":"fixtures/d1_hash_collections.rs","rule":"d1","line":null}]"#,
+    )
+    .unwrap();
+    baseline.apply(&mut findings);
+    assert!(findings.iter().all(|f| !f.status.is_active()));
+    assert!(findings
+        .iter()
+        .all(|f| f.status == zeiot_audit::AllowStatus::Baselined));
+    assert_eq!(findings.len(), 4);
+}

@@ -187,6 +187,17 @@ mod tests {
     }
 
     #[test]
+    fn export_ordering_is_stable_across_runs() {
+        // Snapshots flatten in insertion order — no hash iteration
+        // anywhere on the export path — so two identically-built
+        // recorders dump byte-identical JSONL (determinism contract
+        // rule d1; regression guard for the HashMap→BTreeMap sweep).
+        let a = to_jsonl(&sample_snapshot());
+        let b = to_jsonl(&sample_snapshot());
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n\n", to_jsonl(&sample_snapshot()));
         assert_eq!(from_jsonl(&text).unwrap().len(), 7);

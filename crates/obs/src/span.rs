@@ -26,6 +26,7 @@ impl WallSpan {
         Self {
             name: name.into(),
             label,
+            // zeiot-audit: allow(d2) -- WallSpan's purpose is host wall-clock profiling of the simulator itself; elapsed times land only in observability histograms, never in simulated state
             start: Instant::now(),
         }
     }

@@ -198,9 +198,11 @@ impl CollectionSchedule {
         topo: &Topology,
         tree: &CollectionTree,
     ) -> std::result::Result<(), String> {
-        // Precedence per packet.
-        use std::collections::HashMap;
-        let mut hop_slots: HashMap<(NodeId, NodeId), usize> = HashMap::new(); // (origin, from) -> slot
+        // Precedence per packet. BTreeMap keeps the (origin, from) →
+        // slot walk below in key order, so diagnostics are stable
+        // run-to-run (determinism contract rule d1).
+        use std::collections::BTreeMap;
+        let mut hop_slots: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new(); // (origin, from) -> slot
         for (s, txs) in self.slots.iter().enumerate() {
             for tx in txs {
                 hop_slots.insert((tx.origin, tx.from), s);
@@ -329,6 +331,25 @@ mod tests {
             schedule.round_duration(slot).as_millis(),
             2 * schedule.length() as u64
         );
+    }
+
+    #[test]
+    fn verify_reports_are_deterministic() {
+        // Rebuilding yields a byte-identical schedule (slot vectors are
+        // insertion-ordered, no hash iteration anywhere on the path)…
+        let (topo, tree) = grid_setup(0);
+        let a = CollectionSchedule::build(&topo, &tree, 2).unwrap();
+        let b = CollectionSchedule::build(&topo, &tree, 2).unwrap();
+        assert_eq!(a, b);
+        // …and a corrupted schedule with *many* violations reports the
+        // same first violation every time: the verifier walks its
+        // hop map in key order, not hash order.
+        let mut corrupt = a.clone();
+        corrupt.slots.reverse();
+        let first = corrupt.verify(&topo, &tree).unwrap_err();
+        for _ in 0..10 {
+            assert_eq!(corrupt.clone().verify(&topo, &tree).unwrap_err(), first);
+        }
     }
 
     #[test]

@@ -192,7 +192,9 @@ impl Shard {
 
     fn dispatch_batch(&mut self, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
         let start = self.free_at;
-        let (&head_key, _) = self.queue.iter().next().expect("non-empty queue");
+        let Some((&head_key, _)) = self.queue.iter().next() else {
+            return; // callers guard on a non-empty queue
+        };
         let tenant = head_key.1;
         // EDF head plus up to `batch - 1` more requests of the same
         // tenant, in EDF order.
@@ -203,14 +205,10 @@ impl Shard {
             .take(self.batch)
             .copied()
             .collect();
-        let batch: Vec<Request> = keys
-            .iter()
-            .map(|k| self.queue.remove(k).expect("key just listed"))
-            .collect();
-        *self
-            .queued_per_tenant
-            .get_mut(&tenant)
-            .expect("tenant has queued requests") -= batch.len();
+        let batch: Vec<Request> = keys.iter().filter_map(|k| self.queue.remove(k)).collect();
+        if let Some(queued) = self.queued_per_tenant.get_mut(&tenant) {
+            *queued = queued.saturating_sub(batch.len());
+        }
         let completion = start + self.batch_overhead + self.service_time * batch.len() as u64;
         self.free_at = completion;
         for req in batch {

@@ -88,7 +88,9 @@ impl TenantStats {
         }
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // total_cmp: a total order over f64, so the sort neither panics
+        // nor depends on NaN placement (determinism contract rule h1).
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }
