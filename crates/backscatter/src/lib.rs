@@ -42,8 +42,8 @@ pub mod phy;
 pub mod registry;
 
 pub use mac::{
-    simulate_observed, simulate_with_faults, simulate_with_faults_observed, MacConfig, MacFaults,
-    MacMode, MacReport,
+    simulate_observed, simulate_with_faults, simulate_with_faults_observed,
+    simulate_with_faults_traced, MacConfig, MacFaults, MacMode, MacReport,
 };
 pub use phy::BackscatterLink;
 pub use registry::{CycleRegistry, Registration};

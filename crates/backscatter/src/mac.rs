@@ -23,6 +23,7 @@ use zeiot_core::id::DeviceId;
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::{SimDuration, SimTime};
 use zeiot_fault::RecoveryPolicy;
+use zeiot_obs::trace::{SpanEvent, SpanLayer, Tracer};
 use zeiot_obs::{Label, Recorder, Severity};
 use zeiot_sim::{Context, Engine, World};
 
@@ -285,9 +286,22 @@ struct MacWorld<'a> {
     report: MacReport,
     deadline: SimTime,
     recorder: Option<&'a mut Recorder>,
+    tracer: Option<&'a mut Tracer>,
 }
 
 impl MacWorld<'_> {
+    /// Appends a MAC event to device `device`'s trace (one trace per
+    /// device, keyed `(device index, 0)`). Pure observation: no-op
+    /// without a tracer or when sampling dropped the device.
+    fn trace_event(&mut self, device: usize, at: SimTime, event: SpanEvent) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            let t = device as u64;
+            if let Some(root) = tr.root(t, 0) {
+                tr.event(t, 0, root, at, event);
+            }
+        }
+    }
+
     fn try_start_tx(&mut self, ctx: &mut Context<'_, Event>) {
         if self.channel_busy || ctx.now() >= self.deadline {
             return;
@@ -314,6 +328,7 @@ impl MacWorld<'_> {
                         rec.inc("mac.grants", label);
                         rec.inc("mac.dummy_frames", Label::Global);
                     }
+                    self.trace_event(device, ctx.now(), SpanEvent::Grant);
                     // Grant loss is rolled only under fault injection so
                     // the fault-free RNG stream is untouched.
                     let lost = self.faults.grant_loss_prob > 0.0
@@ -447,7 +462,9 @@ impl World for MacWorld<'_> {
                                         format!("{} tags collided on one frame", riders.len()),
                                     );
                                 }
+                                let tags = riders.len() as u64;
                                 for d in riders {
+                                    self.trace_event(d, ctx.now(), SpanEvent::Collision { tags });
                                     self.finish_sample(d, false);
                                 }
                             }
@@ -465,6 +482,7 @@ impl World for MacWorld<'_> {
                             let label = Label::device(self.config.devices[rider].device);
                             rec.inc("mac.grant_losses", label);
                         }
+                        self.trace_event(rider, ctx.now(), SpanEvent::Loss { drops: 1 });
                         let next_retry = self.retry_count[rider] + 1;
                         let scheduled = self
                             .faults
@@ -475,6 +493,11 @@ impl World for MacWorld<'_> {
                         if scheduled {
                             self.retry_count[rider] = next_retry;
                             self.report.grant_retries += 1;
+                            self.trace_event(
+                                rider,
+                                ctx.now(),
+                                SpanEvent::Retransmit { retries: 1 },
+                            );
                         } else {
                             self.report.grants_abandoned += 1;
                             self.finish_sample(rider, false);
@@ -535,7 +558,7 @@ pub fn simulate(
     duration: SimDuration,
     rng: &mut SeedRng,
 ) -> MacReport {
-    simulate_inner(config, mode, duration, rng, &MacFaults::none(), None)
+    simulate_inner(config, mode, duration, rng, &MacFaults::none(), None, None)
 }
 
 /// Like [`simulate`], under fault injection: grants can be missed by the
@@ -556,7 +579,7 @@ pub fn simulate_with_faults(
     rng: &mut SeedRng,
     faults: &MacFaults,
 ) -> MacReport {
-    simulate_inner(config, mode, duration, rng, faults, None)
+    simulate_inner(config, mode, duration, rng, faults, None, None)
 }
 
 /// [`simulate_with_faults`] with observability: the counters of
@@ -575,7 +598,30 @@ pub fn simulate_with_faults_observed(
     faults: &MacFaults,
     recorder: &mut Recorder,
 ) -> MacReport {
-    simulate_inner(config, mode, duration, rng, faults, Some(recorder))
+    simulate_inner(config, mode, duration, rng, faults, Some(recorder), None)
+}
+
+/// [`simulate_with_faults`] with causal tracing: each device grows one
+/// trace (keyed `(device index, 0)`, rooted at a [`SpanLayer::Mac`]
+/// span spanning the run) annotated with [`SpanEvent::Grant`] per dummy
+/// carrier, [`SpanEvent::Collision`] per shared frame,
+/// [`SpanEvent::Loss`] per missed grant, and [`SpanEvent::Retransmit`]
+/// per re-queued grant. The report is byte-identical to an untraced run
+/// at the same seed.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_with_faults`].
+pub fn simulate_with_faults_traced(
+    config: &MacConfig,
+    mode: MacMode,
+    duration: SimDuration,
+    rng: &mut SeedRng,
+    faults: &MacFaults,
+    recorder: Option<&mut Recorder>,
+    tracer: &mut Tracer,
+) -> MacReport {
+    simulate_inner(config, mode, duration, rng, faults, recorder, Some(tracer))
 }
 
 /// Like [`simulate`], additionally recording observability metrics into
@@ -601,6 +647,7 @@ pub fn simulate_observed(
         rng,
         &MacFaults::none(),
         Some(recorder),
+        None,
     )
 }
 
@@ -611,11 +658,18 @@ fn simulate_inner(
     rng: &mut SeedRng,
     faults: &MacFaults,
     recorder: Option<&mut Recorder>,
+    mut tracer: Option<&mut Tracer>,
 ) -> MacReport {
     config.validate().expect("invalid MAC config");
     faults.validate().expect("invalid MAC fault config");
     assert!(!config.devices.is_empty(), "need at least one device");
     let n = config.devices.len();
+    // One trace per device, rooted at a Mac-layer span covering the run.
+    if let Some(tr) = tracer.as_deref_mut() {
+        for i in 0..n {
+            let _ = tr.begin(i as u64, 0, "mac.device", SpanLayer::Mac, SimTime::ZERO);
+        }
+    }
     // Initial cycle registration (uncounted: it predates the run).
     let mut registry = fresh_registry(config);
     for reg in &config.devices {
@@ -636,6 +690,7 @@ fn simulate_inner(
         report: MacReport::default(),
         deadline: SimTime::ZERO + duration,
         recorder,
+        tracer,
     };
     let mut engine = Engine::new(world);
     engine.schedule_at(SimTime::ZERO, Event::WlanArrival);
@@ -648,7 +703,13 @@ fn simulate_inner(
         engine.schedule_at(SimTime::ZERO + interval, Event::ApReset);
     }
     engine.run_until(SimTime::ZERO + duration + SimDuration::from_secs(1));
-    let mut report = engine.into_world().report;
+    let mut world = engine.into_world();
+    if let Some(tr) = world.tracer.as_deref_mut() {
+        for i in 0..n {
+            tr.finish(i as u64, 0, SimTime::ZERO + duration);
+        }
+    }
+    let mut report = world.report;
     report.duration = duration;
     report
 }
@@ -994,6 +1055,86 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traced_run_is_pure_observation_and_annotates_devices() {
+        use zeiot_obs::trace::{SpanEvent, TraceSampler, Tracer};
+        let config = MacConfig::default_with_devices(10).unwrap();
+        let faults = MacFaults {
+            grant_loss_prob: 0.3,
+            recovery: RecoveryPolicy::Retransmit {
+                max_retries: 4,
+                timeout: SimDuration::from_millis(10),
+                backoff: 2.0,
+            },
+            ap_reset_interval: None,
+        };
+        let mut rng = SeedRng::new(13);
+        let plain = simulate_with_faults(
+            &config,
+            MacMode::Scheduled,
+            SimDuration::from_secs(20),
+            &mut rng,
+            &faults,
+        );
+        let mut rng = SeedRng::new(13);
+        let mut tracer = Tracer::new(TraceSampler::always());
+        let traced = simulate_with_faults_traced(
+            &config,
+            MacMode::Scheduled,
+            SimDuration::from_secs(20),
+            &mut rng,
+            &faults,
+            None,
+            &mut tracer,
+        );
+        assert_eq!(plain, traced, "tracing must not perturb the MAC");
+        let traces = tracer.take_finished();
+        assert_eq!(traces.len(), config.devices.len());
+        let count = |pick: fn(&SpanEvent) -> u64| -> u64 {
+            traces
+                .iter()
+                .flat_map(|t| t.spans.iter())
+                .flat_map(|s| s.events.iter())
+                .map(|e| pick(&e.event))
+                .sum()
+        };
+        let grants = count(|e| u64::from(matches!(e, SpanEvent::Grant)));
+        let losses = count(|e| match e {
+            SpanEvent::Loss { drops } => *drops,
+            _ => 0,
+        });
+        let retries = count(|e| match e {
+            SpanEvent::Retransmit { retries } => *retries,
+            _ => 0,
+        });
+        assert_eq!(grants, traced.dummy_frames);
+        assert_eq!(losses, traced.grant_losses);
+        assert_eq!(retries, traced.grant_retries);
+    }
+
+    #[test]
+    fn traced_naive_run_records_collisions() {
+        use zeiot_obs::trace::{SpanEvent, TraceSampler, Tracer};
+        let config = MacConfig::default_with_devices(40).unwrap();
+        let mut rng = SeedRng::new(9);
+        let mut tracer = Tracer::new(TraceSampler::always());
+        let _ = simulate_with_faults_traced(
+            &config,
+            MacMode::Naive,
+            SimDuration::from_secs(10),
+            &mut rng,
+            &MacFaults::none(),
+            None,
+            &mut tracer,
+        );
+        let traces = tracer.take_finished();
+        assert!(traces
+            .iter()
+            .flat_map(|t| t.spans.iter())
+            .flat_map(|s| s.events.iter())
+            .any(|e| matches!(e.event, SpanEvent::Collision { tags } if tags >= 2)));
     }
 
     #[test]

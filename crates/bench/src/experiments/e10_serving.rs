@@ -228,8 +228,9 @@ fn tenant_specs(load_scale: f64) -> Vec<TenantSpec> {
         .collect()
 }
 
-/// Synthetic two-class 8×8 intensity data (E9's generator).
-fn generate_data(samples_per_class: usize, rng: &mut SeedRng) -> Vec<(Tensor, usize)> {
+/// Synthetic two-class 8×8 intensity data (E9's generator; shared with
+/// E11).
+pub(crate) fn generate_data(samples_per_class: usize, rng: &mut SeedRng) -> Vec<(Tensor, usize)> {
     let mut data = Vec::with_capacity(samples_per_class * 2);
     for _ in 0..samples_per_class {
         for class in 0..2usize {

@@ -231,7 +231,20 @@ impl SeedRng {
 }
 
 /// The splitmix64 finalizer: a full-avalanche bijection on `u64`.
-fn splitmix64(x: u64) -> u64 {
+///
+/// Exported because other deterministic derivations in the workspace
+/// (sweep-point seeding here, trace-id derivation and trace sampling in
+/// `zeiot-obs`) want the same well-studied mixer rather than each
+/// inventing an ad-hoc hash.
+///
+/// # Example
+///
+/// ```
+/// use zeiot_core::rng::splitmix64;
+/// assert_eq!(splitmix64(7), splitmix64(7)); // pure function
+/// assert_ne!(splitmix64(7), splitmix64(8)); // full avalanche
+/// ```
+pub fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);

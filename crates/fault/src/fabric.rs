@@ -97,6 +97,27 @@ impl FaultStats {
         self.sent as f64 / offered as f64
     }
 
+    /// The counter deltas accumulated since `earlier` (an older copy of
+    /// the same stats) — how per-hop tracing brackets a burst of
+    /// fetches: copy the stats before, subtract after. Saturating, so a
+    /// mismatched pair degrades to zeros instead of wrapping.
+    pub fn delta_since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            sent: self.sent.saturating_sub(earlier.sent),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            drops: self.drops.saturating_sub(earlier.drops),
+            retries: self.retries.saturating_sub(earlier.retries),
+            corrupted: self.corrupted.saturating_sub(earlier.corrupted),
+            failed: self.failed.saturating_sub(earlier.failed),
+            degraded: self.degraded.saturating_sub(earlier.degraded),
+            recovered: self.recovered.saturating_sub(earlier.recovered),
+            recovery_latency_hops: self
+                .recovery_latency_hops
+                .saturating_sub(earlier.recovery_latency_hops),
+            aborted: self.aborted.saturating_sub(earlier.aborted),
+        }
+    }
+
     /// Adds `other` into `self`.
     pub fn merge(&mut self, other: &FaultStats) {
         self.sent += other.sent;
@@ -285,6 +306,29 @@ mod tests {
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
+    }
+
+    #[test]
+    fn delta_since_inverts_merge() {
+        let before = FaultStats {
+            sent: 10,
+            delivered: 8,
+            drops: 2,
+            retries: 1,
+            ..FaultStats::default()
+        };
+        let burst = FaultStats {
+            sent: 5,
+            delivered: 4,
+            drops: 1,
+            degraded: 1,
+            ..FaultStats::default()
+        };
+        let mut after = before;
+        after.merge(&burst);
+        assert_eq!(after.delta_since(&before), burst);
+        // A mismatched pair saturates to zeros instead of wrapping.
+        assert_eq!(before.delta_since(&after), FaultStats::default());
     }
 
     fn retransmit(max_retries: u32) -> RecoveryPolicy {

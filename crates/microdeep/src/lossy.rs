@@ -43,6 +43,7 @@ use zeiot_net::routing::RoutingTable;
 use zeiot_net::topology::Topology;
 use zeiot_nn::loss::cross_entropy;
 use zeiot_nn::tensor::Tensor;
+use zeiot_obs::trace::{ClockDomain, SpanEvent, SpanLayer, SpanScope};
 use zeiot_obs::{Label, Recorder};
 
 /// Edge stages, used to key last-value-hold state.
@@ -189,6 +190,52 @@ impl LossyRuntime {
     }
 }
 
+/// Brackets one consumer unit's burst of cross-node fetches: fault
+/// counters and fabric clock copied before, deltas turned into a hop
+/// span after. If the burst aborts mid-way (`?`) the probe is simply
+/// dropped — no span, matching "the unit never finished pulling".
+struct HopProbe {
+    before: FaultStats,
+    t0: zeiot_core::time::SimTime,
+}
+
+impl HopProbe {
+    fn open(rt: &LossyRuntime) -> Self {
+        Self {
+            before: *rt.stats(),
+            t0: rt.fabric.now(),
+        }
+    }
+
+    /// Emits a fabric-clock hop span under `scope` if the unit actually
+    /// pulled any cross-node message (colocated fetches are free and
+    /// leave no span).
+    fn close(self, rt: &LossyRuntime, scope: &mut SpanScope<'_>, name: &'static str) {
+        let d = rt.stats().delta_since(&self.before);
+        if d.sent == 0 {
+            return;
+        }
+        let t1 = rt.fabric.now();
+        let span = scope.push_span(SpanLayer::Hop, name, ClockDomain::Fabric, self.t0, t1);
+        scope.event(span, t1, SpanEvent::Messages { sent: d.sent });
+        if d.drops > 0 {
+            scope.event(span, t1, SpanEvent::Loss { drops: d.drops });
+        }
+        if d.retries > 0 {
+            scope.event(span, t1, SpanEvent::Retransmit { retries: d.retries });
+        }
+        if d.degraded + d.corrupted > 0 {
+            scope.event(
+                span,
+                t1,
+                SpanEvent::Degraded {
+                    substituted: d.degraded + d.corrupted,
+                },
+            );
+        }
+    }
+}
+
 impl DistributedCnn {
     /// Forward pass through a lossy fabric. Returns `None` when a lost
     /// message aborts the inference (fail-fast, or retransmission
@@ -201,6 +248,27 @@ impl DistributedCnn {
     ///
     /// Panics if the input shape disagrees with the config.
     pub fn forward_lossy(&mut self, input: &Tensor, rt: &mut LossyRuntime) -> Option<Tensor> {
+        self.forward_lossy_traced(input, rt, None)
+    }
+
+    /// [`DistributedCnn::forward_lossy`] with per-unit hop spans pushed
+    /// under `scope` (when given): every consumer unit that pulls at
+    /// least one cross-node message contributes a fabric-clock
+    /// [`SpanLayer::Hop`] span (`hop.conv`, `hop.pool`, `hop.hidden`,
+    /// `hop.logit`) annotated with message/loss/retransmit/degrade
+    /// counts. With `scope = None` this **is** `forward_lossy` — the
+    /// probes are never opened, so the untraced path is unchanged
+    /// byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape disagrees with the config.
+    pub fn forward_lossy_traced(
+        &mut self,
+        input: &Tensor,
+        rt: &mut LossyRuntime,
+        mut scope: Option<&mut SpanScope<'_>>,
+    ) -> Option<Tensor> {
         let c = self.config;
         assert_eq!(
             input.shape(),
@@ -235,6 +303,7 @@ impl DistributedCnn {
                             )
                         }
                     };
+                    let probe = scope.is_some().then(|| HopProbe::open(rt));
                     let mut acc = bias;
                     let mut w_off = 0;
                     for icn in 0..c.in_channels() {
@@ -250,6 +319,9 @@ impl DistributedCnn {
                                 w_off += 1;
                             }
                         }
+                    }
+                    if let (Some(s), Some(p)) = (scope.as_mut(), probe) {
+                        p.close(rt, s, "hop.conv");
                     }
                     conv[unit] = acc;
                 }
@@ -268,6 +340,7 @@ impl DistributedCnn {
                 for px in 0..pw {
                     let punit = ch * ph * pw + py * pw + px;
                     let dst = self.assignment.host_of(2, punit);
+                    let probe = scope.is_some().then(|| HopProbe::open(rt));
                     let mut best = f32::NEG_INFINITY;
                     let mut best_off = 0;
                     for ky in 0..p {
@@ -282,6 +355,9 @@ impl DistributedCnn {
                                 best_off = off;
                             }
                         }
+                    }
+                    if let (Some(s), Some(p)) = (scope.as_mut(), probe) {
+                        p.close(rt, s, "hop.pool");
                     }
                     pooled[punit] = best;
                     argmax[punit] = best_off;
@@ -300,10 +376,14 @@ impl DistributedCnn {
         for (h, slot) in hidden_pre.iter_mut().enumerate() {
             let dst = self.assignment.host_of(3, h);
             let row = &self.dense1.weights.data()[h * feature_len..(h + 1) * feature_len];
+            let probe = scope.is_some().then(|| HopProbe::open(rt));
             let mut received = Vec::with_capacity(feature_len);
             for (i, &v) in pooled.iter().enumerate() {
                 let src = self.assignment.host_of(2, i);
                 received.push(rt.fetch(v, src, dst, STAGE_POOL_HIDDEN, i, h)?);
+            }
+            if let (Some(s), Some(p)) = (scope.as_mut(), probe) {
+                p.close(rt, s, "hop.hidden");
             }
             let dot: f32 = row.iter().zip(&received).map(|(w, v)| w * v).sum();
             *slot = self.dense1.bias.data()[h] + dot;
@@ -317,10 +397,14 @@ impl DistributedCnn {
         for (o, slot) in logits.iter_mut().enumerate() {
             let dst = self.assignment.host_of(4, o);
             let row = &self.dense2.weights.data()[o * c.hidden()..(o + 1) * c.hidden()];
+            let probe = scope.is_some().then(|| HopProbe::open(rt));
             let mut received = Vec::with_capacity(c.hidden());
             for (h, &v) in hidden.iter().enumerate() {
                 let src = self.assignment.host_of(3, h);
                 received.push(rt.fetch(v, src, dst, STAGE_HIDDEN_LOGIT, h, o)?);
+            }
+            if let (Some(s), Some(p)) = (scope.as_mut(), probe) {
+                p.close(rt, s, "hop.logit");
             }
             let dot: f32 = row.iter().zip(&received).map(|(w, v)| w * v).sum();
             *slot = self.dense2.bias.data()[o] + dot;
@@ -718,6 +802,56 @@ mod tests {
         let out = net.forward_lossy(&data[0].0, &mut rt);
         assert!(out.is_some());
         assert!(rt.stats().degraded > 0, "center node exchanges messages");
+    }
+
+    #[test]
+    fn traced_forward_matches_untraced_and_emits_hop_spans() {
+        use zeiot_core::time::SimTime;
+        use zeiot_obs::trace::{TraceSampler, Tracer};
+        let (mut a, data, topo) = small_setup(WeightUpdate::Independent, 14);
+        let (mut b, _, _) = small_setup(WeightUpdate::Independent, 14);
+        let mk = || {
+            runtime(
+                FaultPlan::uniform(7, 0.1).unwrap(),
+                RecoveryPolicy::Degrade {
+                    mode: DegradeMode::ZeroFill,
+                },
+                &topo,
+            )
+        };
+        let (mut rt_a, mut rt_b) = (mk(), mk());
+        let mut tracer = Tracer::new(TraceSampler::always());
+        let root = tracer
+            .begin(0, 0, "serve.request", SpanLayer::Request, SimTime::ZERO)
+            .unwrap();
+        let mut scope = tracer.scope(0, 0, root).unwrap();
+        let plain = a.forward_lossy(&data[0].0, &mut rt_a).unwrap();
+        let traced = b
+            .forward_lossy_traced(&data[0].0, &mut rt_b, Some(&mut scope))
+            .unwrap();
+        // Probes observe, never perturb: outputs and fault counters are
+        // byte-identical with and without tracing.
+        assert_eq!(plain.data(), traced.data());
+        assert_eq!(*rt_a.stats(), *rt_b.stats());
+        tracer.finish(0, 0, SimTime::ZERO);
+        let trace = tracer.take_finished().remove(0);
+        let hop_spans: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.layer == SpanLayer::Hop)
+            .collect();
+        assert!(!hop_spans.is_empty(), "cross-node fetches must leave spans");
+        assert!(hop_spans.iter().all(|s| s.clock == ClockDomain::Fabric));
+        // Every fabric transmission attempt is accounted to some hop span.
+        let span_messages: u64 = hop_spans
+            .iter()
+            .flat_map(|s| &s.events)
+            .map(|e| match e.event {
+                SpanEvent::Messages { sent } => sent,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(span_messages, rt_b.stats().sent);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! `trace-report`: offline analysis of a trace JSONL dump.
+//!
+//! ```text
+//! trace-report <traces.jsonl> [--top N]
+//! ```
+//!
+//! Prints a flame-style per-layer self-time rollup and a critical-path
+//! summary (the most frequent root-to-leaf serve-clock chains, with the
+//! slowest individual request per chain). Reads only the dump — no
+//! clocks, no randomness — so the report is a pure function of its
+//! input.
+
+use std::process::ExitCode;
+use zeiot_obs::analysis::{attribution, critical_path, LayerRollup};
+use zeiot_obs::trace::{traces_from_jsonl, SpanLayer, Trace};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace-report <traces.jsonl> [--top N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut top = 5usize;
+    if let Some(pos) = args.iter().position(|a| a == "--top") {
+        if pos + 1 >= args.len() {
+            return usage();
+        }
+        match args[pos + 1].parse() {
+            Ok(n) => top = n,
+            Err(_) => return usage(),
+        }
+        args.drain(pos..=pos + 1);
+    }
+    if args.len() != 1 || args[0].starts_with("--") {
+        return usage();
+    }
+    let text = match std::fs::read_to_string(&args[0]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {}: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let traces = match traces_from_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: {}: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report(&traces, top));
+    ExitCode::SUCCESS
+}
+
+/// Renders the full report (pure, unit-testable).
+fn report(traces: &[Trace], top: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let rollup = LayerRollup::of(traces);
+    let _ = writeln!(out, "traces: {}", rollup.traces);
+    let total_spans: u64 = rollup.spans.iter().sum();
+    let _ = writeln!(out, "spans:  {total_spans}");
+    let serve_total: f64 = rollup.self_time.iter().map(|d| d.as_secs_f64()).sum();
+    let _ = writeln!(out, "\nper-layer self time (serve clock):");
+    for (i, layer) in SpanLayer::all().iter().enumerate() {
+        if rollup.spans[i] == 0 {
+            continue;
+        }
+        let secs = rollup.self_time[i].as_secs_f64();
+        let share = if serve_total > 0.0 {
+            100.0 * secs / serve_total
+        } else {
+            0.0
+        };
+        let bar = "#".repeat((share / 5.0).round() as usize);
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>10.6}s {:>5.1}% {:>6} spans  {bar}",
+            layer.metric_suffix(),
+            secs,
+            share,
+            rollup.spans[i],
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nfabric: {} hop messages, {:.6}s retransmit backoff (fabric clock)",
+        rollup.hop_messages,
+        rollup.retransmit.as_secs_f64()
+    );
+
+    // Critical-path signatures: group traces by the name chain that
+    // bounded their completion.
+    let mut chains: std::collections::BTreeMap<String, (u64, f64, (u64, u64))> =
+        std::collections::BTreeMap::new();
+    for trace in traces {
+        let path = critical_path(trace);
+        if path.is_empty() {
+            continue;
+        }
+        let sig = path
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let latency = attribution(trace).total().as_secs_f64();
+        let entry = chains.entry(sig).or_insert((0, 0.0, (0, 0)));
+        entry.0 += 1;
+        if latency >= entry.1 {
+            entry.1 = latency;
+            entry.2 = (trace.tenant, trace.seq);
+        }
+    }
+    let mut ranked: Vec<_> = chains.iter().collect();
+    ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(b.0)));
+    let _ = writeln!(out, "\ncritical paths (top {top} by frequency):");
+    for (sig, (count, worst, (tenant, seq))) in ranked.into_iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {count:>6}x  worst {worst:.6}s (tenant {tenant}, seq {seq})  {sig}"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeiot_core::time::SimTime;
+    use zeiot_obs::trace::{ClockDomain, SpanEvent, TraceSampler, Tracer};
+
+    fn sample_traces() -> Vec<Trace> {
+        let mut tracer = Tracer::new(TraceSampler::always());
+        for seq in 0..3u64 {
+            let root = tracer
+                .begin(
+                    0,
+                    seq,
+                    "serve.request",
+                    SpanLayer::Request,
+                    SimTime::from_millis(seq * 10),
+                )
+                .unwrap();
+            tracer
+                .push_span(
+                    0,
+                    seq,
+                    root,
+                    SpanLayer::Queue,
+                    "serve.queue",
+                    ClockDomain::Serve,
+                    SimTime::from_millis(seq * 10),
+                    SimTime::from_millis(seq * 10 + 5),
+                )
+                .unwrap();
+            let mut scope = tracer.scope(0, seq, root).unwrap();
+            let hop = scope.push_span(
+                SpanLayer::Hop,
+                "hop.conv",
+                ClockDomain::Fabric,
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+            );
+            scope.event(
+                hop,
+                SimTime::from_millis(1),
+                SpanEvent::Messages { sent: 4 },
+            );
+            tracer.finish(0, seq, SimTime::from_millis(seq * 10 + 20));
+        }
+        tracer.take_finished()
+    }
+
+    #[test]
+    fn report_is_a_pure_function_of_the_traces() {
+        let traces = sample_traces();
+        let a = report(&traces, 5);
+        let b = report(&traces, 5);
+        assert_eq!(a, b);
+        assert!(a.contains("traces: 3"));
+        assert!(a.contains("12 hop messages"));
+        assert!(a.contains("serve.request -> serve.queue"));
+    }
+
+    #[test]
+    fn empty_dump_reports_zero_traces() {
+        let text = report(&[], 5);
+        assert!(text.contains("traces: 0"));
+    }
+}

@@ -23,6 +23,43 @@ use std::path::Path;
 use zeiot_core::time::SimTime;
 use zeiot_sim::metrics::HistogramSummary;
 
+/// Typed parse failure for JSONL dumps: names the 1-based line that was
+/// truncated or garbage, so analysis tooling can report (not panic on)
+/// corrupted dumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError {
+    line: usize,
+    message: String,
+}
+
+impl JsonlError {
+    /// Wraps a serde failure with its 1-based line number.
+    pub fn at_line(line: usize, cause: &dyn std::fmt::Display) -> Self {
+        Self {
+            line,
+            message: cause.to_string(),
+        }
+    }
+
+    /// The 1-based line number of the malformed line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The underlying parser message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jsonl line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
 /// One line of a JSONL metrics dump.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum JsonlRecord {
@@ -134,14 +171,23 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
 }
 
 /// Parses a JSONL dump back into records. Blank lines are skipped.
-pub fn from_jsonl(text: &str) -> Result<Vec<JsonlRecord>, serde_json::Error> {
+///
+/// # Errors
+///
+/// Returns a [`JsonlError`] naming the first truncated or garbage line.
+pub fn from_jsonl(text: &str) -> Result<Vec<JsonlRecord>, JsonlError> {
     text.lines()
-        .filter(|line| !line.trim().is_empty())
-        .map(serde_json::from_str)
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| serde_json::from_str(line).map_err(|e| JsonlError::at_line(i + 1, &e)))
         .collect()
 }
 
 /// Writes a snapshot's JSONL dump to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
 pub fn write_jsonl(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(to_jsonl(snapshot).as_bytes())
@@ -206,5 +252,15 @@ mod tests {
     #[test]
     fn malformed_line_is_an_error() {
         assert!(from_jsonl("{\"Counter\":").is_err());
+    }
+
+    #[test]
+    fn malformed_line_error_carries_the_line_number() {
+        let good = to_jsonl(&sample_snapshot());
+        let text = format!("{good}garbage not json\n");
+        let err = from_jsonl(&text).unwrap_err();
+        assert_eq!(err.line(), good.lines().count() + 1);
+        assert!(err.to_string().starts_with("jsonl line"));
+        assert!(!err.message().is_empty());
     }
 }

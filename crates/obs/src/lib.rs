@@ -10,16 +10,25 @@
 //! [`DeviceId`](zeiot_core::id::DeviceId), a named part, or the global
 //! scope.
 
+pub mod analysis;
 pub mod jsonl;
 pub mod label;
 pub mod probe;
 pub mod recorder;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
-pub use jsonl::{from_jsonl, to_jsonl, write_jsonl, JsonlRecord};
+pub use analysis::{attribution, critical_path, Attribution, CriticalStep, LayerRollup};
+pub use jsonl::{from_jsonl, to_jsonl, write_jsonl, JsonlError, JsonlRecord};
 pub use label::Label;
 pub use probe::{EngineProbe, EventClassifier};
 pub use recorder::{Recorder, Severity, TraceEvent};
+pub use slo::{evaluate_all, SloBreach, SloObjective, SloSpec};
 pub use snapshot::{CounterEntry, GaugeEntry, HistogramEntry, SeriesEntry, Snapshot, TraceEntry};
 pub use span::{SimSpan, WallSpan};
+pub use trace::{
+    traces_from_jsonl, traces_to_jsonl, write_traces_jsonl, ClockDomain, Span, SpanEvent, SpanId,
+    SpanLayer, SpanScope, Trace, TraceId, TraceSampler, Tracer,
+};

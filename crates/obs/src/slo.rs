@@ -1,0 +1,288 @@
+//! Declarative service-level objectives with virtual-time burn-rate
+//! windows.
+//!
+//! An [`SloSpec`] names a target — p99 latency, deadline-miss rate, or
+//! shed rate — a scope ([`Label`]), an evaluation window, and a **burn
+//! threshold**. Evaluation runs over per-window [`Snapshot`]s (each
+//! covering exactly one window of virtual time, not cumulative): for
+//! each window the observed value is divided by the target to get a
+//! *burn rate* — 1.0 means consuming error budget exactly as fast as
+//! the objective allows, 2.0 means twice as fast. A window whose burn
+//! rate reaches the spec's threshold emits a structured [`SloBreach`].
+//!
+//! Everything is pure arithmetic over snapshots on the virtual clock,
+//! so breach streams are byte-reproducible across runs and thread
+//! counts.
+
+use crate::label::Label;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use zeiot_core::time::{SimDuration, SimTime};
+
+/// What an [`SloSpec`] constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SloObjective {
+    /// Window p99 of the `serve.latency` histogram must stay at or
+    /// below `target` seconds.
+    P99LatencySecs {
+        /// Latency ceiling in seconds.
+        target: f64,
+    },
+    /// `serve.deadline_miss / serve.served` per window must stay at or
+    /// below `target`.
+    DeadlineMissRate {
+        /// Allowed miss fraction in `[0, 1]`.
+        target: f64,
+    },
+    /// Shed requests over offered requests per window must stay at or
+    /// below `target`.
+    ShedRate {
+        /// Allowed shed fraction in `[0, 1]`.
+        target: f64,
+    },
+}
+
+impl SloObjective {
+    /// The target value of the objective.
+    pub fn target(&self) -> f64 {
+        match *self {
+            SloObjective::P99LatencySecs { target }
+            | SloObjective::DeadlineMissRate { target }
+            | SloObjective::ShedRate { target } => target,
+        }
+    }
+
+    /// Stable kind tag for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SloObjective::P99LatencySecs { .. } => "p99_latency_secs",
+            SloObjective::DeadlineMissRate { .. } => "deadline_miss_rate",
+            SloObjective::ShedRate { .. } => "shed_rate",
+        }
+    }
+}
+
+/// A declarative SLO: objective + scope + burn-rate window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Spec name, carried into breach events.
+    pub name: String,
+    /// Scope: a specific label, or [`Label::Global`] to aggregate
+    /// counters across all labels (p99 objectives then require a
+    /// `Global`-labeled histogram).
+    pub scope: Label,
+    /// The objective and its target.
+    pub objective: SloObjective,
+    /// Virtual-time width each snapshot window covers (metadata for
+    /// reports; the caller windows the snapshots).
+    pub window: SimDuration,
+    /// Burn rate at or above which a window breaches (1.0 = budget
+    /// consumed exactly at the allowed rate).
+    pub burn_threshold: f64,
+}
+
+/// One window whose burn rate reached the spec's threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBreach {
+    /// Name of the breached spec.
+    pub spec: String,
+    /// Objective kind tag.
+    pub objective: String,
+    /// End of the breaching window (virtual time).
+    pub window_end: SimTime,
+    /// Observed value in the window.
+    pub observed: f64,
+    /// The spec's target.
+    pub target: f64,
+    /// `observed / target`.
+    pub burn_rate: f64,
+}
+
+fn counter(snapshot: &Snapshot, name: &str, scope: &Label) -> u64 {
+    match scope {
+        Label::Global => snapshot.counter_total(name),
+        other => snapshot.counter_value(name, other),
+    }
+}
+
+fn shed_total(snapshot: &Snapshot, scope: &Label) -> u64 {
+    counter(snapshot, "serve.shed.shard_queue_full", scope)
+        + counter(snapshot, "serve.shed.tenant_limit", scope)
+}
+
+impl SloSpec {
+    /// The observed value of this spec's objective in one window
+    /// snapshot, or `None` when the window has no eligible traffic
+    /// (no served requests for latency/miss objectives, nothing
+    /// offered for shed objectives).
+    pub fn observe(&self, snapshot: &Snapshot) -> Option<f64> {
+        match self.objective {
+            SloObjective::P99LatencySecs { .. } => snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == "serve.latency" && h.label == self.scope)
+                .map(|h| h.summary.p99),
+            SloObjective::DeadlineMissRate { .. } => {
+                let served = counter(snapshot, "serve.served", &self.scope);
+                if served == 0 {
+                    return None;
+                }
+                let missed = counter(snapshot, "serve.deadline_miss", &self.scope);
+                Some(missed as f64 / served as f64)
+            }
+            SloObjective::ShedRate { .. } => {
+                let offered = counter(snapshot, "serve.offered", &self.scope);
+                if offered == 0 {
+                    return None;
+                }
+                Some(shed_total(snapshot, &self.scope) as f64 / offered as f64)
+            }
+        }
+    }
+
+    /// Evaluates the spec over per-window snapshots (each paired with
+    /// its window-end virtual time), returning one [`SloBreach`] per
+    /// window whose burn rate reaches the threshold.
+    ///
+    /// A zero or negative target treats **any** nonzero observation as
+    /// an immediate breach (infinite burn is reported as
+    /// `observed / f64::MIN_POSITIVE`-free: burn is set to
+    /// `f64::INFINITY`).
+    pub fn evaluate(&self, windows: &[(SimTime, Snapshot)]) -> Vec<SloBreach> {
+        let mut out = Vec::new();
+        for (end, snapshot) in windows {
+            let Some(observed) = self.observe(snapshot) else {
+                continue;
+            };
+            let target = self.objective.target();
+            let burn = if target > 0.0 {
+                observed / target
+            } else if observed > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            if burn >= self.burn_threshold {
+                out.push(SloBreach {
+                    spec: self.name.clone(),
+                    objective: self.objective.kind().to_string(),
+                    window_end: *end,
+                    observed,
+                    target,
+                    burn_rate: burn,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates many specs over the same windows, breaches ordered by
+/// (spec order, window order) — deterministic for a fixed input.
+pub fn evaluate_all(specs: &[SloSpec], windows: &[(SimTime, Snapshot)]) -> Vec<SloBreach> {
+    specs.iter().flat_map(|s| s.evaluate(windows)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn window(served: u64, missed: u64, offered: u64, shed: u64, p99: f64) -> Snapshot {
+        let mut rec = Recorder::new();
+        let label = Label::part("motion");
+        rec.add("serve.served", label.clone(), served);
+        rec.add("serve.deadline_miss", label.clone(), missed);
+        rec.add("serve.offered", label.clone(), offered);
+        rec.add("serve.shed.shard_queue_full", label.clone(), shed);
+        for _ in 0..served.max(1) {
+            rec.observe("serve.latency", label.clone(), p99);
+        }
+        rec.snapshot()
+    }
+
+    fn spec(objective: SloObjective, burn_threshold: f64) -> SloSpec {
+        SloSpec {
+            name: "motion-slo".into(),
+            scope: Label::part("motion"),
+            objective,
+            window: SimDuration::from_secs(1),
+            burn_threshold,
+        }
+    }
+
+    #[test]
+    fn miss_rate_burn_breaches_only_hot_windows() {
+        let s = spec(SloObjective::DeadlineMissRate { target: 0.05 }, 2.0);
+        let windows = vec![
+            (SimTime::from_secs(1), window(100, 2, 100, 0, 0.1)), // burn 0.4
+            (SimTime::from_secs(2), window(100, 20, 100, 0, 0.1)), // burn 4.0
+            (SimTime::from_secs(3), window(0, 0, 0, 0, 0.0)),     // idle: skipped
+        ];
+        let breaches = s.evaluate(&windows);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].window_end, SimTime::from_secs(2));
+        assert!((breaches[0].burn_rate - 4.0).abs() < 1e-12);
+        assert_eq!(breaches[0].objective, "deadline_miss_rate");
+    }
+
+    #[test]
+    fn shed_rate_uses_offered_as_denominator() {
+        let s = spec(SloObjective::ShedRate { target: 0.01 }, 1.0);
+        let windows = vec![(SimTime::from_secs(1), window(95, 0, 100, 5, 0.1))];
+        let breaches = s.evaluate(&windows);
+        assert_eq!(breaches.len(), 1);
+        assert!((breaches[0].observed - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_objective_reads_the_window_histogram() {
+        let s = spec(SloObjective::P99LatencySecs { target: 0.25 }, 1.0);
+        let ok = vec![(SimTime::from_secs(1), window(10, 0, 10, 0, 0.2))];
+        assert!(s.evaluate(&ok).is_empty());
+        let slow = vec![(SimTime::from_secs(1), window(10, 0, 10, 0, 0.5))];
+        let breaches = s.evaluate(&slow);
+        assert_eq!(breaches.len(), 1);
+        assert!((breaches[0].burn_rate - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_scope_aggregates_counters_across_labels() {
+        let mut rec = Recorder::new();
+        rec.add("serve.served", Label::part("a"), 50);
+        rec.add("serve.served", Label::part("b"), 50);
+        rec.add("serve.deadline_miss", Label::part("b"), 10);
+        let s = SloSpec {
+            name: "fleet".into(),
+            scope: Label::Global,
+            objective: SloObjective::DeadlineMissRate { target: 0.05 },
+            window: SimDuration::from_secs(1),
+            burn_threshold: 1.0,
+        };
+        let breaches = s.evaluate(&[(SimTime::from_secs(1), rec.snapshot())]);
+        assert_eq!(breaches.len(), 1);
+        assert!((breaches[0].observed - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_is_reproducible() {
+        let s = spec(SloObjective::DeadlineMissRate { target: 0.05 }, 1.0);
+        let windows = vec![
+            (SimTime::from_secs(1), window(100, 30, 100, 0, 0.1)),
+            (SimTime::from_secs(2), window(100, 7, 100, 0, 0.1)),
+        ];
+        let a = s.evaluate(&windows);
+        let b = s.evaluate(&windows);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn zero_target_breaches_on_any_violation() {
+        let s = spec(SloObjective::DeadlineMissRate { target: 0.0 }, 1.0);
+        let windows = vec![(SimTime::from_secs(1), window(100, 1, 100, 0, 0.1))];
+        let breaches = s.evaluate(&windows);
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].burn_rate.is_infinite());
+    }
+}

@@ -70,6 +70,21 @@ impl SimSpan {
         recorder.observe(&self.name, self.label, elapsed.as_secs_f64());
         elapsed
     }
+
+    /// Like [`SimSpan::finish`], but clamps to a zero-length span when
+    /// `now` is earlier than the span's start instead of panicking —
+    /// for analysis code replaying clocks it does not control (e.g.
+    /// trace post-processing), where a malformed input must degrade to
+    /// a zero sample, not abort the report.
+    pub fn finish_clamped(self, recorder: &mut Recorder, now: SimTime) -> SimDuration {
+        let elapsed = now
+            .as_nanos()
+            .checked_sub(self.start.as_nanos())
+            .map(SimDuration::from_nanos)
+            .unwrap_or(SimDuration::ZERO);
+        recorder.observe(&self.name, self.label, elapsed.as_secs_f64());
+        elapsed
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +111,27 @@ mod tests {
         let hist = rec.histogram_ref("round.secs", &Label::Global).unwrap();
         assert_eq!(hist.len(), 1);
         assert!((hist.sum() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_clamped_records_zero_when_clock_runs_backwards() {
+        let mut rec = Recorder::new();
+        let span = SimSpan::start("round.secs", Label::Global, SimTime::from_secs(10));
+        // `now` earlier than start: must clamp to a zero-length span,
+        // not abort (regression for the finish() panic path).
+        let elapsed = span.finish_clamped(&mut rec, SimTime::from_secs(7));
+        assert_eq!(elapsed, SimDuration::ZERO);
+        let hist = rec.histogram_ref("round.secs", &Label::Global).unwrap();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist.sum(), 0.0);
+    }
+
+    #[test]
+    fn finish_clamped_matches_finish_on_well_ordered_clocks() {
+        let mut rec = Recorder::new();
+        let span = SimSpan::start("round.secs", Label::Global, SimTime::from_secs(1));
+        let elapsed = span.finish_clamped(&mut rec, SimTime::from_secs(4));
+        assert_eq!(elapsed, SimDuration::from_secs(3));
     }
 
     #[test]

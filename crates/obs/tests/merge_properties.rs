@@ -1,0 +1,172 @@
+//! Property coverage for [`Snapshot::merge_in_order`] — the primitive
+//! the parallel sweep layer leans on for thread-invariant metric
+//! merging.
+//!
+//! Pinned properties:
+//!
+//! * **empty identity** — merging no snapshots yields the default
+//!   snapshot, and empty snapshots interleaved anywhere are no-ops;
+//! * **disjoint label sets** — entries from points that touch different
+//!   `(name, label)` keys all survive, totals are conserved, and the
+//!   merged entry lists are sorted;
+//! * **histogram merge commutativity** — for key-disjoint points the
+//!   in-order merge is order-independent (`a ⊕ b == b ⊕ a`), histogram
+//!   summaries included;
+//! * **point-order stability** — for key-colliding points the merge
+//!   keeps entries in point order (the stable-sort contract the
+//!   `--threads` invariance tests build on).
+
+use proptest::prelude::*;
+use zeiot_core::id::NodeId;
+use zeiot_core::rng::splitmix64;
+use zeiot_core::time::SimTime;
+use zeiot_obs::{Label, Recorder, Snapshot};
+
+/// A deterministic pseudo-random snapshot: instruments and values are
+/// pure functions of `seed`, labels drawn from `node_base..node_base+n`
+/// so two generators with non-overlapping ranges produce key-disjoint
+/// snapshots.
+fn synth_snapshot(seed: u64, node_base: u32, labels: u32, observations: u64) -> Snapshot {
+    let mut rec = Recorder::new();
+    for i in 0..labels {
+        let label = Label::node(NodeId::new(node_base + i));
+        let h = splitmix64(seed ^ u64::from(i));
+        rec.add("net.tx", label.clone(), h % 1000);
+        rec.set_gauge("drift", label.clone(), (h % 997) as f64 / 997.0);
+        for k in 0..observations {
+            let v = splitmix64(h ^ k) % 10_000;
+            rec.observe("serve.latency", label.clone(), v as f64 / 1e4);
+        }
+        rec.sample(
+            "volts",
+            label,
+            SimTime::from_millis(u64::from(i) + 1),
+            (h % 500) as f64 / 100.0,
+        );
+    }
+    rec.snapshot()
+}
+
+fn is_sorted_by_key(snapshot: &Snapshot) -> bool {
+    snapshot
+        .counters
+        .windows(2)
+        .all(|w| (&w[0].name, &w[0].label) <= (&w[1].name, &w[1].label))
+        && snapshot
+            .histograms
+            .windows(2)
+            .all(|w| (&w[0].name, &w[0].label) <= (&w[1].name, &w[1].label))
+        && snapshot
+            .series
+            .windows(2)
+            .all(|w| (&w[0].name, &w[0].label) <= (&w[1].name, &w[1].label))
+}
+
+#[test]
+fn merge_of_nothing_is_the_default_snapshot() {
+    assert_eq!(
+        Snapshot::merge_in_order(Vec::<Snapshot>::new()),
+        Snapshot::default()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Empty snapshots are identity elements wherever they appear.
+    #[test]
+    fn empty_snapshots_are_identity(seed in 0u64..10_000, labels in 1u32..6, obs in 1u64..8) {
+        let point = synth_snapshot(seed, 0, labels, obs);
+        let plain = Snapshot::merge_in_order([point.clone()]);
+        let padded = Snapshot::merge_in_order([
+            Snapshot::default(),
+            point.clone(),
+            Snapshot::default(),
+        ]);
+        prop_assert_eq!(&plain, &padded);
+        prop_assert_eq!(&plain, &point);
+    }
+
+    /// Merging key-disjoint points loses nothing: every entry survives,
+    /// counter totals are conserved, and the result stays sorted.
+    #[test]
+    fn disjoint_label_sets_are_conserved(
+        seed in 0u64..10_000,
+        la in 1u32..5,
+        lb in 1u32..5,
+        obs in 1u64..6,
+    ) {
+        let a = synth_snapshot(seed, 0, la, obs);
+        let b = synth_snapshot(seed.wrapping_add(1), 100, lb, obs);
+        let merged = Snapshot::merge_in_order([a.clone(), b.clone()]);
+        prop_assert_eq!(merged.counters.len(), a.counters.len() + b.counters.len());
+        prop_assert_eq!(
+            merged.histograms.len(),
+            a.histograms.len() + b.histograms.len()
+        );
+        prop_assert_eq!(
+            merged.counter_total("net.tx"),
+            a.counter_total("net.tx") + b.counter_total("net.tx")
+        );
+        prop_assert!(is_sorted_by_key(&merged));
+        for entry in &a.histograms {
+            prop_assert!(merged.histograms.contains(entry));
+        }
+        for entry in &b.histograms {
+            prop_assert!(merged.histograms.contains(entry));
+        }
+    }
+
+    /// For key-disjoint points the in-order merge commutes — histogram
+    /// summaries included — because the `(name, label)` sort fully
+    /// determines entry positions when no keys collide.
+    #[test]
+    fn histogram_merge_commutes_for_disjoint_keys(
+        seed in 0u64..10_000,
+        la in 1u32..5,
+        lb in 1u32..5,
+        obs in 1u64..6,
+    ) {
+        let a = synth_snapshot(seed, 0, la, obs);
+        let b = synth_snapshot(seed.wrapping_add(1), 100, lb, obs);
+        let ab = Snapshot::merge_in_order([a.clone(), b.clone()]);
+        let ba = Snapshot::merge_in_order([b, a]);
+        prop_assert_eq!(ab.histograms, ba.histograms);
+        prop_assert_eq!(ab.counters, ba.counters);
+        prop_assert_eq!(ab.series, ba.series);
+    }
+
+    /// For key-*colliding* points (every sweep point records the same
+    /// instruments) the merge preserves point order — the stable-sort
+    /// contract thread invariance rests on — and re-merging reproduces
+    /// the same bytes.
+    #[test]
+    fn colliding_keys_keep_point_order(
+        seed in 0u64..10_000,
+        points in 2usize..6,
+        obs in 1u64..6,
+    ) {
+        let parts: Vec<Snapshot> = (0..points)
+            .map(|p| synth_snapshot(seed ^ p as u64, 0, 2, obs))
+            .collect();
+        let merged = Snapshot::merge_in_order(parts.clone());
+        prop_assert_eq!(&merged, &Snapshot::merge_in_order(parts.clone()));
+        let label = Label::node(NodeId::new(0));
+        let expected: Vec<u64> = parts
+            .iter()
+            .map(|s| s.counter_value("net.tx", &label))
+            .collect();
+        let got: Vec<u64> = merged
+            .counters_named("net.tx")
+            .filter(|e| e.label == label)
+            .map(|e| e.value)
+            .collect();
+        prop_assert_eq!(got, expected, "point order lost for colliding keys");
+        let hists: usize = merged
+            .histograms
+            .iter()
+            .filter(|e| e.name == "serve.latency" && e.label == label)
+            .count();
+        prop_assert_eq!(hists, points, "histogram instance per point");
+    }
+}

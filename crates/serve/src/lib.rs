@@ -67,6 +67,7 @@ pub mod server;
 pub mod shard;
 pub mod stats;
 pub mod tenant;
+pub mod windows;
 
 pub use arrival::ArrivalProcess;
 pub use request::{Completion, Outcome, RejectReason, Request, ServiceMode, TenantId};
@@ -74,3 +75,4 @@ pub use server::{DegradedServing, ServeConfig, ServeOutcome, Server};
 pub use shard::Shard;
 pub use stats::{ServeReport, TenantStats};
 pub use tenant::{Tenant, TenantSpec};
+pub use windows::windowed_snapshots;

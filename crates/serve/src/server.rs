@@ -9,6 +9,7 @@ use zeiot_core::time::SimDuration;
 use zeiot_fault::{FaultPlan, FaultStats, RecoveryPolicy};
 use zeiot_microdeep::lossy::LossyRuntime;
 use zeiot_net::Topology;
+use zeiot_obs::trace::{SpanLayer, Tracer};
 use zeiot_obs::{Label, Recorder};
 
 /// Sizing and timing of the serving layer.
@@ -82,7 +83,7 @@ pub struct DegradedServing {
 
 /// What a run produced: the measured report plus the terminal
 /// disposition of every offered request, sorted by `(tenant, seq)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
     /// Per-tenant statistics and merged fabric counters.
     pub report: ServeReport,
@@ -156,7 +157,25 @@ impl Server {
         &mut self,
         seed: u64,
         horizon: SimDuration,
+        recorder: Option<&mut Recorder>,
+    ) -> ServeOutcome {
+        self.run_traced(seed, horizon, recorder, None)
+    }
+
+    /// [`Server::run`] with causal tracing: every sampled request grows
+    /// a span tree (admission → queue → batch → infer → fabric hops) in
+    /// `tracer`, retired at completion.
+    ///
+    /// Tracing is pure observation — the returned [`ServeOutcome`] is
+    /// byte-identical to an untraced [`Server::run`] with the same
+    /// `(seed, horizon)` ([`Server::run`] itself delegates here with no
+    /// tracer, so the two paths are literally the same code).
+    pub fn run_traced(
+        &mut self,
+        seed: u64,
+        horizon: SimDuration,
         mut recorder: Option<&mut Recorder>,
+        mut tracer: Option<&mut Tracer>,
     ) -> ServeOutcome {
         // Materialize every tenant's arrival stream.
         let mut requests: Vec<Request> = Vec::new();
@@ -206,11 +225,26 @@ impl Server {
             .collect();
 
         for req in requests {
+            if let Some(tr) = tracer.as_deref_mut() {
+                let _ = tr.begin(
+                    req.tenant as u64,
+                    req.seq,
+                    "serve.request",
+                    SpanLayer::Request,
+                    req.arrival,
+                );
+            }
             let s = req.tenant % self.config.shards;
-            shards[s].offer(req, &mut self.tenants, &mut stats, recorder.as_deref_mut());
+            shards[s].offer(
+                req,
+                &mut self.tenants,
+                &mut stats,
+                recorder.as_deref_mut(),
+                tracer.as_deref_mut(),
+            );
         }
         for shard in &mut shards {
-            shard.drain(&mut self.tenants, &mut stats);
+            shard.drain(&mut self.tenants, &mut stats, tracer.as_deref_mut());
         }
 
         let mut completions: Vec<Completion> = shards

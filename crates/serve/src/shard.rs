@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use zeiot_core::time::{SimDuration, SimTime};
 use zeiot_fault::FaultStats;
 use zeiot_microdeep::lossy::LossyRuntime;
+use zeiot_obs::trace::{ClockDomain, SpanEvent, SpanLayer, SpanScope, Tracer};
 use zeiot_obs::{Label, Recorder};
 
 /// `argmax` with the same first-tie-wins rule as
@@ -116,8 +117,9 @@ impl Shard {
         tenants: &mut [Tenant],
         stats: &mut [TenantStats],
         recorder: Option<&mut Recorder>,
+        mut tracer: Option<&mut Tracer>,
     ) {
-        self.dispatch_until(req.arrival, tenants, stats);
+        self.dispatch_until(req.arrival, tenants, stats, tracer.as_deref_mut());
         // After the catch-up dispatches, an empty queue means the worker
         // is idle: the next batch cannot start before this arrival.
         if self.queue.is_empty() && self.free_at < req.arrival {
@@ -137,6 +139,23 @@ impl Shard {
                 match reason {
                     RejectReason::ShardQueueFull => stats[tenant].shed_shard_full += 1,
                     RejectReason::TenantLimit => stats[tenant].shed_tenant_limit += 1,
+                }
+                // A shed request's trace is a zero-length root carrying
+                // the typed rejection: latency 0, attribution 0.
+                if let Some(tr) = tracer {
+                    let t = tenant as u64;
+                    if let Some(root) = tr.root(t, req.seq) {
+                        tr.event(
+                            t,
+                            req.seq,
+                            root,
+                            req.arrival,
+                            SpanEvent::Shed {
+                                reason: reason.label().to_string(),
+                            },
+                        );
+                    }
+                    tr.finish(t, req.seq, req.arrival);
                 }
                 self.completions.push(Completion {
                     tenant,
@@ -164,16 +183,27 @@ impl Shard {
 
     /// Dispatches micro-batches while the worker frees up at or before
     /// `t` and work is queued.
-    fn dispatch_until(&mut self, t: SimTime, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
+    fn dispatch_until(
+        &mut self,
+        t: SimTime,
+        tenants: &mut [Tenant],
+        stats: &mut [TenantStats],
+        mut tracer: Option<&mut Tracer>,
+    ) {
         while !self.queue.is_empty() && self.free_at <= t {
-            self.dispatch_batch(tenants, stats);
+            self.dispatch_batch(tenants, stats, tracer.as_deref_mut());
         }
     }
 
     /// Dispatches everything still queued (end of the arrival stream).
-    pub(crate) fn drain(&mut self, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
+    pub(crate) fn drain(
+        &mut self,
+        tenants: &mut [Tenant],
+        stats: &mut [TenantStats],
+        mut tracer: Option<&mut Tracer>,
+    ) {
         while !self.queue.is_empty() {
-            self.dispatch_batch(tenants, stats);
+            self.dispatch_batch(tenants, stats, tracer.as_deref_mut());
         }
     }
 
@@ -190,7 +220,12 @@ impl Shard {
         }
     }
 
-    fn dispatch_batch(&mut self, tenants: &mut [Tenant], stats: &mut [TenantStats]) {
+    fn dispatch_batch(
+        &mut self,
+        tenants: &mut [Tenant],
+        stats: &mut [TenantStats],
+        mut tracer: Option<&mut Tracer>,
+    ) {
         let start = self.free_at;
         let Some((&head_key, _)) = self.queue.iter().next() else {
             return; // callers guard on a non-empty queue
@@ -211,8 +246,67 @@ impl Shard {
         }
         let completion = start + self.batch_overhead + self.service_time * batch.len() as u64;
         self.free_at = completion;
-        for req in batch {
-            let answer = self.execute(&req, tenants);
+        for (slot, req) in batch.into_iter().enumerate() {
+            // Serve-clock spans *tile*: queue [arrival, start] and batch
+            // [start, completion] cover the root exactly; inside the
+            // batch, the dispatch overhead and this request's own
+            // service slot are children, leaving the other members'
+            // slots as batch self-time. Attribution therefore sums to
+            // the end-to-end latency by construction.
+            let mut infer_span = None;
+            if let Some(tr) = tracer.as_deref_mut() {
+                let t = req.tenant as u64;
+                if let Some(root) = tr.root(t, req.seq) {
+                    let _ = tr.push_span(
+                        t,
+                        req.seq,
+                        root,
+                        SpanLayer::Queue,
+                        "serve.queue",
+                        ClockDomain::Serve,
+                        req.arrival,
+                        start,
+                    );
+                    if let Some(batch_span) = tr.push_span(
+                        t,
+                        req.seq,
+                        root,
+                        SpanLayer::Batch,
+                        "serve.batch",
+                        ClockDomain::Serve,
+                        start,
+                        completion,
+                    ) {
+                        let _ = tr.push_span(
+                            t,
+                            req.seq,
+                            batch_span,
+                            SpanLayer::Batch,
+                            "serve.batch_overhead",
+                            ClockDomain::Serve,
+                            start,
+                            start + self.batch_overhead,
+                        );
+                        let slot_start =
+                            start + self.batch_overhead + self.service_time * slot as u64;
+                        infer_span = tr.push_span(
+                            t,
+                            req.seq,
+                            batch_span,
+                            SpanLayer::Infer,
+                            "serve.infer",
+                            ClockDomain::Serve,
+                            slot_start,
+                            slot_start + self.service_time,
+                        );
+                    }
+                }
+            }
+            let scope = match (tracer.as_deref_mut(), infer_span) {
+                (Some(tr), Some(span)) => tr.scope(req.tenant as u64, req.seq, span),
+                _ => None,
+            };
+            let answer = self.execute(&req, tenants, scope);
             let s = &mut stats[req.tenant];
             let outcome = match answer {
                 Some((mode, logits)) => {
@@ -247,6 +341,35 @@ impl Shard {
                     Outcome::Failed
                 }
             };
+            if let Some(tr) = tracer.as_deref_mut() {
+                let t = req.tenant as u64;
+                if let Some(root) = tr.root(t, req.seq) {
+                    match &outcome {
+                        Outcome::Served {
+                            mode,
+                            missed_deadline,
+                            ..
+                        } => {
+                            if *mode == ServiceMode::Stale {
+                                if let Some(infer) = infer_span {
+                                    tr.event(t, req.seq, infer, completion, SpanEvent::Aborted);
+                                    tr.event(t, req.seq, infer, completion, SpanEvent::StaleAnswer);
+                                }
+                            }
+                            if *missed_deadline {
+                                tr.event(t, req.seq, root, completion, SpanEvent::DeadlineMiss);
+                            }
+                        }
+                        Outcome::Failed => {
+                            if let Some(infer) = infer_span {
+                                tr.event(t, req.seq, infer, completion, SpanEvent::Aborted);
+                            }
+                        }
+                        Outcome::Shed { .. } => {}
+                    }
+                }
+                tr.finish(t, req.seq, completion);
+            }
             self.completions.push(Completion {
                 tenant: req.tenant,
                 seq: req.seq,
@@ -256,11 +379,14 @@ impl Shard {
         }
     }
 
-    /// Runs one inference down the degradation ladder.
+    /// Runs one inference down the degradation ladder. When `scope` is
+    /// present, the lossy runtime appends fabric-clock hop spans under
+    /// its parent (the request's infer span).
     fn execute(
         &mut self,
         req: &Request,
         tenants: &mut [Tenant],
+        mut scope: Option<SpanScope<'_>>,
     ) -> Option<(ServiceMode, Vec<f32>)> {
         let net = &mut tenants[req.tenant].net;
         match &mut self.fabric {
@@ -269,7 +395,7 @@ impl Shard {
             None => Some((ServiceMode::Full, net.forward(&req.input).data().to_vec())),
             Some(rt) => {
                 let substituted_before = rt.stats().degraded + rt.stats().corrupted;
-                let out = net.forward_lossy(&req.input, rt);
+                let out = net.forward_lossy_traced(&req.input, rt, scope.as_mut());
                 rt.advance_pass();
                 match out {
                     Some(logits) => {

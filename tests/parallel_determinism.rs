@@ -9,13 +9,14 @@
 //! assignment.
 
 use zeiot_bench::experiments::{
-    e10_serving, e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi, e7_link,
-    e8_energy, e9_faults,
+    e10_serving, e11_slo, e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi,
+    e7_link, e8_energy, e9_faults,
 };
 use zeiot_bench::SweepRunner;
 use zeiot_core::rng::SeedRng;
 use zeiot_microdeep::{Assignment, CnnConfig};
 use zeiot_net::Topology;
+use zeiot_obs::trace::traces_to_jsonl;
 
 /// Asserts byte-identical JSON between a serial and a 4-thread run.
 fn assert_thread_invariant(name: &str, serial: &str, parallel: &str) {
@@ -129,6 +130,37 @@ fn e10_exported_snapshot_is_thread_invariant() {
     let params = e10_serving::Params::reduced();
     let serial = e10_serving::run_with(&params, &SweepRunner::serial()).export_snapshot();
     let parallel = e10_serving::run_with(&params, &SweepRunner::new(4)).export_snapshot();
+    assert_eq!(serial, parallel);
+}
+
+/// E11 adds causal tracing, windowed SLO evaluation, and attribution
+/// histograms on top of the serving layer. The trace sampler is a pure
+/// hash of `(seed, trace id)` and the export order is `(point, tenant,
+/// seq)`, so both the report **and the trace JSONL bytes** must be
+/// identical at every thread count.
+#[test]
+fn e11_report_and_trace_jsonl_are_thread_invariant() {
+    let params = e11_slo::Params::reduced();
+    let (serial_report, serial_traces) = e11_slo::run_with_traces(&params, &SweepRunner::serial());
+    let (parallel_report, parallel_traces) =
+        e11_slo::run_with_traces(&params, &SweepRunner::new(4));
+    assert_thread_invariant("E11", &serial_report.to_json(), &parallel_report.to_json());
+    assert_eq!(
+        traces_to_jsonl(&serial_traces),
+        traces_to_jsonl(&parallel_traces),
+        "E11: trace JSONL differs between --threads 1 and --threads 4"
+    );
+    assert!(!serial_traces.is_empty(), "E11 must sample some traces");
+}
+
+/// E11's exported snapshot carries the `trace.attr.*` histograms and
+/// the `slo.breaches` counters; it feeds the JSONL export, so it must
+/// not move with the thread count either.
+#[test]
+fn e11_exported_snapshot_is_thread_invariant() {
+    let params = e11_slo::Params::reduced();
+    let serial = e11_slo::run_with(&params, &SweepRunner::serial()).export_snapshot();
+    let parallel = e11_slo::run_with(&params, &SweepRunner::new(4)).export_snapshot();
     assert_eq!(serial, parallel);
 }
 

@@ -9,19 +9,41 @@
 
 use std::time::Instant;
 
+/// The measurement one [`Criterion::bench_function`] call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The benchmark id.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_nanos: f64,
+    /// Iterations timed.
+    pub iterations: u32,
+}
+
 /// Benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     iterations: u32,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { iterations: 10 }
+        Self {
+            iterations: 10,
+            results: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
-    /// Runs `f` once with a [`Bencher`] and prints the mean iteration time.
+    /// Overrides the fixed iteration count (smoke profiles use 1–2).
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Runs `f` once with a [`Bencher`], prints the mean iteration time,
+    /// and records a [`BenchResult`].
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -35,7 +57,17 @@ impl Criterion {
             "bench {id:<40} {:>12.1} ns/iter ({} iters)",
             bencher.mean_nanos, self.iterations
         );
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            mean_nanos: bencher.mean_nanos,
+            iterations: self.iterations,
+        });
         self
+    }
+
+    /// Every result recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
@@ -94,5 +126,15 @@ mod tests {
             b.iter(|| 1 + 1);
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn results_are_collected_in_run_order() {
+        let mut c = Criterion::default().with_iterations(2);
+        c.bench_function("first", |b| b.iter(|| 1 + 1))
+            .bench_function("second", |b| b.iter(|| 2 + 2));
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["first", "second"]);
+        assert!(c.results().iter().all(|r| r.iterations == 2));
     }
 }
