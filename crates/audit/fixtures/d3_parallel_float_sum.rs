@@ -18,3 +18,7 @@ pub fn folded(samples: &[f64]) -> f64 {
 pub fn serial_sum_is_fine(samples: &[f64]) -> f64 {
     samples.iter().map(|s| s * s).sum()
 }
+
+pub fn quantized_total_is_fine(partials: &[i32]) -> i32 {
+    partials.par_iter().map(|p| p * 2).sum::<i32>()
+}

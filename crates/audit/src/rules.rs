@@ -8,7 +8,7 @@
 //! |------|-------|---------|
 //! | `d1` | deterministic crates | `HashMap` / `HashSet` (iteration order is seed-dependent) |
 //! | `d2` | every crate, library layer | `Instant::now` / `SystemTime` / `thread_rng` / `thread::current` / `env::var` |
-//! | `d3` | deterministic crates | `.sum(` / `.reduce(` / `.fold(` within 5 lines of a `par_iter`-family call |
+//! | `d3` | deterministic crates | `.sum(` / `.reduce(` / `.fold(` within 5 lines of a `par_iter`-family call; integer turbofish sums (`.sum::<i32>()` …) are exempt — integer addition is associative, so reduction order cannot change the result |
 //! | `h1` | typed-error crates, library layer | `.unwrap()` / `.expect(` outside tests |
 //! | `h2` | serve/fault | `pub fn … -> Result` without a `# Errors` doc section |
 //!
@@ -105,6 +105,36 @@ const ACC_PATTERNS: [&str; 4] = [".sum(", ".sum::<", ".reduce(", ".fold("];
 /// to it (a statement split across a fluent chain).
 const D3_WINDOW: usize = 5;
 
+/// Integer sums whose reduction order is provably irrelevant (integer
+/// addition is associative and commutative, and the workspace's
+/// quantized kernels rely on exactly that for thread-invariance).
+/// These only match when the element type is pinned by turbofish —
+/// an unannotated `.sum()` over integers still fires, because the
+/// audit cannot see the type.
+const D3_EXEMPT_SUMS: [&str; 10] = [
+    ".sum::<i8>()",
+    ".sum::<i16>()",
+    ".sum::<i32>()",
+    ".sum::<i64>()",
+    ".sum::<u8>()",
+    ".sum::<u16>()",
+    ".sum::<u32>()",
+    ".sum::<u64>()",
+    ".sum::<usize>()",
+    ".sum::<isize>()",
+];
+
+/// Removes the exempt integer-sum calls from a line before the d3
+/// accumulator patterns are matched, so a line whose only accumulator
+/// is an order-insensitive integer sum does not fire.
+fn strip_exempt_integer_sums(code: &str) -> String {
+    let mut out = code.to_string();
+    for pat in D3_EXEMPT_SUMS {
+        out = out.replace(pat, "");
+    }
+    out
+}
+
 fn scan_rules(
     config: &AuditConfig,
     crate_name: &str,
@@ -160,7 +190,8 @@ fn scan_rules(
             if PAR_PATTERNS.iter().any(|p| code.contains(p)) {
                 par_reach = D3_WINDOW;
             }
-            if par_reach > 0 && ACC_PATTERNS.iter().any(|p| code.contains(p)) {
+            let acc_code = strip_exempt_integer_sums(code);
+            if par_reach > 0 && ACC_PATTERNS.iter().any(|p| acc_code.contains(p)) {
                 raw.push(RawFinding {
                     rule: Rule::D3,
                     line: i,
@@ -363,6 +394,24 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!((hits[0].rule.as_str(), hits[0].line), ("d1", 1));
         assert!(audit("zeiot-rf", src).is_empty());
+    }
+
+    #[test]
+    fn d3_exempts_integer_turbofish_sums_but_not_untyped_ones() {
+        let float_sum = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * x).sum() }\n";
+        let hits = audit("zeiot-sim", float_sum);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "d3");
+
+        // Integer addition is associative: a turbofish-pinned integer
+        // sum over a parallel iterator is deterministic by construction.
+        let int_sum = "fn f(xs: &[i32]) -> i32 { xs.par_iter().map(|x| x * 2).sum::<i32>() }\n";
+        assert!(audit("zeiot-sim", int_sum).is_empty());
+
+        // Without the turbofish the element type is invisible to the
+        // lexical pass, so the conservative answer is to fire.
+        let untyped = "fn f(xs: &[i32]) -> i32 { xs.par_iter().map(|x| x * 2).sum() }\n";
+        assert_eq!(audit("zeiot-sim", untyped).len(), 1);
     }
 
     #[test]

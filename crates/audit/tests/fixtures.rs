@@ -72,11 +72,15 @@ fn d3_fires_on_parallel_float_accumulation_not_serial() {
     // The same-line `.sum()` and the fluent-chain `.fold(`…
     assert!(d3[0].snippet.contains(".sum()"));
     assert!(d3[1].snippet.contains(".fold("));
-    // …but the serial `iter().sum()` at the bottom never fires.
+    // …but the serial `iter().sum()` at the bottom never fires,
     assert!(d3
         .iter()
         .all(|f| !f.snippet.contains("iter().map(|s| s * s).sum()")
             || f.snippet.contains("par_iter")));
+    // …and neither does the parallel integer sum: `.sum::<i32>()` is
+    // order-insensitive (the quantized kernels' thread-invariance
+    // argument), so d3 exempts it without an allow annotation.
+    assert!(d3.iter().all(|f| !f.snippet.contains("sum::<i32>")));
     assert_eq!(findings.len(), d3.len());
 }
 

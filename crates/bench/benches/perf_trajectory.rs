@@ -1,11 +1,12 @@
-//! The tracked perf trajectory: the workspace's two hottest paths —
-//! the MicroDeep forward pass (lossless and through a degraded fabric)
+//! The tracked perf trajectory: the workspace's hottest paths — the
+//! MicroDeep forward pass (f32 lossless, f32 through a degraded
+//! fabric, and the deployed int8 path), the blocked i8 dense kernel,
 //! and the serving layer's admission/dispatch loop — timed by the
-//! vendored criterion stub and exported as `BENCH_6.json` for the CI
+//! vendored criterion stub and exported as `BENCH_7.json` for the CI
 //! `perf` job to archive.
 //!
 //! Usage: `cargo bench -p zeiot-bench --bench perf_trajectory --
-//! [--out PATH]` (default `BENCH_6.json` in the working directory).
+//! [--out PATH]` (default `BENCH_7.json` in the working directory).
 //! `ZEIOT_BENCH_ITERS` overrides the per-bench iteration count (CI's
 //! smoke profile uses a small value; the default is the stub's 10).
 //!
@@ -19,8 +20,11 @@ use std::hint::black_box;
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
 use zeiot_fault::{DegradeMode, FaultPlan, RecoveryPolicy};
-use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, LossyRuntime, WeightUpdate};
+use zeiot_microdeep::{
+    Assignment, CnnConfig, DistributedCnn, LossyRuntime, QuantizedCnn, WeightUpdate,
+};
 use zeiot_net::Topology;
+use zeiot_nn::quant::dense_i8_blocked;
 use zeiot_nn::tensor::Tensor;
 use zeiot_serve::{ArrivalProcess, ServeConfig, Server, Tenant, TenantSpec};
 
@@ -58,6 +62,37 @@ fn bench_microdeep_forward_lossy(c: &mut Criterion) {
     );
     c.bench_function("microdeep_forward_lossy_zero_fill", |b| {
         b.iter(|| black_box(net.forward_lossy(black_box(&input), &mut rt)))
+    });
+}
+
+fn bench_microdeep_forward_quantized(c: &mut Criterion) {
+    let (mut net, _) = temperature_net(9);
+    let mut rng = SeedRng::new(10);
+    let input = Tensor::uniform(vec![1, 17, 25], 1.0, &mut rng);
+    let mut quantized = QuantizedCnn::new(&mut net, std::slice::from_ref(&input));
+    c.bench_function("microdeep_forward_quantized", |b| {
+        b.iter(|| black_box(quantized.forward_quantized(black_box(&input))))
+    });
+}
+
+fn bench_nn_dense_i8_blocked(c: &mut Criterion) {
+    // The larger of the two dense layers in the temperature CNN
+    // geometry: 32 outputs over a flattened pooled volume.
+    let (in_len, out_len) = (4 * 8 * 12, 32);
+    let weights: Vec<i8> = (0..in_len * out_len)
+        .map(|i| ((i * 37) % 255) as i8)
+        .collect();
+    let input: Vec<i8> = (0..in_len).map(|i| ((i * 53) % 255) as i8).collect();
+    let bias: Vec<i32> = (0..out_len).map(|o| (o as i32) * 11 - 176).collect();
+    c.bench_function("nn_dense_i8_blocked", |b| {
+        b.iter(|| {
+            black_box(dense_i8_blocked(
+                black_box(&weights),
+                black_box(&bias),
+                black_box(&input),
+                out_len,
+            ))
+        })
     });
 }
 
@@ -132,7 +167,7 @@ fn main() {
             eprintln!("--out requires a path");
             std::process::exit(2);
         }
-        None => "BENCH_6.json".to_string(),
+        None => "BENCH_7.json".to_string(),
     };
     let iters: u32 = std::env::var("ZEIOT_BENCH_ITERS")
         .ok()
@@ -141,6 +176,8 @@ fn main() {
     let mut criterion = Criterion::default().with_iterations(iters);
     bench_microdeep_forward(&mut criterion);
     bench_microdeep_forward_lossy(&mut criterion);
+    bench_microdeep_forward_quantized(&mut criterion);
+    bench_nn_dense_i8_blocked(&mut criterion);
     bench_serve_dispatch(&mut criterion);
     let json = results_json(&criterion);
     if let Err(e) = std::fs::write(&out_path, &json) {

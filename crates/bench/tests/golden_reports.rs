@@ -1,6 +1,6 @@
 //! Golden-report regression tests.
 //!
-//! E1 and E4 reduced reports at the default seed are committed as JSON
+//! E1, E4 and E12 reduced reports at the default seed are committed as JSON
 //! fixtures; any change to data generation, training, evaluation, or the
 //! sweep layer that shifts a single byte of the report fails here. To
 //! re-bless after an intentional change:
@@ -10,7 +10,7 @@
 //! ```
 
 use std::path::PathBuf;
-use zeiot_bench::experiments::{e1_temperature, e4_train};
+use zeiot_bench::experiments::{e12_quant, e1_temperature, e4_train};
 use zeiot_bench::SweepRunner;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -49,4 +49,10 @@ fn e1_reduced_report_matches_golden() {
 fn e4_reduced_report_matches_golden() {
     let report = e4_train::run_with(&e4_train::Params::reduced(), &SweepRunner::serial());
     check_golden("e4_reduced.json", &report.to_json());
+}
+
+#[test]
+fn e12_reduced_report_matches_golden() {
+    let report = e12_quant::run_with(&e12_quant::Params::reduced(), &SweepRunner::serial());
+    check_golden("e12_reduced.json", &report.to_json());
 }

@@ -60,6 +60,7 @@ pub mod cost;
 pub mod distributed;
 pub mod instrument;
 pub mod lossy;
+pub mod quantized;
 pub mod resilience;
 
 pub use assignment::Assignment;
@@ -68,3 +69,4 @@ pub use cost::CostModel;
 pub use distributed::{DistributedCnn, WeightUpdate};
 pub use instrument::TrafficInstrument;
 pub use lossy::LossyRuntime;
+pub use quantized::{QuantStats, QuantizedCnn};

@@ -46,11 +46,13 @@ use zeiot_nn::tensor::Tensor;
 use zeiot_obs::trace::{ClockDomain, SpanEvent, SpanLayer, SpanScope};
 use zeiot_obs::{Label, Recorder};
 
-/// Edge stages, used to key last-value-hold state.
-const STAGE_INPUT_CONV: u64 = 0;
-const STAGE_CONV_POOL: u64 = 1;
-const STAGE_POOL_HIDDEN: u64 = 2;
-const STAGE_HIDDEN_LOGIT: u64 = 3;
+/// Edge stages, used to key last-value-hold state (shared with the
+/// quantized runtime in [`crate::quantized`], which transports the same
+/// logical edges).
+pub(crate) const STAGE_INPUT_CONV: u64 = 0;
+pub(crate) const STAGE_CONV_POOL: u64 = 1;
+pub(crate) const STAGE_POOL_HIDDEN: u64 = 2;
+pub(crate) const STAGE_HIDDEN_LOGIT: u64 = 3;
 
 fn edge_key(stage: u64, producer: usize, consumer: usize) -> u64 {
     (stage << 56) | ((producer as u64) << 28) | consumer as u64
@@ -125,7 +127,7 @@ impl LossyRuntime {
     /// consumer)`. Colocated endpoints are free (no message, no stats),
     /// matching [`crate::cost::CostModel`]'s counting. Returns `None`
     /// when the message is lost and the policy does not degrade.
-    fn fetch(
+    pub(crate) fn fetch(
         &mut self,
         value: f32,
         src: NodeId,
@@ -194,13 +196,13 @@ impl LossyRuntime {
 /// counters and fabric clock copied before, deltas turned into a hop
 /// span after. If the burst aborts mid-way (`?`) the probe is simply
 /// dropped — no span, matching "the unit never finished pulling".
-struct HopProbe {
+pub(crate) struct HopProbe {
     before: FaultStats,
     t0: zeiot_core::time::SimTime,
 }
 
 impl HopProbe {
-    fn open(rt: &LossyRuntime) -> Self {
+    pub(crate) fn open(rt: &LossyRuntime) -> Self {
         Self {
             before: *rt.stats(),
             t0: rt.fabric.now(),
@@ -210,7 +212,7 @@ impl HopProbe {
     /// Emits a fabric-clock hop span under `scope` if the unit actually
     /// pulled any cross-node message (colocated fetches are free and
     /// leave no span).
-    fn close(self, rt: &LossyRuntime, scope: &mut SpanScope<'_>, name: &'static str) {
+    pub(crate) fn close(self, rt: &LossyRuntime, scope: &mut SpanScope<'_>, name: &'static str) {
         let d = rt.stats().delta_since(&self.before);
         if d.sent == 0 {
             return;

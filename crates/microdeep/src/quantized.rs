@@ -1,0 +1,781 @@
+//! Quantized distributed execution.
+//!
+//! µW-class backscatter nodes execute integer arithmetic (PAPERS.md,
+//! "Energy-Aware Deep Learning on Resource-Constrained Hardware"), so
+//! the deployed forward path must not be the f32 training path. This
+//! module freezes a trained [`DistributedCnn`] into a [`QuantizedCnn`]:
+//! symmetric per-layer i8 weights, per-layer activation scales selected
+//! from calibration activations at deploy time, and a forward pass whose
+//! hot loops are pure i8×i8→i32 integer arithmetic
+//! ([`zeiot_nn::quant`]).
+//!
+//! **Why this strengthens the determinism contract.** The f32 lossy path
+//! keeps its guarantees by replicating one canonical accumulation order
+//! everywhere. The quantized path needs no such discipline: `i32`
+//! addition is associative and commutative, so any blocking, any loop
+//! order, and any distribution of partial sums across nodes produces the
+//! same bits. The audit's d3 no-float-order-hazard rule is satisfied *by
+//! construction* — there is no floating-point accumulation to reorder.
+//!
+//! **Fabric transport.** A quantized activation is one signed byte. The
+//! lossy path ships it through the existing [`LossyRuntime`] as its
+//! exact `f32` image (every i8 is exactly representable), so all fault
+//! machinery — drops, retransmission, corruption, degrade substitution —
+//! applies unchanged; the receiver re-quantizes deterministically
+//! (round half away from zero, clamp to ±127, NaN to 0) before the value
+//! ever reaches an accumulator. With a lossless plan the lossy quantized
+//! pass is **bit-identical** to [`QuantizedCnn::forward_quantized`].
+
+use crate::distributed::DistributedCnn;
+use crate::lossy::{
+    HopProbe, LossyRuntime, STAGE_CONV_POOL, STAGE_HIDDEN_LOGIT, STAGE_INPUT_CONV,
+    STAGE_POOL_HIDDEN,
+};
+use crate::{Assignment, CnnConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use zeiot_core::id::NodeId;
+use zeiot_nn::quant::{dense_i8_blocked, dot_i8, quantize_slice, scale_for, Calibration, Requant};
+use zeiot_nn::tensor::Tensor;
+use zeiot_obs::trace::SpanScope;
+use zeiot_obs::{Label, Recorder};
+
+/// One node's frozen convolution kernel replica: i8 weights at the
+/// common conv weight scale, biases pre-scaled into the i32 accumulator
+/// domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct QConvReplica {
+    weights: Vec<i8>, // [oc, ic, k, k]
+    bias: Vec<i32>,   // [oc], accumulator domain
+}
+
+/// A frozen dense layer: i8 weight rows, accumulator-domain i32 biases.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct QDense {
+    weights: Vec<i8>, // [out, in]
+    bias: Vec<i32>,   // [out], accumulator domain
+}
+
+/// Per-unit kernels for [`crate::WeightUpdate::PerUnit`] models.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct QUnitKernels {
+    weights: Vec<i8>, // [units, ic, k, k]
+    bias: Vec<i32>,   // [units], accumulator domain
+}
+
+/// Saturation and usage counters for a quantized model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantStats {
+    /// Completed quantized forward passes.
+    pub forwards: u64,
+    /// Input values that clamped at ±127 when quantized.
+    pub input_saturated: u64,
+    /// Requantized activations that clamped at ±127.
+    pub activation_saturated: u64,
+}
+
+impl QuantStats {
+    /// Writes the counters into `recorder` under `label` as
+    /// `quant.forwards` / `quant.input_saturated` /
+    /// `quant.activation_saturated`.
+    pub fn record_to(&self, recorder: &mut Recorder, label: Label) {
+        recorder.add("quant.forwards", label.clone(), self.forwards);
+        recorder.add("quant.input_saturated", label.clone(), self.input_saturated);
+        recorder.add(
+            "quant.activation_saturated",
+            label,
+            self.activation_saturated,
+        );
+    }
+}
+
+/// A [`DistributedCnn`] frozen for integer deployment: i8 weights, i32
+/// exact accumulation, deterministic fixed-point requantization between
+/// layers, and lossy-fabric execution mirroring the f32 runtime.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), zeiot_core::ConfigError> {
+/// use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, QuantizedCnn, WeightUpdate};
+/// use zeiot_net::Topology;
+/// use zeiot_core::rng::SeedRng;
+/// use zeiot_nn::tensor::Tensor;
+///
+/// let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2)?;
+/// let topo = Topology::grid(3, 3, 2.0, 3.0)?;
+/// let graph = config.unit_graph()?;
+/// let assignment = Assignment::balanced_correspondence(&graph, &topo);
+/// let mut rng = SeedRng::new(1);
+/// let mut net = DistributedCnn::new(config, assignment, WeightUpdate::Independent, &mut rng);
+/// let calibration = vec![Tensor::uniform(vec![1, 8, 8], 1.0, &mut rng)];
+/// let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+/// let logits = qnet.forward_quantized(&calibration[0]);
+/// assert_eq!(logits.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedCnn {
+    config: CnnConfig,
+    assignment: Assignment,
+    conv_unit_host: Vec<NodeId>,
+    replicas: BTreeMap<NodeId, QConvReplica>,
+    per_unit: Option<QUnitKernels>,
+    dense1: QDense,
+    dense2: QDense,
+    /// Input quantization scale (calibrated).
+    input_scale: f32,
+    /// Conv accumulator → conv activation domain.
+    conv_requant: Requant,
+    /// Dense-1 accumulator → hidden activation domain.
+    hidden_requant: Requant,
+    /// Dense-2 accumulator → real logits.
+    logit_scale: f64,
+    stats: QuantStats,
+}
+
+/// Deterministically re-quantizes a value received off the fabric: the
+/// producer sent an i8 as its exact f32 image, but corruption or degrade
+/// substitution may have replaced it with anything — round half away
+/// from zero, clamp to the symmetric range, map NaN to 0 (the saturating
+/// float→int cast).
+fn requantize_received(v: f32) -> i8 {
+    v.round().clamp(-127.0, 127.0) as i8
+}
+
+impl QuantizedCnn {
+    /// Freezes `net` for integer deployment. Runs f32 forward passes
+    /// over `calibration` to select per-layer activation scales (max-abs
+    /// range), quantizes every replica's weights at one common per-layer
+    /// scale, and pre-scales biases into the accumulator domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty.
+    pub fn new(net: &mut DistributedCnn, calibration: &[Tensor]) -> Self {
+        assert!(!calibration.is_empty(), "calibration set must be non-empty");
+        let mut cal_in = Calibration::new();
+        let mut cal_conv = Calibration::new();
+        let mut cal_hidden = Calibration::new();
+        for x in calibration {
+            cal_in.observe(x.data());
+            let _ = net.forward(x);
+            cal_conv.observe(&net.conv_pre_relu);
+            cal_hidden.observe(&net.hidden_pre_relu);
+        }
+        let s_in = cal_in.scale();
+        let s_a1 = cal_conv.scale();
+        let s_a2 = cal_hidden.scale();
+
+        // One weight scale per layer, shared by every replica, so all
+        // nodes speak the same integer domain over the fabric.
+        let max_abs = |xs: &[f32]| xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let mut w1_max = 0.0f32;
+        for rep in net.replicas.values() {
+            w1_max = w1_max.max(max_abs(rep.weights.data()));
+        }
+        if let Some(pk) = &net.per_unit {
+            w1_max = w1_max.max(max_abs(pk.weights.data()));
+        }
+        let s_w1 = scale_for(w1_max);
+        let s_w2 = scale_for(max_abs(net.dense1.weights.data()));
+        let s_w3 = scale_for(max_abs(net.dense2.weights.data()));
+
+        // Accumulator-domain scales and the fixed-point requantizers
+        // that bridge them to the next activation domain.
+        let acc1 = s_in as f64 * s_w1 as f64;
+        let acc2 = s_a1 as f64 * s_w2 as f64;
+        let acc3 = s_a2 as f64 * s_w3 as f64;
+        let quant_bias = |b: f32, acc_scale: f64| (b as f64 / acc_scale).round() as i32;
+
+        let replicas = net
+            .replicas
+            .iter()
+            .map(|(node, rep)| {
+                let (weights, _) = quantize_slice(rep.weights.data(), s_w1);
+                let bias = rep
+                    .bias
+                    .data()
+                    .iter()
+                    .map(|&b| quant_bias(b, acc1))
+                    .collect();
+                (*node, QConvReplica { weights, bias })
+            })
+            .collect();
+        let per_unit = net.per_unit.as_ref().map(|pk| {
+            let (weights, _) = quantize_slice(pk.weights.data(), s_w1);
+            let bias = pk
+                .bias
+                .data()
+                .iter()
+                .map(|&b| quant_bias(b, acc1))
+                .collect();
+            QUnitKernels { weights, bias }
+        });
+        let quant_dense = |w: &Tensor, b: &Tensor, s_w: f32, acc: f64| {
+            let (weights, _) = quantize_slice(w.data(), s_w);
+            QDense {
+                weights,
+                bias: b.data().iter().map(|&v| quant_bias(v, acc)).collect(),
+            }
+        };
+        Self {
+            config: net.config,
+            assignment: net.assignment.clone(),
+            conv_unit_host: net.conv_unit_host.clone(),
+            replicas,
+            per_unit,
+            dense1: quant_dense(&net.dense1.weights, &net.dense1.bias, s_w2, acc2),
+            dense2: quant_dense(&net.dense2.weights, &net.dense2.bias, s_w3, acc3),
+            input_scale: s_in,
+            conv_requant: Requant::from_ratio(acc1 / s_a1 as f64),
+            hidden_requant: Requant::from_ratio(acc2 / s_a2 as f64),
+            logit_scale: acc3,
+            stats: QuantStats::default(),
+        }
+    }
+
+    /// The configuration this network was frozen from.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// The calibrated input quantization scale.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Usage and saturation counters accumulated so far.
+    pub fn stats(&self) -> &QuantStats {
+        &self.stats
+    }
+
+    /// Quantizes an input tensor into the deployed input domain,
+    /// counting saturated values into the model's stats.
+    fn quantize_input(&mut self, input: &Tensor) -> Vec<i8> {
+        let c = &self.config;
+        assert_eq!(
+            input.shape(),
+            &[c.in_channels(), c.in_height(), c.in_width()],
+            "input shape mismatch"
+        );
+        let (q, sat) = quantize_slice(input.data(), self.input_scale);
+        self.stats.input_saturated += sat;
+        q
+    }
+
+    /// The kernel and accumulator-domain bias for one conv output unit.
+    fn unit_kernel(&self, unit: usize, o: usize, kernel_len: usize) -> (&[i8], i32) {
+        match &self.per_unit {
+            Some(pk) => (
+                &pk.weights[unit * kernel_len..(unit + 1) * kernel_len],
+                pk.bias[unit],
+            ),
+            None => {
+                let rep = &self.replicas[&self.conv_unit_host[unit]];
+                (
+                    &rep.weights[o * kernel_len..(o + 1) * kernel_len],
+                    rep.bias[o],
+                )
+            }
+        }
+    }
+
+    /// Max-pools i8 conv activations (ReLU already applied).
+    fn pool_i8(&self, relu: &[i8]) -> Vec<i8> {
+        let c = &self.config;
+        let (oh, ow) = c.conv_dims();
+        let (ph, pw) = c.pool_dims();
+        let (oc, p) = (c.conv_channels(), c.pool());
+        let mut pooled = vec![0i8; oc * ph * pw];
+        for ch in 0..oc {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let mut best = i8::MIN;
+                    for ky in 0..p {
+                        for kx in 0..p {
+                            let off = ch * oh * ow + (py * p + ky) * ow + (px * p + kx);
+                            best = best.max(relu[off]);
+                        }
+                    }
+                    pooled[ch * ph * pw + py * pw + px] = best;
+                }
+            }
+        }
+        pooled
+    }
+
+    /// Requantizes a vector of i32 accumulators into i8 activations and
+    /// applies ReLU in the integer domain (sound because the requantizer
+    /// is monotone), counting saturation.
+    fn requant_relu(&mut self, accs: &[i32], requant: Requant) -> Vec<i8> {
+        let mut sat = 0u64;
+        let out = accs
+            .iter()
+            .map(|&a| requant.apply_i8(a, &mut sat).max(0))
+            .collect();
+        self.stats.activation_saturated += sat;
+        out
+    }
+
+    /// Dequantizes final i32 logit accumulators into real-valued logits.
+    fn dequant_logits(&self, accs: &[i32]) -> Tensor {
+        let logits: Vec<f32> = accs
+            .iter()
+            .map(|&a| (a as f64 * self.logit_scale) as f32)
+            .collect();
+        Tensor::from_vec(vec![self.config.classes()], logits).expect("logit shape")
+    }
+
+    /// Integer forward pass. Bit-exact under any loop order or thread
+    /// count: every accumulation is exact i32 addition.
+    pub fn forward_quantized(&mut self, input: &Tensor) -> Tensor {
+        let q_input = self.quantize_input(input);
+        let c = self.config;
+        let (oh, ow) = c.conv_dims();
+        let (oc, k) = (c.conv_channels(), c.kernel());
+        let (ih, iw) = (c.in_height(), c.in_width());
+        let kernel_len = c.in_channels() * k * k;
+
+        // Convolution with per-node replica kernels, all-i32 exact.
+        let mut conv = vec![0i32; oc * oh * ow];
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let unit = o * oh * ow + oy * ow + ox;
+                    let (weights, bias) = self.unit_kernel(unit, o, kernel_len);
+                    let mut acc = bias;
+                    let mut w_off = 0;
+                    for icn in 0..c.in_channels() {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let x = q_input[icn * ih * iw + (oy + ky) * iw + (ox + kx)];
+                                acc += weights[w_off] as i32 * x as i32;
+                                w_off += 1;
+                            }
+                        }
+                    }
+                    conv[unit] = acc;
+                }
+            }
+        }
+        let relu = self.requant_relu(&conv, self.conv_requant);
+        let pooled = self.pool_i8(&relu);
+
+        // Dense 1 + ReLU, dense 2 — the same cache-blocked kernel the
+        // perf trajectory benchmarks.
+        let hidden_acc =
+            dense_i8_blocked(&self.dense1.weights, &self.dense1.bias, &pooled, c.hidden());
+        let hidden = self.requant_relu(&hidden_acc, self.hidden_requant);
+        let logit_acc = dense_i8_blocked(
+            &self.dense2.weights,
+            &self.dense2.bias,
+            &hidden,
+            c.classes(),
+        );
+        self.stats.forwards += 1;
+        self.dequant_logits(&logit_acc)
+    }
+
+    /// Predicted class for an input.
+    pub fn predict_quantized(&mut self, input: &Tensor) -> usize {
+        self.forward_quantized(input).argmax()
+    }
+
+    /// Accuracy over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn accuracy_quantized(&mut self, data: &[(Tensor, usize)]) -> f64 {
+        assert!(!data.is_empty(), "empty evaluation set");
+        let correct = data
+            .iter()
+            .filter(|(x, t)| self.predict_quantized(x) == *t)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Integer forward pass through a lossy fabric; the quantized
+    /// analogue of [`DistributedCnn::forward_lossy`]. Returns `None`
+    /// when a lost message aborts the inference under a non-degrading
+    /// policy. With a lossless plan this is bit-identical to
+    /// [`QuantizedCnn::forward_quantized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape disagrees with the config.
+    pub fn forward_quantized_lossy(
+        &mut self,
+        input: &Tensor,
+        rt: &mut LossyRuntime,
+    ) -> Option<Tensor> {
+        self.forward_quantized_lossy_traced(input, rt, None)
+    }
+
+    /// [`QuantizedCnn::forward_quantized_lossy`] with per-unit hop spans
+    /// (`hop.qconv`, `hop.qpool`, `hop.qhidden`, `hop.qlogit`) pushed
+    /// under `scope` when given; `scope = None` is byte-for-byte the
+    /// untraced path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape disagrees with the config.
+    pub fn forward_quantized_lossy_traced(
+        &mut self,
+        input: &Tensor,
+        rt: &mut LossyRuntime,
+        mut scope: Option<&mut SpanScope<'_>>,
+    ) -> Option<Tensor> {
+        let q_input = self.quantize_input(input);
+        let c = self.config;
+        let (oh, ow) = c.conv_dims();
+        let (ph, pw) = c.pool_dims();
+        let (oc, k, p) = (c.conv_channels(), c.kernel(), c.pool());
+        let (ih, iw) = (c.in_height(), c.in_width());
+        let kernel_len = c.in_channels() * k * k;
+
+        // Convolution: each conv unit pulls its receptive field (one
+        // byte per input unit, shipped as its exact f32 image) from the
+        // sensors hosting the input units.
+        let mut conv = vec![0i32; oc * oh * ow];
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let unit = o * oh * ow + oy * ow + ox;
+                    let dst = self.conv_unit_host[unit];
+                    let (weights, bias) = match &self.per_unit {
+                        Some(pk) => (
+                            &pk.weights[unit * kernel_len..(unit + 1) * kernel_len],
+                            pk.bias[unit],
+                        ),
+                        None => {
+                            let rep = &self.replicas[&dst];
+                            (
+                                &rep.weights[o * kernel_len..(o + 1) * kernel_len],
+                                rep.bias[o],
+                            )
+                        }
+                    };
+                    let probe = scope.is_some().then(|| HopProbe::open(rt));
+                    let mut acc = bias;
+                    let mut w_off = 0;
+                    for icn in 0..c.in_channels() {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let in_unit = icn * ih * iw + (oy + ky) * iw + (ox + kx);
+                                let src = self.assignment.host_of(0, in_unit);
+                                let sent = q_input[in_unit] as f32;
+                                let v =
+                                    rt.fetch(sent, src, dst, STAGE_INPUT_CONV, in_unit, unit)?;
+                                acc += weights[w_off] as i32 * requantize_received(v) as i32;
+                                w_off += 1;
+                            }
+                        }
+                    }
+                    if let (Some(s), Some(pr)) = (scope.as_mut(), probe) {
+                        pr.close(rt, s, "hop.qconv");
+                    }
+                    conv[unit] = acc;
+                }
+            }
+        }
+        let relu = self.requant_relu(&conv, self.conv_requant);
+
+        // Max pooling: each pool unit pulls its window from the conv
+        // units' hosts and maxes in the i8 domain.
+        let mut pooled = vec![0i8; oc * ph * pw];
+        for ch in 0..oc {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let punit = ch * ph * pw + py * pw + px;
+                    let dst = self.assignment.host_of(2, punit);
+                    let probe = scope.is_some().then(|| HopProbe::open(rt));
+                    let mut best = i8::MIN;
+                    for ky in 0..p {
+                        for kx in 0..p {
+                            let off = ch * oh * ow + (py * p + ky) * ow + (px * p + kx);
+                            let src = self.conv_unit_host[off];
+                            let v =
+                                rt.fetch(relu[off] as f32, src, dst, STAGE_CONV_POOL, off, punit)?;
+                            best = best.max(requantize_received(v));
+                        }
+                    }
+                    if let (Some(s), Some(pr)) = (scope.as_mut(), probe) {
+                        pr.close(rt, s, "hop.qpool");
+                    }
+                    pooled[punit] = best;
+                }
+            }
+        }
+
+        // Dense 1 + ReLU: each hidden unit pulls the pooled vector.
+        let mut hidden_acc = vec![0i32; c.hidden()];
+        for (h, slot) in hidden_acc.iter_mut().enumerate() {
+            let dst = self.assignment.host_of(3, h);
+            let row = &self.dense1.weights[h * pooled.len()..(h + 1) * pooled.len()];
+            let probe = scope.is_some().then(|| HopProbe::open(rt));
+            let mut received = Vec::with_capacity(pooled.len());
+            for (i, &v) in pooled.iter().enumerate() {
+                let src = self.assignment.host_of(2, i);
+                let got = rt.fetch(v as f32, src, dst, STAGE_POOL_HIDDEN, i, h)?;
+                received.push(requantize_received(got));
+            }
+            if let (Some(s), Some(pr)) = (scope.as_mut(), probe) {
+                pr.close(rt, s, "hop.qhidden");
+            }
+            *slot = self.dense1.bias[h] + dot_i8(row, &received);
+        }
+        let hidden = self.requant_relu(&hidden_acc, self.hidden_requant);
+
+        // Dense 2: each class unit pulls the hidden vector.
+        let mut logit_acc = vec![0i32; c.classes()];
+        for (o, slot) in logit_acc.iter_mut().enumerate() {
+            let dst = self.assignment.host_of(4, o);
+            let row = &self.dense2.weights[o * c.hidden()..(o + 1) * c.hidden()];
+            let probe = scope.is_some().then(|| HopProbe::open(rt));
+            let mut received = Vec::with_capacity(c.hidden());
+            for (h, &v) in hidden.iter().enumerate() {
+                let src = self.assignment.host_of(3, h);
+                let got = rt.fetch(v as f32, src, dst, STAGE_HIDDEN_LOGIT, h, o)?;
+                received.push(requantize_received(got));
+            }
+            if let (Some(s), Some(pr)) = (scope.as_mut(), probe) {
+                pr.close(rt, s, "hop.qlogit");
+            }
+            *slot = self.dense2.bias[o] + dot_i8(row, &received);
+        }
+        self.stats.forwards += 1;
+        Some(self.dequant_logits(&logit_acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::WeightUpdate;
+    use zeiot_core::rng::SeedRng;
+    use zeiot_core::time::SimDuration;
+    use zeiot_fault::{DegradeMode, FaultPlan, RecoveryPolicy};
+    use zeiot_net::Topology;
+
+    fn trained_setup(update: WeightUpdate, seed: u64) -> (DistributedCnn, Vec<(Tensor, usize)>) {
+        let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, 2).unwrap();
+        let topo = Topology::grid(3, 3, 2.0, 3.0).unwrap();
+        let graph = config.unit_graph().unwrap();
+        let assignment = Assignment::balanced_correspondence(&graph, &topo);
+        let mut rng = SeedRng::new(seed);
+        let mut net = DistributedCnn::new(config, assignment, update, &mut rng);
+
+        let mut data = Vec::new();
+        let mut drng = SeedRng::new(99);
+        for _ in 0..30 {
+            for class in 0..2usize {
+                let mut img = Tensor::zeros(vec![1, 8, 8]);
+                for y in 0..4 {
+                    for x in 0..4 {
+                        let (yy, xx) = if class == 0 { (y, x) } else { (y + 4, x + 4) };
+                        img.set(&[0, yy, xx], 1.0 + drng.normal_with(0.0, 0.1) as f32);
+                    }
+                }
+                data.push((img, class));
+            }
+        }
+        let mut trng = SeedRng::new(7);
+        for _ in 0..15 {
+            net.train_epoch(&data, 0.08, 8, &mut trng);
+        }
+        (net, data)
+    }
+
+    fn grid_topology() -> Topology {
+        Topology::grid(3, 3, 2.0, 3.0).unwrap()
+    }
+
+    #[test]
+    fn quantized_model_agrees_with_f32_on_a_trained_task() {
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 20);
+        let calibration: Vec<Tensor> = data.iter().take(16).map(|(x, _)| x.clone()).collect();
+        let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+        let f32_acc = net.accuracy(&data);
+        let q_acc = qnet.accuracy_quantized(&data);
+        assert!(f32_acc > 0.85, "f32 baseline failed to train: {f32_acc}");
+        assert!(
+            (f32_acc - q_acc).abs() <= 0.1,
+            "quantization cost too much accuracy: f32={f32_acc} i8={q_acc}"
+        );
+        assert_eq!(qnet.stats().forwards, data.len() as u64);
+    }
+
+    #[test]
+    fn quantized_forward_is_reproducible() {
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 21);
+        let calibration: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+        let mut a = QuantizedCnn::new(&mut net, &calibration);
+        let mut b = a.clone();
+        for (x, _) in data.iter().take(10) {
+            assert_eq!(a.forward_quantized(x).data(), b.forward_quantized(x).data());
+        }
+    }
+
+    #[test]
+    fn lossless_lossy_pass_is_bit_identical_to_plain_quantized() {
+        for update in [WeightUpdate::Independent, WeightUpdate::PerUnit] {
+            let (mut net, data) = trained_setup(update, 22);
+            let calibration: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+            let mut a = QuantizedCnn::new(&mut net, &calibration);
+            let mut b = a.clone();
+            let topo = grid_topology();
+            let mut rt = LossyRuntime::new(
+                FaultPlan::lossless(),
+                RecoveryPolicy::FailFast,
+                &topo,
+                SimDuration::from_millis(500),
+            );
+            for (x, _) in data.iter().take(10) {
+                let plain = a.forward_quantized(x);
+                let lossy = b
+                    .forward_quantized_lossy(x, &mut rt)
+                    .expect("lossless never aborts");
+                assert_eq!(plain.data(), lossy.data(), "{update:?}");
+                rt.advance_pass();
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_quantized_pass_never_aborts_and_is_reproducible() {
+        let run = |mode| {
+            let (mut net, data) = trained_setup(WeightUpdate::Independent, 23);
+            let calibration: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+            let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+            let topo = grid_topology();
+            let mut rt = LossyRuntime::new(
+                FaultPlan::uniform(3, 0.2).unwrap(),
+                RecoveryPolicy::Degrade { mode },
+                &topo,
+                SimDuration::from_millis(500),
+            );
+            let mut out = Vec::new();
+            for (x, _) in data.iter().take(10) {
+                let logits = qnet
+                    .forward_quantized_lossy(x, &mut rt)
+                    .expect("degrade never aborts");
+                out.extend_from_slice(logits.data());
+                rt.advance_pass();
+            }
+            assert!(rt.stats().degraded > 0, "{mode:?}");
+            out
+        };
+        for mode in [DegradeMode::ZeroFill, DegradeMode::LastValueHold] {
+            assert_eq!(run(mode), run(mode));
+        }
+    }
+
+    #[test]
+    fn fail_fast_aborts_under_certain_loss() {
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 24);
+        let calibration: Vec<Tensor> = data.iter().take(4).map(|(x, _)| x.clone()).collect();
+        let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+        let topo = grid_topology();
+        let mut rt = LossyRuntime::new(
+            FaultPlan::uniform(1, 1.0).unwrap(),
+            RecoveryPolicy::FailFast,
+            &topo,
+            SimDuration::from_millis(500),
+        );
+        assert!(qnet.forward_quantized_lossy(&data[0].0, &mut rt).is_none());
+    }
+
+    #[test]
+    fn traced_quantized_pass_matches_untraced_and_emits_hop_spans() {
+        use zeiot_core::time::SimTime;
+        use zeiot_obs::trace::{ClockDomain, SpanEvent, SpanLayer, TraceSampler, Tracer};
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 25);
+        let calibration: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+        let mut a = QuantizedCnn::new(&mut net, &calibration);
+        let mut b = a.clone();
+        let topo = grid_topology();
+        let mk = || {
+            LossyRuntime::new(
+                FaultPlan::uniform(7, 0.1).unwrap(),
+                RecoveryPolicy::Degrade {
+                    mode: DegradeMode::ZeroFill,
+                },
+                &topo,
+                SimDuration::from_millis(500),
+            )
+        };
+        let (mut rt_a, mut rt_b) = (mk(), mk());
+        let mut tracer = Tracer::new(TraceSampler::always());
+        let root = tracer
+            .begin(0, 0, "serve.request", SpanLayer::Request, SimTime::ZERO)
+            .unwrap();
+        let mut scope = tracer.scope(0, 0, root).unwrap();
+        let plain = a.forward_quantized_lossy(&data[0].0, &mut rt_a).unwrap();
+        let traced = b
+            .forward_quantized_lossy_traced(&data[0].0, &mut rt_b, Some(&mut scope))
+            .unwrap();
+        assert_eq!(plain.data(), traced.data());
+        assert_eq!(*rt_a.stats(), *rt_b.stats());
+        tracer.finish(0, 0, SimTime::ZERO);
+        let trace = tracer.take_finished().remove(0);
+        let hop_spans: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.layer == SpanLayer::Hop)
+            .collect();
+        assert!(!hop_spans.is_empty(), "cross-node fetches must leave spans");
+        assert!(hop_spans.iter().all(|s| s.clock == ClockDomain::Fabric));
+        assert!(hop_spans.iter().any(|s| s.name.starts_with("hop.q")));
+        let span_messages: u64 = hop_spans
+            .iter()
+            .flat_map(|s| &s.events)
+            .map(|e| match e.event {
+                SpanEvent::Messages { sent } => sent,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(span_messages, rt_b.stats().sent);
+    }
+
+    #[test]
+    fn stats_reach_the_recorder() {
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 26);
+        let calibration: Vec<Tensor> = data.iter().take(4).map(|(x, _)| x.clone()).collect();
+        let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+        for (x, _) in data.iter().take(5) {
+            let _ = qnet.forward_quantized(x);
+        }
+        let mut rec = Recorder::new();
+        qnet.stats().record_to(&mut rec, Label::Global);
+        assert_eq!(rec.counter_value("quant.forwards", &Label::Global), 5);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_quantized_model() {
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 27);
+        let calibration: Vec<Tensor> = data.iter().take(4).map(|(x, _)| x.clone()).collect();
+        let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+        let json = serde_json::to_string(&qnet).unwrap();
+        let mut restored: QuantizedCnn = serde_json::from_str(&json).unwrap();
+        for (x, _) in data.iter().take(5) {
+            assert_eq!(
+                qnet.forward_quantized(x).data(),
+                restored.forward_quantized(x).data()
+            );
+        }
+    }
+
+    #[test]
+    fn received_value_requantization_is_total() {
+        assert_eq!(requantize_received(5.0), 5);
+        assert_eq!(requantize_received(5.4), 5);
+        assert_eq!(requantize_received(-5.5), -6);
+        assert_eq!(requantize_received(1e9), 127);
+        assert_eq!(requantize_received(-1e9), -127);
+        assert_eq!(requantize_received(f32::NAN), 0);
+        assert_eq!(requantize_received(f32::INFINITY), 127);
+    }
+}

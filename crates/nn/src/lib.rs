@@ -46,10 +46,12 @@ pub mod eval;
 pub mod layers;
 pub mod loss;
 pub mod network;
+pub mod quant;
 pub mod tensor;
 pub mod topology;
 
 pub use eval::ConfusionMatrix;
 pub use network::Sequential;
+pub use quant::{Calibration, QTensor, Requant};
 pub use tensor::Tensor;
 pub use topology::{LayerSpec, UnitGraph, UnitId};

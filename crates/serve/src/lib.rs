@@ -74,5 +74,5 @@ pub use request::{Completion, Outcome, RejectReason, Request, ServiceMode, Tenan
 pub use server::{DegradedServing, ServeConfig, ServeOutcome, Server};
 pub use shard::Shard;
 pub use stats::{ServeReport, TenantStats};
-pub use tenant::{Tenant, TenantSpec};
+pub use tenant::{QuantMode, Tenant, TenantSpec};
 pub use windows::windowed_snapshots;

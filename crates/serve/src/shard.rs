@@ -381,21 +381,33 @@ impl Shard {
 
     /// Runs one inference down the degradation ladder. When `scope` is
     /// present, the lossy runtime appends fabric-clock hop spans under
-    /// its parent (the request's infer span).
+    /// its parent (the request's infer span). A tenant serving in
+    /// [`crate::QuantMode::Int8`] executes its frozen integer model
+    /// through the very same ladder.
     fn execute(
         &mut self,
         req: &Request,
         tenants: &mut [Tenant],
         mut scope: Option<SpanScope<'_>>,
     ) -> Option<(ServiceMode, Vec<f32>)> {
-        let net = &mut tenants[req.tenant].net;
+        let tenant = &mut tenants[req.tenant];
+        let (net, quantized) = (&mut tenant.net, &mut tenant.quantized);
         match &mut self.fabric {
             // No fabric: the exact in-memory pass, byte-identical to
-            // calling `DistributedCnn::forward` directly.
-            None => Some((ServiceMode::Full, net.forward(&req.input).data().to_vec())),
+            // calling the model's forward directly.
+            None => {
+                let logits = match quantized {
+                    Some(q) => q.forward_quantized(&req.input),
+                    None => net.forward(&req.input),
+                };
+                Some((ServiceMode::Full, logits.data().to_vec()))
+            }
             Some(rt) => {
                 let substituted_before = rt.stats().degraded + rt.stats().corrupted;
-                let out = net.forward_lossy_traced(&req.input, rt, scope.as_mut());
+                let out = match quantized {
+                    Some(q) => q.forward_quantized_lossy_traced(&req.input, rt, scope.as_mut()),
+                    None => net.forward_lossy_traced(&req.input, rt, scope.as_mut()),
+                };
                 rt.advance_pass();
                 match out {
                     Some(logits) => {

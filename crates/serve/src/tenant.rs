@@ -2,14 +2,37 @@
 
 use crate::arrival::ArrivalProcess;
 use zeiot_core::time::SimDuration;
-use zeiot_microdeep::DistributedCnn;
+use zeiot_microdeep::{DistributedCnn, QuantizedCnn};
 use zeiot_nn::tensor::Tensor;
 
 /// Default per-tenant admission cap (queued requests).
 pub const DEFAULT_MAX_QUEUED: usize = 32;
 
+/// The numeric format a tenant's inferences execute in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QuantMode {
+    /// The f32 training-precision forward pass.
+    #[default]
+    F32,
+    /// The deployed integer path: i8 weights and activations, exact i32
+    /// accumulation ([`zeiot_microdeep::QuantizedCnn`]). The model is
+    /// frozen at tenant construction, calibrated on the tenant's sample
+    /// pool.
+    Int8,
+}
+
+impl QuantMode {
+    /// Stable lowercase label for reports and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuantMode::F32 => "f32",
+            QuantMode::Int8 => "int8",
+        }
+    }
+}
+
 /// Everything about a tenant except its model: identity, offered load,
-/// latency contract, and admission cap.
+/// latency contract, admission cap, and numeric format.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Human-readable tenant name (report and metric label).
@@ -22,16 +45,19 @@ pub struct TenantSpec {
     /// at once; arrivals beyond it are shed with
     /// [`crate::RejectReason::TenantLimit`].
     pub max_queued: usize,
+    /// Numeric format of the tenant's inferences.
+    pub quant: QuantMode,
 }
 
 impl TenantSpec {
-    /// A spec with the default admission cap.
+    /// A spec with the default admission cap, serving in f32.
     pub fn new(name: impl Into<String>, arrivals: ArrivalProcess, deadline: SimDuration) -> Self {
         Self {
             name: name.into(),
             arrivals,
             deadline,
             max_queued: DEFAULT_MAX_QUEUED,
+            quant: QuantMode::F32,
         }
     }
 
@@ -45,6 +71,12 @@ impl TenantSpec {
         self.max_queued = max_queued;
         self
     }
+
+    /// Selects the numeric format the tenant serves in.
+    pub fn with_quant(mut self, quant: QuantMode) -> Self {
+        self.quant = quant;
+        self
+    }
 }
 
 /// A tenant: its spec, its deployed model, and the labelled sample pool
@@ -56,24 +88,39 @@ pub struct Tenant {
     /// The tenant's identity and contracts.
     pub spec: TenantSpec,
     pub(crate) net: DistributedCnn,
+    /// The frozen integer model, present iff the spec asks for
+    /// [`QuantMode::Int8`]; calibrated on the sample pool at
+    /// construction.
+    pub(crate) quantized: Option<QuantizedCnn>,
     pool: Vec<(Tensor, usize)>,
 }
 
 impl Tenant {
-    /// Builds a tenant.
+    /// Builds a tenant. Under [`QuantMode::Int8`] the model is frozen
+    /// here: the tenant's sample pool serves as the calibration set for
+    /// activation-scale selection.
     ///
     /// # Errors
     ///
     /// Returns an error if `pool` is empty.
     pub fn new(
         spec: TenantSpec,
-        net: DistributedCnn,
+        mut net: DistributedCnn,
         pool: Vec<(Tensor, usize)>,
     ) -> Result<Self, String> {
         if pool.is_empty() {
             return Err(format!("tenant {}: empty sample pool", spec.name));
         }
-        Ok(Self { spec, net, pool })
+        let quantized = (spec.quant == QuantMode::Int8).then(|| {
+            let calibration: Vec<Tensor> = pool.iter().map(|(x, _)| x.clone()).collect();
+            QuantizedCnn::new(&mut net, &calibration)
+        });
+        Ok(Self {
+            spec,
+            net,
+            quantized,
+            pool,
+        })
     }
 
     /// The input and ground-truth label request `seq` carries.
@@ -85,6 +132,12 @@ impl Tenant {
     /// The tenant's deployed model.
     pub fn model(&self) -> &DistributedCnn {
         &self.net
+    }
+
+    /// The tenant's frozen integer model, when serving in
+    /// [`QuantMode::Int8`].
+    pub fn quantized_model(&self) -> Option<&QuantizedCnn> {
+        self.quantized.as_ref()
     }
 }
 

@@ -9,8 +9,8 @@
 //! assignment.
 
 use zeiot_bench::experiments::{
-    e10_serving, e11_slo, e1_temperature, e2_motion, e3_mac, e4_train, e5_counting, e6_csi,
-    e7_link, e8_energy, e9_faults,
+    e10_serving, e11_slo, e12_quant, e1_temperature, e2_motion, e3_mac, e4_train, e5_counting,
+    e6_csi, e7_link, e8_energy, e9_faults,
 };
 use zeiot_bench::SweepRunner;
 use zeiot_core::rng::SeedRng;
@@ -161,6 +161,37 @@ fn e11_exported_snapshot_is_thread_invariant() {
     let params = e11_slo::Params::reduced();
     let serial = e11_slo::run_with(&params, &SweepRunner::serial()).export_snapshot();
     let parallel = e11_slo::run_with(&params, &SweepRunner::new(4)).export_snapshot();
+    assert_eq!(serial, parallel);
+}
+
+/// E12 serves the same workload in f32 and int8. The integer path's
+/// accumulation is exact (reassociation-free by construction), so the
+/// quantized points have no excuse at all: report bytes and trace JSONL
+/// bytes must match at every thread count.
+#[test]
+fn e12_report_and_trace_jsonl_are_thread_invariant() {
+    let params = e12_quant::Params::reduced();
+    let (serial_report, serial_traces) =
+        e12_quant::run_with_traces(&params, &SweepRunner::serial());
+    let (parallel_report, parallel_traces) =
+        e12_quant::run_with_traces(&params, &SweepRunner::new(4));
+    assert_thread_invariant("E12", &serial_report.to_json(), &parallel_report.to_json());
+    assert_eq!(
+        traces_to_jsonl(&serial_traces),
+        traces_to_jsonl(&parallel_traces),
+        "E12: trace JSONL differs between --threads 1 and --threads 4"
+    );
+    assert!(!serial_traces.is_empty(), "E12 must sample some traces");
+}
+
+/// E12's exported snapshot carries the `quant.*` counters next to the
+/// serving metrics; the merged per-point snapshot must not move with
+/// the thread count either.
+#[test]
+fn e12_exported_snapshot_is_thread_invariant() {
+    let params = e12_quant::Params::reduced();
+    let serial = e12_quant::run_with(&params, &SweepRunner::serial()).export_snapshot();
+    let parallel = e12_quant::run_with(&params, &SweepRunner::new(4)).export_snapshot();
     assert_eq!(serial, parallel);
 }
 
