@@ -1,12 +1,12 @@
 //! The tracked perf trajectory: the workspace's hottest paths — the
 //! MicroDeep forward pass (f32 lossless, f32 through a degraded
 //! fabric, and the deployed int8 path), the blocked i8 dense kernel,
-//! and the serving layer's admission/dispatch loop — timed by the
-//! vendored criterion stub and exported as `BENCH_7.json` for the CI
-//! `perf` job to archive.
+//! the incremental re-placement planner, and the serving layer's
+//! admission/dispatch loop — timed by the vendored criterion stub and
+//! exported as `BENCH_8.json` for the CI `perf` job to archive.
 //!
 //! Usage: `cargo bench -p zeiot-bench --bench perf_trajectory --
-//! [--out PATH]` (default `BENCH_7.json` in the working directory).
+//! [--out PATH]` (default `BENCH_8.json` in the working directory).
 //! `ZEIOT_BENCH_ITERS` overrides the per-bench iteration count (CI's
 //! smoke profile uses a small value; the default is the stub's 10).
 //!
@@ -20,6 +20,7 @@ use std::hint::black_box;
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
 use zeiot_fault::{DegradeMode, FaultPlan, RecoveryPolicy};
+use zeiot_microdeep::replace::plan_incremental;
 use zeiot_microdeep::{
     Assignment, CnnConfig, DistributedCnn, LossyRuntime, QuantizedCnn, WeightUpdate,
 };
@@ -139,6 +140,30 @@ fn bench_serve_dispatch(c: &mut Criterion) {
     });
 }
 
+fn bench_replace_incremental(c: &mut Criterion) {
+    // Re-plan the temperature CNN after a two-node brownout: the warm
+    // start should stay proportional to the orphan count, which is
+    // what makes per-request polling affordable in the serving loop.
+    let (net, topo) = temperature_net(11);
+    let graph = net.config().unit_graph().expect("valid graph");
+    let assignment = net.assignment().clone();
+    let down = [
+        zeiot_core::id::NodeId::new(12),
+        zeiot_core::id::NodeId::new(27),
+    ];
+    c.bench_function("microdeep_replace_incremental", |b| {
+        b.iter(|| {
+            black_box(plan_incremental(
+                black_box(&graph),
+                black_box(&topo),
+                black_box(&assignment),
+                black_box(&down),
+                usize::MAX,
+            ))
+        })
+    });
+}
+
 fn results_json(c: &Criterion) -> String {
     let mut out =
         String::from("{\n  \"schema\": \"zeiot-bench-trajectory/1\",\n  \"benches\": [\n");
@@ -167,7 +192,7 @@ fn main() {
             eprintln!("--out requires a path");
             std::process::exit(2);
         }
-        None => "BENCH_7.json".to_string(),
+        None => "BENCH_8.json".to_string(),
     };
     let iters: u32 = std::env::var("ZEIOT_BENCH_ITERS")
         .ok()
@@ -178,6 +203,7 @@ fn main() {
     bench_microdeep_forward_lossy(&mut criterion);
     bench_microdeep_forward_quantized(&mut criterion);
     bench_nn_dense_i8_blocked(&mut criterion);
+    bench_replace_incremental(&mut criterion);
     bench_serve_dispatch(&mut criterion);
     let json = results_json(&criterion);
     if let Err(e) = std::fs::write(&out_path, &json) {

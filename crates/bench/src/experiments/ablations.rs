@@ -12,7 +12,7 @@ use zeiot_core::id::NodeId;
 use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
 use zeiot_data::gait::GaitGenerator;
-use zeiot_microdeep::resilience::reassign_after_failures;
+use zeiot_microdeep::replace::plan_incremental;
 use zeiot_microdeep::{Assignment, CnnConfig, CostModel, DistributedCnn, WeightUpdate};
 use zeiot_net::Topology;
 
@@ -146,7 +146,7 @@ pub fn run(params: &Params) -> ExperimentReport {
     let mut peaks = Vec::new();
     for kill in [0usize, 4, 8, 16] {
         let failed: Vec<NodeId> = (0..kill as u32).map(|i| NodeId::new(i * 3 + 1)).collect();
-        let (repaired, _) = reassign_after_failures(&graph, &topo, &assignment, &failed);
+        let (repaired, _) = plan_incremental(&graph, &topo, &assignment, &failed, usize::MAX);
         let degraded = topo.without_nodes(&failed);
         let c = CostModel::new(&degraded).forward_cost(&graph, &repaired);
         kills.push(kill as f64);

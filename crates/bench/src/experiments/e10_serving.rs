@@ -206,8 +206,9 @@ pub fn cnn_config() -> CnnConfig {
 }
 
 /// The nominal tenant mix: three context-recognition applications with
-/// different arrival shapes and the same latency contract.
-fn tenant_specs(load_scale: f64) -> Vec<TenantSpec> {
+/// different arrival shapes and the same latency contract (shared with
+/// E13).
+pub(crate) fn tenant_specs(load_scale: f64) -> Vec<TenantSpec> {
     let mix = [
         ("motion", ArrivalProcess::poisson(8.0)),
         (
@@ -310,12 +311,14 @@ pub fn run_with(params: &Params, runner: &SweepRunner) -> ExperimentReport {
                     policy: RecoveryPolicy::Degrade { mode },
                     pass_period: PASS_PERIOD,
                     stale_cache: false,
+                    replace: None,
                 }),
                 Degradation::StaleFallback { loss } => server.with_degraded(DegradedServing {
                     plan: FaultPlan::uniform(plan_seed, loss).expect("valid rate"),
                     policy: RecoveryPolicy::FailFast,
                     pass_period: PASS_PERIOD,
                     stale_cache: true,
+                    replace: None,
                 }),
             };
             let outcome = server.run(params.seed, horizon, Some(recorder));

@@ -259,6 +259,7 @@ pub fn run_with_traces(params: &Params, runner: &SweepRunner) -> (ExperimentRepo
                 },
                 pass_period: PASS_PERIOD,
                 stale_cache: true,
+                replace: None,
             });
         }
         // Sampling is a pure function of (seed, point, trace id), so the

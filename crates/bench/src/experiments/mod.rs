@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod e10_serving;
 pub mod e11_slo;
 pub mod e12_quant;
+pub mod e13_replace;
 pub mod e1_temperature;
 pub mod e2_motion;
 pub mod e3_mac;

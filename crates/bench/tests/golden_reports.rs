@@ -1,8 +1,8 @@
 //! Golden-report regression tests.
 //!
-//! E1, E4 and E12 reduced reports at the default seed are committed as JSON
-//! fixtures; any change to data generation, training, evaluation, or the
-//! sweep layer that shifts a single byte of the report fails here. To
+//! E1, E4, E12 and E13 reduced reports at the default seed are committed as
+//! JSON fixtures; any change to data generation, training, evaluation, or
+//! the sweep layer that shifts a single byte of the report fails here. To
 //! re-bless after an intentional change:
 //!
 //! ```text
@@ -10,7 +10,7 @@
 //! ```
 
 use std::path::PathBuf;
-use zeiot_bench::experiments::{e12_quant, e1_temperature, e4_train};
+use zeiot_bench::experiments::{e12_quant, e13_replace, e1_temperature, e4_train};
 use zeiot_bench::SweepRunner;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -55,4 +55,10 @@ fn e4_reduced_report_matches_golden() {
 fn e12_reduced_report_matches_golden() {
     let report = e12_quant::run_with(&e12_quant::Params::reduced(), &SweepRunner::serial());
     check_golden("e12_reduced.json", &report.to_json());
+}
+
+#[test]
+fn e13_reduced_report_matches_golden() {
+    let report = e13_replace::run_with(&e13_replace::Params::reduced(), &SweepRunner::serial());
+    check_golden("e13_reduced.json", &report.to_json());
 }

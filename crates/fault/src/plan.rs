@@ -230,6 +230,35 @@ impl FaultPlan {
             .is_some_and(|windows| windows.iter().any(|&(from, until)| t >= from && t < until))
     }
 
+    /// Point-query liveness for a controller: whether `node` is inside
+    /// an outage window at `t`.
+    ///
+    /// Unlike [`FaultPlan::decide`], this consumes no per-message fault
+    /// coordinates — a re-placement controller can poll it between
+    /// passes without perturbing any message's fate (decisions stay
+    /// pure functions of `(seed, src, dst, seq, attempt, now)`).
+    pub fn node_down_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.is_down(node, t)
+    }
+
+    /// The scheduled outage windows of `node`, half-open `[from, until)`
+    /// in time order. Empty for nodes with no scheduled outages.
+    pub fn outage_windows(&self, node: NodeId) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        self.outages.get(&node.raw()).into_iter().flatten().copied()
+    }
+
+    /// Every node that is dark at `t`, in ascending id order — the
+    /// liveness signal a re-placement controller compares across polls
+    /// to detect an epoch of change. Deterministic: the outage map is a
+    /// `BTreeMap`, so iteration order is the key order.
+    pub fn down_set_at(&self, t: SimTime) -> Vec<NodeId> {
+        self.outages
+            .iter()
+            .filter(|(_, windows)| windows.iter().any(|&(from, until)| t >= from && t < until))
+            .map(|(&raw, _)| NodeId::new(raw))
+            .collect()
+    }
+
     /// Fraction of `[SimTime::ZERO, horizon)` the node spends dark.
     pub fn downtime_fraction(&self, node: NodeId, horizon: SimTime) -> f64 {
         let total = horizon.duration_since(SimTime::ZERO).as_secs_f64();
@@ -452,6 +481,59 @@ mod tests {
         assert!(!plan.is_down(n(1), SimTime::from_secs(20)));
         let f = plan.downtime_fraction(n(1), SimTime::from_secs(20));
         assert!((f - (3.0 + 8.0) / 20.0).abs() < 1e-9, "f={f}");
+    }
+
+    #[test]
+    fn liveness_point_queries_respect_window_edges() {
+        let plan = FaultPlan::lossless()
+            .with_outage(n(3), SimTime::from_secs(10), SimTime::from_secs(20))
+            .unwrap()
+            .with_outage(n(3), SimTime::from_secs(30), SimTime::from_secs(35))
+            .unwrap()
+            .with_outage(n(7), SimTime::from_secs(12), SimTime::from_secs(14))
+            .unwrap();
+        // Half-open [from, until): down at from, up at until, up before.
+        assert!(!plan.node_down_at(n(3), SimTime::from_secs(9)));
+        assert!(plan.node_down_at(n(3), SimTime::from_secs(10)));
+        assert!(plan.node_down_at(n(3), SimTime::from_secs(19)));
+        assert!(!plan.node_down_at(n(3), SimTime::from_secs(20)));
+        assert!(plan.node_down_at(n(3), SimTime::from_secs(30)));
+        assert!(!plan.node_down_at(n(3), SimTime::from_secs(35)));
+        // Nodes without scheduled outages are always up.
+        assert!(!plan.node_down_at(n(0), SimTime::from_secs(12)));
+
+        let windows: Vec<_> = plan.outage_windows(n(3)).collect();
+        assert_eq!(
+            windows,
+            vec![
+                (SimTime::from_secs(10), SimTime::from_secs(20)),
+                (SimTime::from_secs(30), SimTime::from_secs(35)),
+            ]
+        );
+        assert_eq!(plan.outage_windows(n(0)).count(), 0);
+
+        // The down-set is the sorted union of per-node liveness.
+        assert_eq!(
+            plan.down_set_at(SimTime::from_secs(5)),
+            Vec::<NodeId>::new()
+        );
+        assert_eq!(plan.down_set_at(SimTime::from_secs(13)), vec![n(3), n(7)]);
+        assert_eq!(plan.down_set_at(SimTime::from_secs(14)), vec![n(3)]);
+        assert_eq!(
+            plan.down_set_at(SimTime::from_secs(20)),
+            Vec::<NodeId>::new()
+        );
+        // Point queries consume nothing: message fates are unchanged.
+        let lossy = FaultPlan::uniform(42, 0.3).unwrap();
+        let before: Vec<_> = (0..64)
+            .map(|seq| lossy.decide(n(0), n(1), seq, 0, SimTime::ZERO))
+            .collect();
+        let _ = lossy.node_down_at(n(0), SimTime::ZERO);
+        let _ = lossy.down_set_at(SimTime::ZERO);
+        let after: Vec<_> = (0..64)
+            .map(|seq| lossy.decide(n(0), n(1), seq, 0, SimTime::ZERO))
+            .collect();
+        assert_eq!(before, after);
     }
 
     #[test]

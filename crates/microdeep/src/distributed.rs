@@ -292,7 +292,7 @@ impl DistributedCnn {
     /// Checks internal consistency: the assignment matches the config's
     /// unit graph, every conv unit has a hosting replica, and all
     /// parameter tensors have the shapes the config dictates.
-    fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         let c = &self.config;
         let graph = c.unit_graph().map_err(|e| format!("invalid config: {e}"))?;
         if self.assignment.layer_count() != graph.layer_count() {

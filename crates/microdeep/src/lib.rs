@@ -27,7 +27,10 @@
 //!   replicas updated *independently* (the paper's
 //!   communication-avoiding strategy, which "sacrific\[es\] some
 //!   accuracy") or synchronized (exact SGD);
-//! - [`resilience`] — unit re-assignment around failed nodes (§V).
+//! - [`replace`] — the runtime re-placement engine: fault/brownout-driven
+//!   "musical chairs" that re-homes units from dark nodes onto survivors
+//!   under a migration budget, shipping their state over the lossy fabric
+//!   (§V; subsumes the static [`resilience`] pass).
 //!
 //! # Example
 //!
@@ -61,6 +64,7 @@ pub mod distributed;
 pub mod instrument;
 pub mod lossy;
 pub mod quantized;
+pub mod replace;
 pub mod resilience;
 
 pub use assignment::Assignment;
@@ -70,3 +74,4 @@ pub use distributed::{DistributedCnn, WeightUpdate};
 pub use instrument::TrafficInstrument;
 pub use lossy::LossyRuntime;
 pub use quantized::{QuantStats, QuantizedCnn};
+pub use replace::{ReplaceConfig, ReplaceStats, ReplaceStrategy, ReplacementEngine};

@@ -119,7 +119,13 @@ impl LossyRuntime {
         self.fabric.note_aborted();
     }
 
-    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+    /// Mutable fabric access for in-crate transports that are not
+    /// per-edge fetches (the re-placement engine's state handoffs).
+    pub(crate) fn fabric_mut(&mut self) -> &mut LinkFabric {
+        &mut self.fabric
+    }
+
+    pub(crate) fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
         self.routes.hop_distance(src, dst).unwrap_or(1).max(1) as u32
     }
 

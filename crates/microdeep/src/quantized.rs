@@ -126,6 +126,12 @@ pub struct QuantizedCnn {
     dense2: QDense,
     /// Input quantization scale (calibrated).
     input_scale: f32,
+    /// Shared conv weight scale — kept so re-placed replicas can be
+    /// re-frozen into the exact deployed integer domain.
+    conv_weight_scale: f32,
+    /// Conv accumulator scale (`input_scale × conv_weight_scale`),
+    /// kept for re-freezing migrated replica biases.
+    conv_acc_scale: f64,
     /// Conv accumulator → conv activation domain.
     conv_requant: Requant,
     /// Dense-1 accumulator → hidden activation domain.
@@ -229,6 +235,8 @@ impl QuantizedCnn {
             dense1: quant_dense(&net.dense1.weights, &net.dense1.bias, s_w2, acc2),
             dense2: quant_dense(&net.dense2.weights, &net.dense2.bias, s_w3, acc3),
             input_scale: s_in,
+            conv_weight_scale: s_w1,
+            conv_acc_scale: acc1,
             conv_requant: Requant::from_ratio(acc1 / s_a1 as f64),
             hidden_requant: Requant::from_ratio(acc2 / s_a2 as f64),
             logit_scale: acc3,
@@ -249,6 +257,31 @@ impl QuantizedCnn {
     /// Usage and saturation counters accumulated so far.
     pub fn stats(&self) -> &QuantStats {
         &self.stats
+    }
+
+    /// Re-aligns this frozen deployment with `net`'s placement after the
+    /// re-placement engine migrated units: placement tables are adopted,
+    /// replicas on nodes that lost all their units are dropped, and
+    /// replicas on newly hosting nodes are frozen from `net`'s f32 state
+    /// at the **original** calibrated scales — the migrated i8 image is
+    /// therefore exactly the quantization of the shipped f32 replica, as
+    /// if the node had been part of the original freeze. Activation
+    /// scales and requantizers are untouched (re-placement moves units,
+    /// it does not retrain them), so an unchanged placement is a no-op.
+    pub fn resync_placement(&mut self, net: &DistributedCnn) {
+        self.assignment = net.assignment.clone();
+        self.conv_unit_host = net.conv_unit_host.clone();
+        self.replicas
+            .retain(|node, _| net.replicas.contains_key(node));
+        let quant_bias = |b: f32| (b as f64 / self.conv_acc_scale).round() as i32;
+        for (node, rep) in &net.replicas {
+            if self.replicas.contains_key(node) {
+                continue;
+            }
+            let (weights, _) = quantize_slice(rep.weights.data(), self.conv_weight_scale);
+            let bias = rep.bias.data().iter().map(|&b| quant_bias(b)).collect();
+            self.replicas.insert(*node, QConvReplica { weights, bias });
+        }
     }
 
     /// Quantizes an input tensor into the deployed input domain,
@@ -555,6 +588,7 @@ impl QuantizedCnn {
 mod tests {
     use super::*;
     use crate::distributed::WeightUpdate;
+    use crate::replace::{apply_offline, plan_incremental};
     use zeiot_core::rng::SeedRng;
     use zeiot_core::time::SimDuration;
     use zeiot_fault::{DegradeMode, FaultPlan, RecoveryPolicy};
@@ -606,6 +640,67 @@ mod tests {
             "quantization cost too much accuracy: f32={f32_acc} i8={q_acc}"
         );
         assert_eq!(qnet.stats().forwards, data.len() as u64);
+    }
+
+    #[test]
+    fn resync_placement_tracks_migrations_and_preserves_the_function() {
+        // Per-unit kernels travel with their units, so the quantized
+        // function is placement-invariant: the resynced model must
+        // produce bit-identical logits after a migration epoch.
+        let (mut net, data) = trained_setup(WeightUpdate::PerUnit, 23);
+        let calibration: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+        let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+
+        // Unchanged placement: resync is a no-op on the frozen state.
+        let frozen = serde_json::to_string(&qnet).unwrap();
+        let mut clone = qnet.clone();
+        clone.resync_placement(&net);
+        assert_eq!(serde_json::to_string(&clone).unwrap(), frozen);
+
+        let baseline: Vec<Vec<f32>> = data
+            .iter()
+            .take(6)
+            .map(|(x, _)| qnet.forward_quantized(x).data().to_vec())
+            .collect();
+
+        let topo = grid_topology();
+        let graph = net.config.unit_graph().unwrap();
+        let down = vec![NodeId::new(4)];
+        let (_, outcome) = plan_incremental(&graph, &topo, &net.assignment, &down, usize::MAX);
+        assert!(!outcome.migrations.is_empty(), "center node hosted nothing");
+        apply_offline(&mut net, &outcome.migrations, &down);
+
+        qnet.resync_placement(&net);
+        assert_eq!(qnet.assignment, net.assignment);
+        assert_eq!(qnet.conv_unit_host, net.conv_unit_host);
+        assert!(qnet.replicas.keys().eq(net.replicas.keys()));
+        for (i, (x, _)) in data.iter().take(6).enumerate() {
+            assert_eq!(qnet.forward_quantized(x).data(), &baseline[i][..]);
+        }
+    }
+
+    #[test]
+    fn resynced_replicas_match_a_fresh_freeze() {
+        // Under replica sharing the destination's new i8 replica must be
+        // exactly the quantization of the f32 replica it adopted — i.e.
+        // what QuantizedCnn::new would have produced had the node hosted
+        // units at freeze time.
+        let (mut net, data) = trained_setup(WeightUpdate::Independent, 24);
+        let calibration: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+        let mut qnet = QuantizedCnn::new(&mut net, &calibration);
+
+        let topo = grid_topology();
+        let graph = net.config.unit_graph().unwrap();
+        let down = vec![NodeId::new(4)];
+        let (_, outcome) = plan_incremental(&graph, &topo, &net.assignment, &down, usize::MAX);
+        apply_offline(&mut net, &outcome.migrations, &down);
+        qnet.resync_placement(&net);
+
+        for (node, qrep) in &qnet.replicas {
+            let frep = &net.replicas[node];
+            let (expect_w, _) = quantize_slice(frep.weights.data(), qnet.conv_weight_scale);
+            assert_eq!(qrep.weights, expect_w, "node {node}");
+        }
     }
 
     #[test]

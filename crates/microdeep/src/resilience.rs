@@ -1,16 +1,21 @@
-//! Resilience to node failures.
+//! Resilience to node failures — the static, offline recovery pass.
 //!
 //! Paper §V: "A part of tiny IoT devices may be broken. The development
 //! of resilient distributed machine learning mechanisms in the
 //! environments containing such broken IoT devices is also important."
 //!
-//! This module re-assigns units orphaned by node failures to surviving
-//! neighbours (respecting the balance cap) and quantifies the cost and
-//! coverage consequences.
+//! This module predates the runtime re-placement engine and survives as
+//! a thin wrapper: [`reassign_after_failures`] is now implemented as an
+//! unbounded [`crate::replace::plan_incremental`] pass (one a-priori
+//! epoch, no fabric, no migration budget). New code should use
+//! [`crate::replace`] directly — it adds liveness polling, bounded
+//! budgets, state handoff over the lossy fabric, and `replace.*`
+//! observability.
 
 use crate::assignment::Assignment;
+use crate::cost::CostModel;
+use crate::replace::plan_incremental;
 use zeiot_core::id::NodeId;
-use zeiot_net::routing::RoutingTable;
 use zeiot_net::topology::Topology;
 use zeiot_nn::topology::UnitGraph;
 
@@ -25,6 +30,13 @@ pub struct RecoveryReport {
     /// Input (sensor) units lost with their nodes — their readings are
     /// simply gone.
     pub lost_inputs: usize,
+    /// Total forward-pass traffic of the repaired assignment over the
+    /// degraded mesh minus the original assignment's over the healthy
+    /// mesh: the recurring per-pass cost of routing around the hole
+    /// (positive = recovery made every inference more expensive;
+    /// one-time state-handoff traffic is the runtime engine's ledger,
+    /// not this one).
+    pub traffic_delta: i64,
 }
 
 impl RecoveryReport {
@@ -34,91 +46,52 @@ impl RecoveryReport {
     }
 }
 
-/// Re-assigns units hosted on `failed` nodes to the nearest surviving
-/// node with spare capacity (cap = ⌈units / surviving nodes⌉); input
-/// units on failed sensors are counted as lost.
+/// Re-assigns units hosted on `failed` nodes to the surviving node with
+/// spare capacity (cap = ⌈units / surviving nodes⌉) nearest the unit's
+/// producers and consumers; input units on failed sensors are counted
+/// as lost.
 ///
 /// Returns the repaired assignment and a report.
 ///
 /// # Panics
 ///
 /// Panics if every node failed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `replace::plan_incremental` / `ReplacementEngine` — the runtime \
+            re-placement engine with liveness polling, migration budgets and \
+            fabric-charged state handoff"
+)]
 pub fn reassign_after_failures(
     graph: &UnitGraph,
     topo: &Topology,
     assignment: &Assignment,
     failed: &[NodeId],
 ) -> (Assignment, RecoveryReport) {
-    let surviving: Vec<NodeId> = topo.node_ids().filter(|n| !failed.contains(n)).collect();
-    assert!(!surviving.is_empty(), "all nodes failed");
+    let (repaired, outcome) = plan_incremental(graph, topo, assignment, failed, usize::MAX);
 
-    // Routes over the degraded topology (failed nodes cannot relay).
     let degraded = topo.without_nodes(failed);
-    let routes = RoutingTable::shortest_paths(&degraded);
-    let cap = graph.total_units().div_ceil(surviving.len());
-
-    let mut repaired = assignment.clone();
-    let mut load = vec![0usize; topo.len()];
-    for l in 1..graph.layer_count() {
-        for u in 0..graph.units_in_layer(l) {
-            let h = assignment.host_of(l, u);
-            if !failed.contains(&h) {
-                load[h.index()] += 1;
-            }
-        }
-    }
-
-    let mut moved = 0usize;
-    let mut stranded = 0usize;
-    for l in 1..graph.layer_count() {
-        for u in 0..graph.units_in_layer(l) {
-            let host = assignment.host_of(l, u);
-            if !failed.contains(&host) {
-                continue;
-            }
-            // Nearest surviving node (by hops in the degraded mesh from
-            // any of this unit's producer hosts — fall back to id order).
-            let candidate = surviving
-                .iter()
-                .filter(|n| load[n.index()] < cap)
-                .min_by_key(|n| {
-                    let d = graph
-                        .dependencies(l, u)
-                        .iter()
-                        .map(|&dep| {
-                            let src = repaired.host_of(l - 1, dep);
-                            routes.hop_distance(src, **n).unwrap_or(1_000)
-                        })
-                        .sum::<usize>();
-                    (d, n.raw())
-                })
-                .copied();
-            match candidate {
-                Some(new_host) => {
-                    repaired.set_host(l, u, new_host);
-                    load[new_host.index()] += 1;
-                    moved += 1;
-                }
-                None => stranded += 1,
-            }
-        }
-    }
-
-    let lost_inputs = (0..graph.units_in_layer(0))
-        .filter(|&i| failed.contains(&assignment.host_of(0, i)))
-        .count();
+    let before = CostModel::new(topo)
+        .forward_cost(graph, assignment)
+        .total_cost();
+    let after = CostModel::new(&degraded)
+        .forward_cost(graph, &repaired)
+        .total_cost();
+    let traffic_delta = after as i64 - before as i64;
 
     (
         repaired,
         RecoveryReport {
-            moved_units: moved,
-            stranded_units: stranded,
-            lost_inputs,
+            moved_units: outcome.migrations.len(),
+            stranded_units: outcome.stranded,
+            lost_inputs: outcome.lost_inputs,
+            traffic_delta,
         },
     )
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the deprecated wrapper is the point
 mod tests {
     use super::*;
     use crate::config::CnnConfig;
@@ -139,6 +112,7 @@ mod tests {
         assert_eq!(report.moved_units, 0);
         assert_eq!(report.stranded_units, 0);
         assert_eq!(report.lost_inputs, 0);
+        assert_eq!(report.traffic_delta, 0);
         assert!(report.fully_recovered());
     }
 
@@ -163,6 +137,9 @@ mod tests {
                 assert_ne!(repaired.host_of(l, u), victim);
             }
         }
+        // Re-routing around a hole in an equalized placement costs
+        // traffic; the delta must be reported and finite.
+        assert_ne!(report.traffic_delta, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use zeiot_core::rng::SeedRng;
 use zeiot_core::time::SimDuration;
 use zeiot_fault::{FaultPlan, FaultStats, RecoveryPolicy};
 use zeiot_microdeep::lossy::LossyRuntime;
+use zeiot_microdeep::replace::{ReplaceConfig, ReplaceStats, ReplacementEngine};
 use zeiot_net::Topology;
 use zeiot_obs::trace::{SpanLayer, Tracer};
 use zeiot_obs::{Label, Recorder};
@@ -79,6 +80,12 @@ pub struct DegradedServing {
     /// Answer from the last successful result when the fabric aborts a
     /// pass.
     pub stale_cache: bool,
+    /// Runtime re-placement: when set, every tenant gets a
+    /// [`ReplacementEngine`] that polls node liveness before each
+    /// inference and re-homes units off dark nodes between requests,
+    /// instead of letting them degrade to `Stale`/`Failed` for the rest
+    /// of the run. `None` preserves the static placement.
+    pub replace: Option<ReplaceConfig>,
 }
 
 /// What a run produced: the measured report plus the terminal
@@ -177,6 +184,13 @@ impl Server {
         mut recorder: Option<&mut Recorder>,
         mut tracer: Option<&mut Tracer>,
     ) -> ServeOutcome {
+        // Install fresh re-placement engines for this run (stats and
+        // liveness memory start clean, like the shards' fabrics).
+        let engine_config = self.degraded.as_ref().and_then(|d| d.replace);
+        for tenant in &mut self.tenants {
+            tenant.replace = engine_config.map(|cfg| ReplacementEngine::new(cfg, &self.topology));
+        }
+
         // Materialize every tenant's arrival stream.
         let mut requests: Vec<Request> = Vec::new();
         for (t, tenant) in self.tenants.iter().enumerate() {
@@ -262,6 +276,15 @@ impl Server {
             }
             merged
         });
+        let replace = engine_config.map(|_| {
+            let mut merged = ReplaceStats::default();
+            for tenant in &self.tenants {
+                if let Some(engine) = &tenant.replace {
+                    merged.merge(engine.stats());
+                }
+            }
+            merged
+        });
 
         if let Some(rec) = recorder {
             for (tenant, s) in self.tenants.iter().zip(&stats) {
@@ -283,7 +306,10 @@ impl Server {
                     rec.observe("serve.latency", label.clone(), latency);
                 }
                 if let Some(q) = &tenant.quantized {
-                    q.stats().record_to(rec, label);
+                    q.stats().record_to(rec, label.clone());
+                }
+                if let Some(engine) = &tenant.replace {
+                    engine.record_to(rec, label);
                 }
             }
             for shard in &shards {
@@ -301,6 +327,7 @@ impl Server {
                     .map(|(t, s)| (t.spec.name.clone(), s))
                     .collect(),
                 fault,
+                replace,
             },
             completions,
         }
@@ -512,6 +539,7 @@ mod tests {
             },
             pass_period: SimDuration::from_millis(100),
             stale_cache: true,
+            replace: None,
         };
         let mut server = server(1, 2, 32, vec![tenant("t", ArrivalProcess::poisson(6.0))])
             .with_degraded(degraded);
@@ -527,6 +555,84 @@ mod tests {
     }
 
     #[test]
+    fn replacement_recovers_tenants_between_requests() {
+        use zeiot_core::time::SimTime;
+        use zeiot_microdeep::replace::ReplaceConfig;
+
+        // Node 5 goes dark for the whole run; without re-placement every
+        // pass substitutes its units' activations forever.
+        let outage = || {
+            FaultPlan::lossless()
+                .with_outage(
+                    zeiot_core::id::NodeId::new(5),
+                    SimTime::ZERO,
+                    SimTime::from_secs(100),
+                )
+                .unwrap()
+        };
+        let run = |replace: Option<ReplaceConfig>| {
+            let degraded = DegradedServing {
+                plan: outage(),
+                policy: RecoveryPolicy::Degrade {
+                    mode: DegradeMode::ZeroFill,
+                },
+                pass_period: SimDuration::from_millis(100),
+                stale_cache: false,
+                replace,
+            };
+            let mut server = server(1, 2, 32, vec![tenant("t", ArrivalProcess::poisson(6.0))])
+                .with_degraded(degraded);
+            server.run(21, SimDuration::from_secs(4), None)
+        };
+        let static_run = run(None);
+        let replaced = run(Some(ReplaceConfig::incremental(64)));
+        let static_stats = static_run.report.tenant(0).unwrap();
+        // Statically-placed serving substitutes the dark node's conv and
+        // dense traffic on every pass. The engine migrates those units
+        // before the first inference; only the node's pinned *sensor*
+        // units keep degrading (their readings are physically gone), so
+        // the per-pass substitution volume drops.
+        assert!(static_stats.degraded > 0, "{static_stats:?}");
+        let static_fault = static_run.report.fault.expect("fabric stats");
+        let replaced_fault = replaced.report.fault.expect("fabric stats");
+        assert!(
+            replaced_fault.degraded < static_fault.degraded,
+            "replace {replaced_fault:?} vs static {static_fault:?}"
+        );
+        let rstats = replaced.report.replace.expect("engine stats present");
+        assert_eq!(rstats.epochs, 1);
+        assert!(rstats.migrations > 0);
+        assert!(rstats.handoff_cost > 0);
+        assert!(static_run.report.replace.is_none());
+    }
+
+    #[test]
+    fn zero_fault_replacement_is_byte_identical_to_the_static_path() {
+        use zeiot_microdeep::replace::{ReplaceConfig, ReplaceStats};
+
+        let run = |replace: Option<ReplaceConfig>| {
+            let degraded = DegradedServing {
+                plan: FaultPlan::lossless(),
+                policy: RecoveryPolicy::FailFast,
+                pass_period: SimDuration::from_millis(100),
+                stale_cache: false,
+                replace,
+            };
+            let mut server = server(2, 2, 32, vec![tenant("t", ArrivalProcess::poisson(8.0))])
+                .with_degraded(degraded);
+            server.run(7, SimDuration::from_secs(4), None)
+        };
+        let without = run(None);
+        let with = run(Some(ReplaceConfig::incremental(8)));
+        // The engine never fires on a lossless plan: identical requests,
+        // identical logits, identical tenant stats and fabric counters.
+        assert_eq!(without.completions, with.completions);
+        assert_eq!(without.report.tenants, with.report.tenants);
+        assert_eq!(without.report.fault, with.report.fault);
+        assert_eq!(with.report.replace, Some(ReplaceStats::default()));
+    }
+
+    #[test]
     fn stale_cache_answers_when_the_fabric_aborts() {
         // Fail-fast at 0.4% loss: most passes complete (populating the
         // cache), some abort and fall back to stale answers.
@@ -535,6 +641,7 @@ mod tests {
             policy: RecoveryPolicy::FailFast,
             pass_period: SimDuration::from_millis(100),
             stale_cache: true,
+            replace: None,
         };
         let mut cached = server(1, 1, 64, vec![tenant("t", ArrivalProcess::poisson(10.0))])
             .with_degraded(degraded);
@@ -554,6 +661,7 @@ mod tests {
             policy: RecoveryPolicy::FailFast,
             pass_period: SimDuration::from_millis(100),
             stale_cache: false,
+            replace: None,
         };
         let mut server2 = server(1, 1, 64, vec![tenant("t", ArrivalProcess::poisson(10.0))])
             .with_degraded(degraded);
@@ -597,6 +705,7 @@ mod tests {
             },
             pass_period: SimDuration::from_millis(100),
             stale_cache: true,
+            replace: None,
         };
         let mut server2 = server(1, 2, 32, vec![int8_tenant(5)]).with_degraded(degraded);
         let outcome = server2.run(21, SimDuration::from_secs(4), None);

@@ -391,7 +391,8 @@ impl Shard {
         mut scope: Option<SpanScope<'_>>,
     ) -> Option<(ServiceMode, Vec<f32>)> {
         let tenant = &mut tenants[req.tenant];
-        let (net, quantized) = (&mut tenant.net, &mut tenant.quantized);
+        let (net, quantized, replace) =
+            (&mut tenant.net, &mut tenant.quantized, &mut tenant.replace);
         match &mut self.fabric {
             // No fabric: the exact in-memory pass, byte-identical to
             // calling the model's forward directly.
@@ -403,6 +404,19 @@ impl Shard {
                 Some((ServiceMode::Full, logits.data().to_vec()))
             }
             Some(rt) => {
+                // Re-place between requests: poll liveness and migrate
+                // units off dark nodes before this inference runs. Done
+                // ahead of the substitution snapshot so handoff-frame
+                // corruption is charged to the migration (visible in the
+                // fabric counters and `replace.migrate` spans), not to
+                // this request's service mode.
+                if let Some(engine) = replace {
+                    if engine.poll(net, rt, scope.as_mut()) > 0 {
+                        if let Some(q) = quantized {
+                            q.resync_placement(net);
+                        }
+                    }
+                }
                 let substituted_before = rt.stats().degraded + rt.stats().corrupted;
                 let out = match quantized {
                     Some(q) => q.forward_quantized_lossy_traced(&req.input, rt, scope.as_mut()),

@@ -3,6 +3,7 @@
 use crate::request::TenantId;
 use zeiot_core::time::SimDuration;
 use zeiot_fault::FaultStats;
+use zeiot_microdeep::replace::ReplaceStats;
 
 /// Counters and latency samples for one tenant (or, merged, for the
 /// whole run).
@@ -138,6 +139,9 @@ pub struct ServeReport {
     /// Fault counters merged across every shard's fabric, when the run
     /// served through one.
     pub fault: Option<FaultStats>,
+    /// Re-placement counters merged across every tenant's engine, when
+    /// the run re-placed between requests.
+    pub replace: Option<ReplaceStats>,
 }
 
 impl ServeReport {
@@ -183,6 +187,17 @@ impl std::fmt::Display for ServeReport {
                 f,
                 "fabric: {} sent, {} drops, {} degraded substitutions",
                 fault.sent, fault.drops, fault.degraded
+            )?;
+        }
+        if let Some(replace) = &self.replace {
+            writeln!(
+                f,
+                "replace: {} epochs, {} migrations ({} failed, {} stranded), handoff cost {}",
+                replace.epochs,
+                replace.migrations,
+                replace.failed_handoffs,
+                replace.stranded,
+                replace.handoff_cost
             )?;
         }
         Ok(())
@@ -238,11 +253,17 @@ mod tests {
                 ("b".into(), stats_with(&[0.2, 0.3])),
             ],
             fault: None,
+            replace: Some(ReplaceStats {
+                epochs: 1,
+                migrations: 2,
+                ..ReplaceStats::default()
+            }),
         };
         assert_eq!(report.total().served, 3);
         assert!(report.tenant(1).is_some());
         assert!(report.tenant(9).is_none());
         let text = report.to_string();
         assert!(text.contains("tenant") && text.contains('a') && text.contains('b'));
+        assert!(text.contains("replace: 1 epochs, 2 migrations"));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::arrival::ArrivalProcess;
 use zeiot_core::time::SimDuration;
-use zeiot_microdeep::{DistributedCnn, QuantizedCnn};
+use zeiot_microdeep::{DistributedCnn, QuantizedCnn, ReplacementEngine};
 use zeiot_nn::tensor::Tensor;
 
 /// Default per-tenant admission cap (queued requests).
@@ -92,6 +92,12 @@ pub struct Tenant {
     /// [`QuantMode::Int8`]; calibrated on the sample pool at
     /// construction.
     pub(crate) quantized: Option<QuantizedCnn>,
+    /// The tenant's re-placement engine, installed by the server at the
+    /// start of each run when [`crate::DegradedServing::replace`] is
+    /// configured. Polled by the tenant's shard before every inference;
+    /// migrations mutate `net` (and resync `quantized`), so re-placement
+    /// outlives the requests that triggered it.
+    pub(crate) replace: Option<ReplacementEngine>,
     pool: Vec<(Tensor, usize)>,
 }
 
@@ -119,6 +125,7 @@ impl Tenant {
             spec,
             net,
             quantized,
+            replace: None,
             pool,
         })
     }

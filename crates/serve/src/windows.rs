@@ -115,6 +115,7 @@ mod tests {
                     ("beta".to_string(), TenantStats::default()),
                 ],
                 fault: None,
+                replace: None,
             },
             completions,
         }

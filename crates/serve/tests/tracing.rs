@@ -66,6 +66,7 @@ fn degraded_server() -> Server {
         },
         pass_period: SimDuration::from_millis(100),
         stale_cache: true,
+        replace: None,
     };
     Server::new(
         config,

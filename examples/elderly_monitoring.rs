@@ -23,7 +23,7 @@ use zeiot::energy::capacitor::Capacitor;
 use zeiot::energy::consumer::PowerProfile;
 use zeiot::energy::harvester::ConstantSource;
 use zeiot::energy::intermittent::{IntermittentDevice, Task};
-use zeiot::microdeep::resilience::reassign_after_failures;
+use zeiot::microdeep::replace::plan_incremental;
 use zeiot::microdeep::{Assignment, CnnConfig, CostModel, DistributedCnn, WeightUpdate};
 use zeiot::net::Topology;
 
@@ -86,16 +86,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Resilience: two nodes die; re-home their units.
     let failed = vec![NodeId::new(27), NodeId::new(36)];
-    let (repaired, recovery) = reassign_after_failures(&graph, &topo, &assignment, &failed);
+    let (repaired, outcome) = plan_incremental(&graph, &topo, &assignment, &failed, usize::MAX);
     let cost = CostModel::new(&topo);
     let before = cost.forward_cost(&graph, &assignment).max_cost();
     let after = cost.forward_cost(&graph, &repaired).max_cost();
     println!(
         "resilience: {} units re-homed after {} node failures (fully recovered: {}), \
          peak cost {} → {}",
-        recovery.moved_units,
+        outcome.migrations.len(),
         failed.len(),
-        recovery.fully_recovered(),
+        outcome.stranded == 0,
         before,
         after
     );

@@ -115,6 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             pass_period: SimDuration::from_millis(100),
             stale_cache: true,
+            replace: None,
         });
     let outcome = degraded_server.run(42, SimDuration::from_secs(10), None);
     println!("\nsame mesh at 5% packet loss (zero-fill degradation):");

@@ -1,5 +1,10 @@
 //! Integration: §V resilience — node failures, unit re-homing, and the
 //! accuracy/cost consequences across the whole stack.
+//!
+//! Pins the behavior of the deprecated static pass (now a wrapper over
+//! `microdeep::replace`); the runtime engine has its own suite in
+//! `crates/microdeep/src/replace.rs` and E13.
+#![allow(deprecated)]
 
 use zeiot::core::id::NodeId;
 use zeiot::core::rng::SeedRng;
