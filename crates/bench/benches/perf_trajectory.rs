@@ -1,12 +1,13 @@
 //! The tracked perf trajectory: the workspace's hottest paths — the
 //! MicroDeep forward pass (f32 lossless, f32 through a degraded
 //! fabric, and the deployed int8 path), the blocked i8 dense kernel,
-//! the incremental re-placement planner, and the serving layer's
-//! admission/dispatch loop — timed by the vendored criterion stub and
-//! exported as `BENCH_8.json` for the CI `perf` job to archive.
+//! the incremental re-placement planner, the serving layer's
+//! admission/dispatch loop, and the scenario fusion step — timed by
+//! the vendored criterion stub and exported as `BENCH_9.json` for the
+//! CI `perf` job to archive.
 //!
 //! Usage: `cargo bench -p zeiot-bench --bench perf_trajectory --
-//! [--out PATH]` (default `BENCH_8.json` in the working directory).
+//! [--out PATH]` (default `BENCH_9.json` in the working directory).
 //! `ZEIOT_BENCH_ITERS` overrides the per-bench iteration count (CI's
 //! smoke profile uses a small value; the default is the stub's 10).
 //!
@@ -164,6 +165,34 @@ fn bench_replace_incremental(c: &mut Criterion) {
     });
 }
 
+fn bench_scenario_fuse_step(c: &mut Criterion) {
+    // One E14 fusion instant: normalize four modalities' raw scores
+    // into bounded log-posteriors and pool them under reliability
+    // weights — the per-observation cost of the fusion engine.
+    use zeiot_scenario::{
+        log_posterior, Evidence, FusionEngine, FusionPolicy, DEFAULT_EVIDENCE_FLOOR,
+    };
+    let raw: [(Vec<f64>, f64); 4] = [
+        (vec![-812.0, -260.0, -905.0], 0.82),
+        (vec![-14.2, -9.8, -11.3], 0.61),
+        (vec![-3.0, -1.5, -2.2], 0.43),
+        (vec![0.4, 1.9, -0.7], 0.72),
+    ];
+    let mut engine = FusionEngine::new(FusionPolicy::ReliabilityWeighted);
+    c.bench_function("scenario_fuse_step", |b| {
+        b.iter(|| {
+            let evidence: Vec<Evidence> = black_box(&raw)
+                .iter()
+                .map(|(scores, weight)| Evidence {
+                    log_scores: log_posterior(scores, DEFAULT_EVIDENCE_FLOOR),
+                    weight: *weight,
+                })
+                .collect();
+            black_box(engine.estimate(&evidence))
+        })
+    });
+}
+
 fn results_json(c: &Criterion) -> String {
     let mut out =
         String::from("{\n  \"schema\": \"zeiot-bench-trajectory/1\",\n  \"benches\": [\n");
@@ -192,7 +221,7 @@ fn main() {
             eprintln!("--out requires a path");
             std::process::exit(2);
         }
-        None => "BENCH_8.json".to_string(),
+        None => "BENCH_9.json".to_string(),
     };
     let iters: u32 = std::env::var("ZEIOT_BENCH_ITERS")
         .ok()
@@ -205,6 +234,7 @@ fn main() {
     bench_nn_dense_i8_blocked(&mut criterion);
     bench_replace_incremental(&mut criterion);
     bench_serve_dispatch(&mut criterion);
+    bench_scenario_fuse_step(&mut criterion);
     let json = results_json(&criterion);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");

@@ -9,6 +9,7 @@ pub mod e10_serving;
 pub mod e11_slo;
 pub mod e12_quant;
 pub mod e13_replace;
+pub mod e14_venue;
 pub mod e1_temperature;
 pub mod e2_motion;
 pub mod e3_mac;

@@ -15,73 +15,7 @@ use zeiot_core::geometry::Point2;
 use zeiot_core::rng::SeedRng;
 use zeiot_net::rssi::RssiSampler;
 use zeiot_net::Topology;
-
-/// A diagonal-Gaussian naive-Bayes classifier — the score-level fusion
-/// backbone: per-modality class log-likelihoods simply add, which is how
-/// independent evidence should combine (and what a trained fusion layer
-/// approximates).
-struct GaussianNb {
-    /// Per class: (mean, variance) per dimension.
-    classes: Vec<Option<(Vec<f64>, Vec<f64>)>>,
-}
-
-impl GaussianNb {
-    fn fit(training: &[(Vec<f64>, usize)], class_count: usize) -> Self {
-        let dims = training[0].0.len();
-        let mut classes = Vec::with_capacity(class_count);
-        for c in 0..class_count {
-            let samples: Vec<&Vec<f64>> = training
-                .iter()
-                .filter(|&&(_, label)| label == c)
-                .map(|(f, _)| f)
-                .collect();
-            if samples.is_empty() {
-                classes.push(None);
-                continue;
-            }
-            let n = samples.len() as f64;
-            let mut mean = vec![0.0; dims];
-            for s in &samples {
-                for (m, v) in mean.iter_mut().zip(s.iter()) {
-                    *m += v / n;
-                }
-            }
-            let mut var = vec![0.0; dims];
-            for s in &samples {
-                for ((v, m), x) in var.iter_mut().zip(&mean).zip(s.iter()) {
-                    *v += (x - m).powi(2) / n;
-                }
-            }
-            for v in &mut var {
-                *v = v.max(1e-3);
-            }
-            classes.push(Some((mean, var)));
-        }
-        Self { classes }
-    }
-
-    fn log_likelihood(&self, features: &[f64], class: usize) -> f64 {
-        match &self.classes[class] {
-            None => f64::NEG_INFINITY,
-            Some((mean, var)) => features
-                .iter()
-                .zip(mean)
-                .zip(var)
-                .map(|((x, m), v)| -0.5 * ((x - m).powi(2) / v + v.ln()))
-                .sum(),
-        }
-    }
-
-    fn predict(&self, features: &[f64]) -> usize {
-        (0..self.classes.len())
-            .max_by(|&a, &b| {
-                self.log_likelihood(features, a)
-                    .partial_cmp(&self.log_likelihood(features, b))
-                    .expect("finite")
-            })
-            .expect("non-empty")
-    }
-}
+use zeiot_sensing::GaussianNb;
 
 /// Tunable experiment size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -230,8 +164,8 @@ pub fn run(params: &Params) -> ExperimentReport {
     let (test_d, test_i) = collect(params.test_rounds, &mut rng);
 
     let classes = params.max_people + 1;
-    let model_d = GaussianNb::fit(&train_d, classes);
-    let model_i = GaussianNb::fit(&train_i, classes);
+    let model_d = GaussianNb::fit(&train_d, classes).expect("non-empty training");
+    let model_i = GaussianNb::fit(&train_i, classes).expect("non-empty training");
     let accuracy = |predict: &dyn Fn(usize) -> usize, truth: &[(Vec<f64>, usize)]| {
         let correct = truth
             .iter()

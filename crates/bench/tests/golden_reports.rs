@@ -1,6 +1,6 @@
 //! Golden-report regression tests.
 //!
-//! E1, E4, E12 and E13 reduced reports at the default seed are committed as
+//! E1, E4, E12, E13 and E14 reduced reports at the default seed are committed as
 //! JSON fixtures; any change to data generation, training, evaluation, or
 //! the sweep layer that shifts a single byte of the report fails here. To
 //! re-bless after an intentional change:
@@ -10,7 +10,7 @@
 //! ```
 
 use std::path::PathBuf;
-use zeiot_bench::experiments::{e12_quant, e13_replace, e1_temperature, e4_train};
+use zeiot_bench::experiments::{e12_quant, e13_replace, e14_venue, e1_temperature, e4_train};
 use zeiot_bench::SweepRunner;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -61,4 +61,10 @@ fn e12_reduced_report_matches_golden() {
 fn e13_reduced_report_matches_golden() {
     let report = e13_replace::run_with(&e13_replace::Params::reduced(), &SweepRunner::serial());
     check_golden("e13_reduced.json", &report.to_json());
+}
+
+#[test]
+fn e14_reduced_report_matches_golden() {
+    let report = e14_venue::run_with(&e14_venue::Params::reduced(), &SweepRunner::serial());
+    check_golden("e14_reduced.json", &report.to_json());
 }

@@ -8,7 +8,7 @@
 //! placements mid-run, so any hidden cross-point state would surface
 //! here first.
 
-use zeiot_bench::experiments::{e13_replace, e1_temperature};
+use zeiot_bench::experiments::{e13_replace, e14_venue, e1_temperature};
 use zeiot_bench::SweepRunner;
 
 #[test]
@@ -29,6 +29,22 @@ fn e13_report_snapshot_and_traces_are_thread_count_invariant() {
     assert_eq!(
         serial.metrics, threaded.metrics,
         "replace.* counters diverged across thread counts"
+    );
+    assert_eq!(serial.to_json(), threaded.to_json());
+    assert_eq!(
+        serial_traces, threaded_traces,
+        "sampled traces diverged across thread counts"
+    );
+}
+
+#[test]
+fn e14_report_snapshot_and_traces_are_thread_count_invariant() {
+    let params = e14_venue::Params::reduced();
+    let (serial, serial_traces) = e14_venue::run_with_traces(&params, &SweepRunner::serial());
+    let (threaded, threaded_traces) = e14_venue::run_with_traces(&params, &SweepRunner::new(4));
+    assert_eq!(
+        serial.metrics, threaded.metrics,
+        "fusion.* counters diverged across thread counts"
     );
     assert_eq!(serial.to_json(), threaded.to_json());
     assert_eq!(

@@ -72,6 +72,6 @@ pub use config::CnnConfig;
 pub use cost::CostModel;
 pub use distributed::{DistributedCnn, WeightUpdate};
 pub use instrument::TrafficInstrument;
-pub use lossy::LossyRuntime;
+pub use lossy::{LossyRuntime, STAGE_SENSING};
 pub use quantized::{QuantStats, QuantizedCnn};
 pub use replace::{ReplaceConfig, ReplaceStats, ReplaceStrategy, ReplacementEngine};

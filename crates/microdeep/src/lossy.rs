@@ -54,6 +54,11 @@ pub(crate) const STAGE_CONV_POOL: u64 = 1;
 pub(crate) const STAGE_POOL_HIDDEN: u64 = 2;
 pub(crate) const STAGE_HIDDEN_LOGIT: u64 = 3;
 
+/// Public edge stage reserved for non-CNN tenants (sensing feature
+/// gathers in `zeiot-scenario`); disjoint from the CNN stages 0–3 so
+/// last-value-hold caches never alias across model kinds.
+pub const STAGE_SENSING: u64 = 4;
+
 fn edge_key(stage: u64, producer: usize, consumer: usize) -> u64 {
     (stage << 56) | ((producer as u64) << 28) | consumer as u64
 }
@@ -175,6 +180,26 @@ impl LossyRuntime {
                 None => None,
             },
         }
+    }
+
+    /// Transports one scalar over the edge `(stage, producer,
+    /// consumer)` — the public face of the per-edge fetch, for
+    /// external estimators (sensing tenants) that gather features over
+    /// the same lossy fabric as the distributed CNN. Colocated
+    /// endpoints are free; `None` means the message was lost and the
+    /// recovery policy does not degrade. Callers should use a stage at
+    /// or above [`STAGE_SENSING`] so their last-value-hold state never
+    /// collides with the CNN's edges.
+    pub fn transport(
+        &mut self,
+        value: f32,
+        src: NodeId,
+        dst: NodeId,
+        stage: u64,
+        producer: usize,
+        consumer: usize,
+    ) -> Option<f32> {
+        self.fetch(value, src, dst, stage, producer, consumer)
     }
 
     /// Transports one backward gradient contribution; losses zero-fill

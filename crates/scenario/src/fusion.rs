@@ -1,0 +1,412 @@
+//! The deterministic fusion engine: reliability-weighted log-linear
+//! pooling of per-modality class scores, with majority-vote and
+//! best-single baselines.
+//!
+//! The paper's §III.B claim is that direct (backscatter) and indirect
+//! (wireless) sensing are complementary and should be *integrated*.
+//! Score-level fusion of naive-Bayes modalities is a weighted sum of
+//! log-likelihoods: under unit weights it is exactly the joint
+//! likelihood of independent evidence (the X2 harness's fusion), and
+//! the weights let live serving signals — degradation-state dwell
+//! times, answer rates, shed counts — discount a modality whose fabric
+//! is misbehaving instead of letting it drag the estimate down.
+//!
+//! Everything here is pure arithmetic over the inputs, in input order:
+//! fusion is byte-reproducible wherever the evidence is.
+
+use crate::estimator::ClassPosterior;
+use zeiot_obs::{Label, Recorder};
+use zeiot_serve::{DwellState, ServiceMode, TenantStats};
+
+/// One modality's contribution to a fused estimate: its class
+/// log-scores and the reliability weight attached to them. A weight of
+/// exactly `0.0` means "this modality has nothing to say" (failed,
+/// shed, or deliberately dropped) and is skipped outright — fusing
+/// with it is byte-identical to omitting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evidence {
+    /// Class log-scores, one per shared class.
+    pub log_scores: Vec<f64>,
+    /// Non-negative reliability weight.
+    pub weight: f64,
+}
+
+/// How per-modality evidence becomes one context estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionPolicy {
+    /// Log-linear pooling: fused score\[c\] = Σ_m weight_m ·
+    /// log_scores_m\[c\], argmax'd. The paper-faithful integrator.
+    ReliabilityWeighted,
+    /// Each contributing modality casts one vote for its own argmax;
+    /// the most-voted class wins, ties to the lowest class index.
+    MajorityVote,
+    /// Trust only the highest-weight modality (ties to the earliest);
+    /// the no-fusion control arm.
+    BestSingle,
+}
+
+impl FusionPolicy {
+    /// Every policy, in report order.
+    pub const ALL: [FusionPolicy; 3] = [
+        FusionPolicy::ReliabilityWeighted,
+        FusionPolicy::MajorityVote,
+        FusionPolicy::BestSingle,
+    ];
+
+    /// Stable lowercase label for reports and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FusionPolicy::ReliabilityWeighted => "reliability_weighted",
+            FusionPolicy::MajorityVote => "majority_vote",
+            FusionPolicy::BestSingle => "best_single",
+        }
+    }
+}
+
+/// Log-linear pooling of `evidence`: fused\[c\] = Σ_m w_m · s_m\[c\],
+/// summed in evidence order. Zero-weight modalities are skipped before
+/// any arithmetic (so `0 · (−∞)` can never poison a class), making the
+/// result byte-identical to fusing without them. Returns `None` when
+/// no modality contributes or contributing modalities disagree on the
+/// class count.
+pub fn fuse(evidence: &[Evidence]) -> Option<ClassPosterior> {
+    let mut fused: Option<Vec<f64>> = None;
+    for e in evidence {
+        if e.weight == 0.0 {
+            continue;
+        }
+        let pool = fused.get_or_insert_with(|| vec![0.0; e.log_scores.len()]);
+        if pool.len() != e.log_scores.len() {
+            return None;
+        }
+        for (p, s) in pool.iter_mut().zip(&e.log_scores) {
+            *p += e.weight * s;
+        }
+    }
+    fused.map(ClassPosterior::new)
+}
+
+/// Default posterior floor for [`log_posterior`]: e⁻³ ≈ 0.05 per
+/// class, so one modality can push a class at most 3 nats below its
+/// own argmax.
+pub const DEFAULT_EVIDENCE_FLOOR: f64 = -3.0;
+
+/// Converts one modality's raw class log-scores into bounded
+/// log-posteriors fit for cross-modality pooling.
+///
+/// Raw scores are not comparable across modalities: a naive-Bayes
+/// classifier with tight fitted variances emits log-likelihoods
+/// hundreds of nats apart while CNN logits sit within a few units, so
+/// pooling them directly lets the loudest modality decide every
+/// instant by magnitude alone. Log-sum-exp normalization turns each
+/// score vector into a proper log-distribution (shifting by a
+/// per-modality constant, so the modality's own argmax is unchanged),
+/// and the `floor` clamp bounds how far one confidently-wrong modality
+/// can push any class down — the classic robust-fusion temper.
+///
+/// Non-finite inputs (a maximum of `−∞` or `NaN`) are returned
+/// unchanged; [`fuse`]'s zero-weight skip is the intended guard for
+/// modalities with nothing to say.
+pub fn log_posterior(log_scores: &[f64], floor: f64) -> Vec<f64> {
+    let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return log_scores.to_vec();
+    }
+    let lse = max
+        + log_scores
+            .iter()
+            .map(|&s| (s - max).exp())
+            .sum::<f64>()
+            .ln();
+    log_scores.iter().map(|&s| (s - lse).max(floor)).collect()
+}
+
+/// The reliability weight live serving signals assign a modality:
+///
+/// ```text
+/// weight = calibration accuracy
+///        × dwell health   (Full 1.0, Degraded 0.75, Stale 0.4, Failed 0.0,
+///                          mixed by the tenant's dwell-time fractions)
+///        × answer rate    (served / offered — sheds and failures count against)
+/// ```
+///
+/// A tenant that never dwelt anywhere (no horizon accounted) is
+/// treated as healthy; a tenant that was never offered a request gets
+/// weight zero — it has no evidence to weigh.
+pub fn reliability_weight(calib_accuracy: f64, stats: &TenantStats) -> f64 {
+    let health = if stats.dwell.total().is_zero() {
+        1.0
+    } else {
+        stats.dwell.fraction(DwellState::Full)
+            + 0.75 * stats.dwell.fraction(DwellState::Degraded)
+            + 0.4 * stats.dwell.fraction(DwellState::Stale)
+    };
+    let answer_rate = if stats.offered == 0 {
+        0.0
+    } else {
+        stats.served as f64 / stats.offered as f64
+    };
+    calib_accuracy * health * answer_rate
+}
+
+/// The per-answer discount a modality's *service mode* applies on top
+/// of its run-level weight, monotone down the degradation ladder: full
+/// answers count whole, degraded answers at 0.6 (they were computed
+/// from substituted inputs and are exactly the answers fusion should
+/// let the other modalities outvote), stale answers at 0.4 (they
+/// describe an earlier instant).
+pub fn mode_discount(mode: ServiceMode) -> f64 {
+    match mode {
+        ServiceMode::Full => 1.0,
+        ServiceMode::Degraded => 0.6,
+        ServiceMode::Stale => 0.4,
+    }
+}
+
+/// Running `fusion.*` counters for one fusion stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Estimates pooled from every modality.
+    pub fused: u64,
+    /// Estimates pooled from a strict, non-empty subset (graceful
+    /// fallback past Stale/Failed modalities).
+    pub fallback: u64,
+    /// Instants with no contributing modality at all.
+    pub abstained: u64,
+}
+
+impl FusionStats {
+    /// Writes the counters into `recorder` under `label`.
+    pub fn record_to(&self, recorder: &mut Recorder, label: Label) {
+        recorder.add("fusion.fused", label.clone(), self.fused);
+        recorder.add("fusion.fallback", label.clone(), self.fallback);
+        recorder.add("fusion.abstained", label, self.abstained);
+    }
+}
+
+/// A stateful fusion stream: applies one [`FusionPolicy`] per instant
+/// and keeps the `fusion.*` counters honest.
+#[derive(Debug, Clone)]
+pub struct FusionEngine {
+    policy: FusionPolicy,
+    stats: FusionStats,
+}
+
+impl FusionEngine {
+    /// A fresh stream under `policy`.
+    pub fn new(policy: FusionPolicy) -> Self {
+        Self {
+            policy,
+            stats: FusionStats::default(),
+        }
+    }
+
+    /// The stream's policy.
+    pub fn policy(&self) -> FusionPolicy {
+        self.policy
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> FusionStats {
+        self.stats
+    }
+
+    /// Writes the counters into `recorder` under `label`.
+    pub fn record_to(&self, recorder: &mut Recorder, label: Label) {
+        self.stats.record_to(recorder, label);
+    }
+
+    /// Fuses one instant's evidence into a class estimate, or `None`
+    /// when every modality abstained.
+    pub fn estimate(&mut self, evidence: &[Evidence]) -> Option<usize> {
+        let contributing = evidence.iter().filter(|e| e.weight > 0.0).count();
+        if contributing == 0 {
+            self.stats.abstained += 1;
+            return None;
+        }
+        if contributing == evidence.len() {
+            self.stats.fused += 1;
+        } else {
+            self.stats.fallback += 1;
+        }
+        match self.policy {
+            FusionPolicy::ReliabilityWeighted => fuse(evidence).map(|p| p.argmax()),
+            FusionPolicy::MajorityVote => {
+                let classes = evidence
+                    .iter()
+                    .find(|e| e.weight > 0.0)
+                    .map(|e| e.log_scores.len())?;
+                let mut votes = vec![0usize; classes];
+                for e in evidence {
+                    if e.weight == 0.0 || e.log_scores.len() != classes {
+                        continue;
+                    }
+                    let vote = ClassPosterior::new(e.log_scores.clone()).argmax();
+                    votes[vote] += 1;
+                }
+                // Most votes, ties to the lowest class index.
+                let mut best = 0usize;
+                for (c, &v) in votes.iter().enumerate().skip(1) {
+                    if v > votes[best] {
+                        best = c;
+                    }
+                }
+                Some(best)
+            }
+            FusionPolicy::BestSingle => {
+                let mut best: Option<&Evidence> = None;
+                for e in evidence {
+                    if e.weight == 0.0 {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => e.weight > b.weight,
+                    };
+                    if better {
+                        best = Some(e);
+                    }
+                }
+                best.map(|e| ClassPosterior::new(e.log_scores.clone()).argmax())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(scores: &[f64], weight: f64) -> Evidence {
+        Evidence {
+            log_scores: scores.to_vec(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn unit_weight_fusion_is_the_plain_sum() {
+        let a = ev(&[-1.0, -2.0, -3.0], 1.0);
+        let b = ev(&[-4.0, -0.5, -9.0], 1.0);
+        let fused = fuse(&[a.clone(), b.clone()]).expect("evidence present");
+        for (c, f) in fused.log_scores().iter().enumerate() {
+            assert_eq!(*f, a.log_scores[c] + b.log_scores[c]);
+        }
+        assert_eq!(fused.argmax(), 1);
+    }
+
+    #[test]
+    fn zero_weight_is_byte_identical_to_dropping() {
+        let a = ev(&[-1.0, -2.0], 0.8);
+        let dead = ev(&[f64::NEG_INFINITY, 100.0], 0.0);
+        let with = fuse(&[a.clone(), dead]).expect("a contributes");
+        let without = fuse(&[a]).expect("a contributes");
+        assert_eq!(with, without);
+        assert!(fuse(&[ev(&[1.0], 0.0)]).is_none());
+    }
+
+    #[test]
+    fn mismatched_class_counts_refuse_to_fuse() {
+        assert!(fuse(&[ev(&[1.0, 2.0], 1.0), ev(&[1.0], 1.0)]).is_none());
+    }
+
+    #[test]
+    fn weights_tilt_the_pool() {
+        // Modality a prefers class 0, b prefers class 1, same margin;
+        // the heavier weight wins.
+        let a = ev(&[-1.0, -2.0], 2.0);
+        let b = ev(&[-2.0, -1.0], 1.0);
+        assert_eq!(fuse(&[a.clone(), b.clone()]).expect("present").argmax(), 0);
+        let a = ev(&[-1.0, -2.0], 1.0);
+        let b = ev(&[-2.0, -1.0], 2.0);
+        assert_eq!(fuse(&[a, b]).expect("present").argmax(), 1);
+    }
+
+    #[test]
+    fn log_posterior_normalizes_and_floors_without_moving_the_argmax() {
+        // A loud modality (naive-Bayes magnitudes) and a quiet one
+        // (CNN logits) land on the same bounded scale.
+        let loud = log_posterior(&[-900.0, -250.0, -910.0], DEFAULT_EVIDENCE_FLOOR);
+        let quiet = log_posterior(&[0.2, 1.4, -0.3], DEFAULT_EVIDENCE_FLOOR);
+        for scores in [&loud, &quiet] {
+            assert_eq!(ClassPosterior::new(scores.to_vec()).argmax(), 1);
+            for &s in scores.iter() {
+                assert!((DEFAULT_EVIDENCE_FLOOR..=0.0).contains(&s), "{s}");
+            }
+        }
+        // The floor caps the loud modality's margin at 3 nats.
+        assert_eq!(loud[0], DEFAULT_EVIDENCE_FLOOR);
+        assert_eq!(loud[2], DEFAULT_EVIDENCE_FLOOR);
+        // A proper distribution normalizes to log 1 at a sure thing.
+        let sure = log_posterior(&[500.0, -500.0], f64::NEG_INFINITY);
+        assert!(sure[0].abs() < 1e-9);
+        // Non-finite scores pass through untouched.
+        let dead = vec![f64::NEG_INFINITY, f64::NEG_INFINITY];
+        assert_eq!(log_posterior(&dead, -3.0), dead);
+    }
+
+    #[test]
+    fn reliability_weight_tracks_dwell_and_answer_rate() {
+        use zeiot_core::time::SimDuration;
+        let mut healthy = TenantStats::default();
+        healthy.offered = 10;
+        healthy.served = 10;
+        healthy
+            .dwell
+            .add(DwellState::Full, SimDuration::from_secs(4));
+        assert!((reliability_weight(0.9, &healthy) - 0.9).abs() < 1e-12);
+
+        let mut ailing = TenantStats::default();
+        ailing.offered = 10;
+        ailing.served = 5;
+        ailing
+            .dwell
+            .add(DwellState::Stale, SimDuration::from_secs(4));
+        // 0.9 × 0.4 (all-stale health) × 0.5 (answer rate)
+        assert!((reliability_weight(0.9, &ailing) - 0.9 * 0.4 * 0.5).abs() < 1e-12);
+        assert!(reliability_weight(0.9, &TenantStats::default()) == 0.0);
+    }
+
+    #[test]
+    fn engine_counts_fused_fallback_abstained() {
+        let mut engine = FusionEngine::new(FusionPolicy::ReliabilityWeighted);
+        let a = ev(&[-1.0, -2.0], 1.0);
+        let b = ev(&[-2.0, -1.0], 1.0);
+        assert!(engine.estimate(&[a.clone(), b.clone()]).is_some());
+        assert!(engine
+            .estimate(&[a.clone(), ev(&[0.0, 0.0], 0.0)])
+            .is_some());
+        assert!(engine.estimate(&[ev(&[0.0, 0.0], 0.0)]).is_none());
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.fused, stats.fallback, stats.abstained),
+            (1, 1, 1),
+            "{stats:?}"
+        );
+        let mut rec = Recorder::new();
+        engine.record_to(&mut rec, Label::part("t"));
+        assert_eq!(rec.counter_value("fusion.fused", &Label::part("t")), 1);
+    }
+
+    #[test]
+    fn majority_vote_and_best_single_baselines() {
+        let prefers = |c: usize| {
+            let mut s = vec![-5.0; 3];
+            s[c] = -1.0;
+            s
+        };
+        let evidence = vec![
+            ev(&prefers(2), 0.2),
+            ev(&prefers(2), 0.3),
+            ev(&prefers(0), 0.9),
+        ];
+        let mut vote = FusionEngine::new(FusionPolicy::MajorityVote);
+        assert_eq!(vote.estimate(&evidence), Some(2));
+        let mut single = FusionEngine::new(FusionPolicy::BestSingle);
+        assert_eq!(single.estimate(&evidence), Some(0));
+        // Vote ties resolve to the lowest class.
+        let tied = vec![ev(&prefers(1), 0.5), ev(&prefers(0), 0.5)];
+        let mut vote = FusionEngine::new(FusionPolicy::MajorityVote);
+        assert_eq!(vote.estimate(&tied), Some(0));
+    }
+}

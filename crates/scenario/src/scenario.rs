@@ -1,0 +1,717 @@
+//! The venue scenario compiler: declarative composite-venue specs
+//! compiled into correlated multi-modality observation streams, ready
+//! to serve as [`zeiot_serve`] tenants.
+//!
+//! A [`Scenario`] names a [`Venue`] (a piecewise schedule of context
+//! levels over the day — a train line's rush hour, a stadium's event
+//! surge) and sizes. [`Scenario::compile`] draws one shared
+//! ground-truth level per observation instant and drives *every*
+//! modality's `zeiot-data` generator from it, so surges are correlated
+//! across modalities exactly as one physical crowd would be:
+//!
+//! - **congestion** — a [`TrainSceneGenerator`] ride at the truth
+//!   level, positioned and voted by the §IV.B.1
+//!   [`CongestionEstimator`]; the per-level car fractions feed a
+//!   [`GaussianNb`].
+//! - **counting** — WSN RSSI means at a truth-level crowd size,
+//!   counted by the §IV.B.2 [`PeopleCounter`]; (predicted count,
+//!   surrounding RSSI) feed a [`GaussianNb`].
+//! - **csi** — a CSI frame from a truth-level zone, located by the
+//!   §IV.B.3 [`CsiLocalizer`]; the located position feeds a
+//!   [`GaussianNb`].
+//! - **cnn** — a truth-level activity image classified end-to-end by a
+//!   trained [`DistributedCnn`] deployment.
+//!
+//! Each modality carries an honest holdout calibration accuracy (its
+//! prior reliability) and a per-instant sample pool aligned so that
+//! request `seq = k` of every tenant observes instant `k` — periodic
+//! arrivals make the four streams synchronous, and score-level fusion
+//! across them is a pure pool over [`crate::fusion::Evidence`].
+
+use crate::estimator::NbActivityEstimator;
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+use zeiot_core::rng::SeedRng;
+use zeiot_core::time::SimDuration;
+use zeiot_data::csi::{CsiGenerator, CsiPattern};
+use zeiot_data::train::{CongestionLevel, TrainScene, TrainSceneGenerator};
+use zeiot_microdeep::{Assignment, CnnConfig, DistributedCnn, WeightUpdate};
+use zeiot_net::Topology;
+use zeiot_nn::tensor::Tensor;
+use zeiot_sensing::counting::{CountingFeatures, PeopleCounter};
+use zeiot_sensing::csi::CsiLocalizer;
+use zeiot_sensing::train::{LabelledScene, TrainObservation};
+use zeiot_sensing::{CongestionEstimator, GaussianNb};
+use zeiot_serve::{ArrivalProcess, Tenant, TenantSpec};
+
+/// The shared label space: 0 = low, 1 = medium, 2 = high context
+/// intensity (crowding), aligned with [`CongestionLevel`] indices.
+pub const CONTEXT_LEVELS: usize = 3;
+
+/// A venue archetype: how crowd intensity moves over the horizon, as a
+/// piecewise-constant schedule of `(fraction of horizon, level)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Venue {
+    /// A commuter train line: quiet early service, a long rush-hour
+    /// crest, then a taper.
+    TrainRush,
+    /// A stadium on event day: build-up, a sustained full house, and
+    /// the egress wave.
+    StadiumEvent,
+}
+
+impl Venue {
+    /// Every venue, in report order.
+    pub const ALL: [Venue; 2] = [Venue::TrainRush, Venue::StadiumEvent];
+
+    /// Stable lowercase label for reports and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Venue::TrainRush => "train_rush",
+            Venue::StadiumEvent => "stadium_event",
+        }
+    }
+
+    /// The `(horizon fraction, level)` schedule; fractions sum to 1.
+    pub fn schedule(&self) -> &'static [(f64, usize)] {
+        match self {
+            Venue::TrainRush => &[(0.25, 0), (0.5, 2), (0.25, 1)],
+            Venue::StadiumEvent => &[(0.2, 0), (0.2, 1), (0.4, 2), (0.2, 1)],
+        }
+    }
+
+    /// The scheduled truth level at `frac ∈ [0, 1)` of the horizon.
+    pub fn level_at(&self, frac: f64) -> usize {
+        let schedule = self.schedule();
+        let mut acc = 0.0;
+        for &(span, level) in schedule {
+            acc += span;
+            if frac < acc {
+                return level;
+            }
+        }
+        schedule.last().map(|&(_, level)| level).unwrap_or(0)
+    }
+}
+
+/// A declarative composite-venue scenario: what plays out, how long,
+/// and from which seed. Plain data — compile it with
+/// [`Scenario::compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The venue archetype driving the truth schedule.
+    pub venue: Venue,
+    /// Observation instants (one synchronized request per modality
+    /// per instant).
+    pub observations: usize,
+    /// Calibration draws per context level and modality.
+    pub training_per_level: usize,
+    /// Gap between observation instants (every tenant's arrival
+    /// period).
+    pub period: SimDuration,
+    /// Relative deadline granted to every request.
+    pub deadline: SimDuration,
+    /// Master seed; all compile-time streams derive from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the workspace's E10-family serving constants
+    /// (500 ms cadence, 400 ms deadline).
+    pub fn new(venue: Venue, observations: usize, training_per_level: usize, seed: u64) -> Self {
+        Self {
+            venue,
+            observations,
+            training_per_level,
+            period: SimDuration::from_millis(500),
+            deadline: SimDuration::from_millis(400),
+            seed,
+        }
+    }
+
+    /// Compiles the spec: draws the truth schedule, calibrates all four
+    /// modality front-ends, and materializes the per-instant sample
+    /// pools.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec is degenerate (zero observations or
+    /// calibration draws) or a front-end rejects its calibration set.
+    pub fn compile(&self) -> Result<CompiledScenario> {
+        if self.observations == 0 {
+            return Err(ConfigError::new("observations", "must be positive"));
+        }
+        if self.training_per_level < 4 {
+            return Err(ConfigError::new(
+                "training_per_level",
+                "needs at least 4 draws per level",
+            ));
+        }
+        let truth: Vec<usize> = (0..self.observations)
+            .map(|k| self.venue.level_at(k as f64 / self.observations as f64))
+            .collect();
+
+        let mut front_rng = SeedRng::with_stream(self.seed, 0xDA7A);
+        let mut obs_rng = SeedRng::with_stream(self.seed, 0x0B5E);
+
+        let modalities = vec![
+            compile_congestion(self, &truth, &mut front_rng, &mut obs_rng)?,
+            compile_counting(self, &truth, &mut front_rng, &mut obs_rng)?,
+            compile_csi(self, &truth, &mut front_rng, &mut obs_rng)?,
+            compile_cnn(self, &truth, &mut front_rng, &mut obs_rng)?,
+        ];
+
+        Ok(CompiledScenario {
+            venue: self.venue,
+            truth,
+            period: self.period,
+            deadline: self.deadline,
+            modalities,
+        })
+    }
+}
+
+/// Which front-end produced a modality's evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModalityKind {
+    /// §IV.B.1 train congestion estimation.
+    Congestion,
+    /// §IV.B.2 WSN people counting.
+    Counting,
+    /// §IV.B.3 CSI localization.
+    Csi,
+    /// The distributed-CNN deployment.
+    Cnn,
+}
+
+impl ModalityKind {
+    /// Stable lowercase label for reports and metric names (doubles as
+    /// the tenant name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModalityKind::Congestion => "congestion",
+            ModalityKind::Counting => "counting",
+            ModalityKind::Csi => "csi",
+            ModalityKind::Cnn => "cnn",
+        }
+    }
+}
+
+/// What answers a modality's requests.
+#[derive(Debug, Clone)]
+enum ModalityModel {
+    Nb(GaussianNb),
+    // Boxed: a distributed deployment dwarfs the NB parameter tables.
+    Cnn(Box<DistributedCnn>),
+}
+
+/// One compiled modality: its serving model, holdout reliability, and
+/// per-instant observation pool (entry `k` observes instant `k`).
+#[derive(Debug, Clone)]
+pub struct Modality {
+    /// Which front-end this is.
+    pub kind: ModalityKind,
+    /// Holdout calibration accuracy — the modality's prior
+    /// reliability, before serving-time health discounts.
+    pub calib_accuracy: f64,
+    model: ModalityModel,
+    pool: Vec<(Tensor, usize)>,
+}
+
+impl Modality {
+    /// The per-instant sample pool (input, truth level).
+    pub fn pool(&self) -> &[(Tensor, usize)] {
+        &self.pool
+    }
+
+    /// Builds this modality's serving tenant. NB modalities deploy as
+    /// custom [`NbActivityEstimator`] models whose feature gathers ride
+    /// the fabric of a `gather_nodes`-node mesh; the CNN modality
+    /// deploys its distributed net directly.
+    fn tenant(&self, scenario: &CompiledScenario, gather_nodes: usize) -> Result<Tenant> {
+        let spec = TenantSpec::new(
+            self.kind.label(),
+            ArrivalProcess::periodic(scenario.period),
+            scenario.deadline,
+        );
+        match &self.model {
+            ModalityModel::Nb(nb) => Tenant::with_model(
+                spec,
+                Box::new(NbActivityEstimator::new(nb.clone(), gather_nodes)),
+                self.pool.clone(),
+            ),
+            ModalityModel::Cnn(net) => Tenant::new(spec, (**net).clone(), self.pool.clone()),
+        }
+        .map_err(|e| ConfigError::new("tenant", e))
+    }
+}
+
+/// A compiled scenario: the shared truth schedule plus every
+/// modality's calibrated model and aligned observation pool. Plain
+/// data — clone tenants out of it per serving run.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    /// The venue this was compiled from.
+    pub venue: Venue,
+    /// Ground-truth context level per observation instant.
+    pub truth: Vec<usize>,
+    /// Gap between observation instants.
+    pub period: SimDuration,
+    /// Relative deadline granted to every request.
+    pub deadline: SimDuration,
+    modalities: Vec<Modality>,
+}
+
+impl CompiledScenario {
+    /// The compiled modalities, in [`ModalityKind`] declaration order.
+    pub fn modalities(&self) -> &[Modality] {
+        &self.modalities
+    }
+
+    /// The serving horizon that yields exactly one request per
+    /// observation instant per tenant (periodic arrivals, zero phase).
+    pub fn horizon(&self) -> SimDuration {
+        self.period * self.truth.len() as u64
+    }
+
+    /// Builds one serving tenant per modality, in modality order, for
+    /// deployment on a `gather_nodes`-node mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a tenant rejects its pool (impossible for a
+    /// compiled scenario's non-empty pools).
+    pub fn make_tenants(&self, gather_nodes: usize) -> Result<Vec<Tenant>> {
+        self.modalities
+            .iter()
+            .map(|m| m.tenant(self, gather_nodes))
+            .collect()
+    }
+}
+
+/// Accuracy of `predict` over a labelled holdout.
+fn holdout_accuracy(holdout: &[(Vec<f64>, usize)], nb: &GaussianNb) -> f64 {
+    if holdout.is_empty() {
+        return 0.0;
+    }
+    let correct = holdout
+        .iter()
+        .filter(|(f, label)| nb.predict(f) == *label)
+        .count();
+    correct as f64 / holdout.len() as f64
+}
+
+fn feature_tensor(features: &[f64]) -> Tensor {
+    let mut t = Tensor::zeros(vec![features.len()]);
+    for (i, &f) in features.iter().enumerate() {
+        t.set(&[i], f as f32);
+    }
+    t
+}
+
+/// Balanced labels for calibration draws: `per_level` of each level,
+/// interleaved so truncation stays balanced.
+fn balanced_levels(per_level: usize) -> impl Iterator<Item = usize> {
+    (0..per_level * CONTEXT_LEVELS).map(|i| i % CONTEXT_LEVELS)
+}
+
+// ---------------------------------------------------------------------
+// Congestion: train scenes → position + vote front-end → level-fraction
+// features.
+// ---------------------------------------------------------------------
+
+fn scene_observation(scene: &TrainScene) -> TrainObservation {
+    TrainObservation {
+        cars: scene.cars(),
+        reference_car: scene.reference_car.clone(),
+        user_to_reference: scene.user_to_reference.clone(),
+        user_to_user: scene.user_to_user.clone(),
+    }
+}
+
+/// The congestion modality's summary features: the fraction of cars
+/// the front-end estimates at each level.
+fn congestion_features(est: &CongestionEstimator, obs: &TrainObservation) -> Vec<f64> {
+    let positions = est.estimate_positions(obs);
+    let levels = est.estimate_congestion(obs, &positions, true);
+    let mut fractions = vec![0.0f64; CONTEXT_LEVELS];
+    for &level in &levels {
+        fractions[level.min(CONTEXT_LEVELS - 1)] += 1.0 / levels.len() as f64;
+    }
+    fractions
+}
+
+/// Per-car congestion mixing: a venue at context level `L` puts each
+/// car at `L` with probability 0.6 and at an adjacent level otherwise
+/// (clamped at the ends). Real rides are never uniform — the head car
+/// of a packed train still breathes — and the overlap keeps the
+/// congestion modality's Bayes accuracy honestly below 1.
+fn mixed_congestion(level: usize, cars: usize, rng: &mut SeedRng) -> Vec<CongestionLevel> {
+    let level = level.min(CONTEXT_LEVELS - 1) as i64;
+    (0..cars)
+        .map(|_| {
+            let roll = rng.below(10);
+            let offset = if roll < 6 {
+                0
+            } else if roll < 8 {
+                -1
+            } else {
+                1
+            };
+            let car_level = (level + offset).clamp(0, CONTEXT_LEVELS as i64 - 1) as usize;
+            CongestionLevel::ALL[car_level]
+        })
+        .collect()
+}
+
+fn congestion_draw(
+    generator: &TrainSceneGenerator,
+    est: &CongestionEstimator,
+    level: usize,
+    rng: &mut SeedRng,
+) -> Vec<f64> {
+    let mixed = mixed_congestion(level, generator.cars(), rng);
+    let scene = generator.scene_with_congestion(&mixed, rng);
+    congestion_features(est, &scene_observation(&scene))
+}
+
+fn compile_congestion(
+    scenario: &Scenario,
+    truth: &[usize],
+    front_rng: &mut SeedRng,
+    obs_rng: &mut SeedRng,
+) -> Result<Modality> {
+    let generator = TrainSceneGenerator::paper_train()?;
+    // The front-end calibrates on mixed-congestion rides (it needs
+    // every car-hop distance and level represented).
+    let scenes: Vec<LabelledScene> = (0..scenario.training_per_level * CONTEXT_LEVELS)
+        .map(|_| {
+            let scene = generator.scene(front_rng);
+            LabelledScene {
+                observation: scene_observation(&scene),
+                user_car: scene.user_car.clone(),
+                congestion: scene.congestion.iter().map(|c| c.index()).collect(),
+            }
+        })
+        .collect();
+    let est = CongestionEstimator::fit(&scenes)?;
+
+    let training: Vec<(Vec<f64>, usize)> = balanced_levels(scenario.training_per_level)
+        .map(|level| (congestion_draw(&generator, &est, level, front_rng), level))
+        .collect();
+    let nb = GaussianNb::fit(&training, CONTEXT_LEVELS)?;
+    let holdout: Vec<(Vec<f64>, usize)> = balanced_levels(scenario.training_per_level / 2)
+        .map(|level| (congestion_draw(&generator, &est, level, front_rng), level))
+        .collect();
+
+    let pool = truth
+        .iter()
+        .map(|&level| {
+            (
+                feature_tensor(&congestion_draw(&generator, &est, level, obs_rng)),
+                level,
+            )
+        })
+        .collect();
+    Ok(Modality {
+        kind: ModalityKind::Congestion,
+        calib_accuracy: holdout_accuracy(&holdout, &nb),
+        model: ModalityModel::Nb(nb),
+        pool,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Counting: crowd-size RSSI means → people counter front-end →
+// (predicted count, surrounding RSSI) features.
+// ---------------------------------------------------------------------
+
+/// Crowd-size range per context level (people in the counting zone).
+const COUNT_RANGES: [(usize, usize); CONTEXT_LEVELS] = [(2, 6), (8, 14), (16, 24)];
+
+/// Synthetic WSN RSSI means at a given crowd size: bodies attenuate
+/// the inter-node links (≈ −0.8 dB/person) and *raise* the ambient
+/// surrounding level (≈ +0.9 dB/person of reflected energy), with
+/// enough measurement noise that adjacent levels overlap.
+fn counting_measurement(count: usize, rng: &mut SeedRng) -> CountingFeatures {
+    let inter = -60.0 - 0.8 * count as f64 + rng.normal_with(0.0, 5.0);
+    let surrounding = -95.0 + 0.9 * count as f64 + rng.normal_with(0.0, 4.0);
+    CountingFeatures::new(inter, surrounding)
+}
+
+fn level_count(level: usize, rng: &mut SeedRng) -> usize {
+    let (lo, hi) = COUNT_RANGES[level.min(CONTEXT_LEVELS - 1)];
+    lo + rng.below(hi - lo + 1)
+}
+
+/// The counting modality's summary features: the front-end's count
+/// estimate plus the raw surrounding level it worked from.
+fn counting_features(counter: &PeopleCounter, m: &CountingFeatures) -> Vec<f64> {
+    vec![counter.predict(m) as f64, m.mean_surrounding_dbm]
+}
+
+fn compile_counting(
+    scenario: &Scenario,
+    truth: &[usize],
+    front_rng: &mut SeedRng,
+    obs_rng: &mut SeedRng,
+) -> Result<Modality> {
+    let calibration: Vec<(CountingFeatures, usize)> = balanced_levels(scenario.training_per_level)
+        .map(|level| {
+            let count = level_count(level, front_rng);
+            (counting_measurement(count, front_rng), count)
+        })
+        .collect();
+    let counter = PeopleCounter::fit(&calibration)?;
+
+    let draw = |level: usize, rng: &mut SeedRng| -> Vec<f64> {
+        counting_features(
+            &counter,
+            &counting_measurement(level_count(level, rng), rng),
+        )
+    };
+    let training: Vec<(Vec<f64>, usize)> = balanced_levels(scenario.training_per_level)
+        .map(|level| (draw(level, front_rng), level))
+        .collect();
+    let nb = GaussianNb::fit(&training, CONTEXT_LEVELS)?;
+    let holdout: Vec<(Vec<f64>, usize)> = balanced_levels(scenario.training_per_level / 2)
+        .map(|level| (draw(level, front_rng), level))
+        .collect();
+
+    let pool = truth
+        .iter()
+        .map(|&level| (feature_tensor(&draw(level, obs_rng)), level))
+        .collect();
+    Ok(Modality {
+        kind: ModalityKind::Counting,
+        calib_accuracy: holdout_accuracy(&holdout, &nb),
+        model: ModalityModel::Nb(nb),
+        pool,
+    })
+}
+
+// ---------------------------------------------------------------------
+// CSI: level-zone frames → localizer front-end → located-position
+// feature.
+// ---------------------------------------------------------------------
+
+/// Which of the 7 CSI positions each context level's crowd occupies.
+/// Adjacent zones share a boundary position (2 and 4), so even a
+/// perfect localizer cannot separate the levels completely — the
+/// modality's Bayes accuracy is honestly below 1.
+const LEVEL_POSITIONS: [&[usize]; CONTEXT_LEVELS] = [&[0, 1, 2], &[2, 3, 4], &[4, 5, 6]];
+
+/// Reference frames per position for the localizer's kNN database.
+const CSI_REFERENCES_PER_POSITION: usize = 8;
+
+fn compile_csi(
+    scenario: &Scenario,
+    truth: &[usize],
+    front_rng: &mut SeedRng,
+    obs_rng: &mut SeedRng,
+) -> Result<Modality> {
+    let generator = CsiGenerator::new(scenario.seed ^ 0xC51)?;
+    // One fixed pattern throughout: CSI signatures are
+    // pattern-specific, so calibration and live frames must share one.
+    // The paper's best (walking + divergent antennas).
+    let pattern = CsiPattern::all()[4];
+
+    let references: Vec<(Vec<f64>, usize)> = (0..CSI_REFERENCES_PER_POSITION)
+        .flat_map(|_| 0..zeiot_data::csi::CSI_POSITIONS)
+        .map(|position| {
+            (
+                generator.sample(position, pattern, front_rng).features,
+                position,
+            )
+        })
+        .collect();
+    let localizer = CsiLocalizer::fit(&references, 3)?;
+
+    let draw = |level: usize, rng: &mut SeedRng| -> Vec<f64> {
+        let zone = LEVEL_POSITIONS[level.min(CONTEXT_LEVELS - 1)];
+        let position = zone[rng.below(zone.len())];
+        let sample = generator.sample(position, pattern, rng);
+        vec![localizer.localize(&sample.features) as f64]
+    };
+    let training: Vec<(Vec<f64>, usize)> = balanced_levels(scenario.training_per_level)
+        .map(|level| (draw(level, front_rng), level))
+        .collect();
+    let nb = GaussianNb::fit(&training, CONTEXT_LEVELS)?;
+    let holdout: Vec<(Vec<f64>, usize)> = balanced_levels(scenario.training_per_level / 2)
+        .map(|level| (draw(level, front_rng), level))
+        .collect();
+
+    let pool = truth
+        .iter()
+        .map(|&level| (feature_tensor(&draw(level, obs_rng)), level))
+        .collect();
+    Ok(Modality {
+        kind: ModalityKind::Csi,
+        calib_accuracy: holdout_accuracy(&holdout, &nb),
+        model: ModalityModel::Nb(nb),
+        pool,
+    })
+}
+
+// ---------------------------------------------------------------------
+// CNN: level-coded activity images → trained distributed deployment.
+// ---------------------------------------------------------------------
+
+/// Pixel noise on the activity images; high enough that the small CNN
+/// plateaus below perfect accuracy (an honestly fallible modality).
+const CNN_NOISE_SIGMA: f64 = 0.9;
+
+/// Training epochs / learning rate / batch for the CNN modality
+/// (matches the E9–E13 family).
+const CNN_EPOCHS: usize = 6;
+const CNN_LEARNING_RATE: f32 = 0.08;
+const CNN_BATCH: usize = 8;
+
+/// A synthetic 8×8 activity image: each context level lights its own
+/// quadrant (low → top-left, medium → top-right, high → bottom-right)
+/// under heavy pixel noise.
+fn level_image(level: usize, rng: &mut SeedRng) -> Tensor {
+    let (y0, x0) = match level {
+        0 => (0, 0),
+        1 => (0, 4),
+        _ => (4, 4),
+    };
+    let mut image = Tensor::zeros(vec![1, 8, 8]);
+    for y in 0..8 {
+        for x in 0..8 {
+            let lit = (y0..y0 + 4).contains(&y) && (x0..x0 + 4).contains(&x);
+            let base = if lit { 1.0 } else { 0.0 };
+            let v = base + rng.normal_with(0.0, CNN_NOISE_SIGMA);
+            image.set(&[0, y, x], v as f32);
+        }
+    }
+    image
+}
+
+fn compile_cnn(
+    scenario: &Scenario,
+    truth: &[usize],
+    front_rng: &mut SeedRng,
+    obs_rng: &mut SeedRng,
+) -> Result<Modality> {
+    let config = CnnConfig::new(1, 8, 8, 2, 3, 2, 8, CONTEXT_LEVELS)?;
+    let topo = Topology::grid(3, 3, 2.0, 3.0)?;
+    let graph = config.unit_graph()?;
+    let assignment = Assignment::balanced_correspondence(&graph, &topo);
+    let mut model_rng = SeedRng::with_stream(scenario.seed, 0x0DE1);
+    let mut net = DistributedCnn::new(
+        config,
+        assignment,
+        WeightUpdate::Independent,
+        &mut model_rng,
+    );
+
+    let training: Vec<(Tensor, usize)> = balanced_levels(scenario.training_per_level)
+        .map(|level| (level_image(level, front_rng), level))
+        .collect();
+    let mut train_rng = SeedRng::with_stream(scenario.seed, 0x7124);
+    for _ in 0..CNN_EPOCHS {
+        net.train_epoch(&training, CNN_LEARNING_RATE, CNN_BATCH, &mut train_rng);
+    }
+
+    let holdout: Vec<(Tensor, usize)> = balanced_levels(scenario.training_per_level / 2)
+        .map(|level| (level_image(level, front_rng), level))
+        .collect();
+    let correct = holdout
+        .iter()
+        .filter(|(image, label)| {
+            let logits = net.forward(image);
+            let mut best = 0usize;
+            for (c, v) in logits.data().iter().enumerate().skip(1) {
+                if v.total_cmp(&logits.data()[best]) == std::cmp::Ordering::Greater {
+                    best = c;
+                }
+            }
+            best == *label
+        })
+        .count();
+    let calib_accuracy = if holdout.is_empty() {
+        0.0
+    } else {
+        correct as f64 / holdout.len() as f64
+    };
+
+    let pool = truth
+        .iter()
+        .map(|&level| (level_image(level, obs_rng), level))
+        .collect();
+    Ok(Modality {
+        kind: ModalityKind::Cnn,
+        calib_accuracy,
+        model: ModalityModel::Cnn(Box::new(net)),
+        pool,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(venue: Venue) -> Scenario {
+        Scenario::new(venue, 8, 8, 7)
+    }
+
+    #[test]
+    fn venue_schedules_cover_the_horizon() {
+        for venue in Venue::ALL {
+            let total: f64 = venue.schedule().iter().map(|&(span, _)| span).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{venue:?} spans {total}");
+            assert_eq!(venue.level_at(0.0), venue.schedule()[0].1);
+            assert!(venue.level_at(0.999) < CONTEXT_LEVELS);
+        }
+        // Rush hour peaks in the middle of the horizon.
+        assert_eq!(Venue::TrainRush.level_at(0.5), 2);
+        assert_eq!(Venue::TrainRush.level_at(0.05), 0);
+    }
+
+    #[test]
+    fn compiled_pools_align_with_the_truth_schedule() {
+        let compiled = small(Venue::StadiumEvent).compile().expect("compiles");
+        assert_eq!(compiled.truth.len(), 8);
+        assert_eq!(compiled.modalities().len(), 4);
+        for modality in compiled.modalities() {
+            assert_eq!(modality.pool().len(), compiled.truth.len());
+            for ((_, label), &level) in modality.pool().iter().zip(&compiled.truth) {
+                assert_eq!(*label, level, "{:?} pool misaligned", modality.kind);
+            }
+            assert!(
+                modality.calib_accuracy > 1.0 / CONTEXT_LEVELS as f64,
+                "{:?} calibrated below chance: {}",
+                modality.kind,
+                modality.calib_accuracy
+            );
+        }
+        assert_eq!(
+            compiled.horizon(),
+            SimDuration::from_millis(500) * compiled.truth.len() as u64
+        );
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let a = small(Venue::TrainRush).compile().expect("compiles");
+        let b = small(Venue::TrainRush).compile().expect("compiles");
+        assert_eq!(a.truth, b.truth);
+        for (ma, mb) in a.modalities().iter().zip(b.modalities()) {
+            assert_eq!(ma.calib_accuracy.to_bits(), mb.calib_accuracy.to_bits());
+            assert_eq!(ma.pool(), mb.pool());
+        }
+    }
+
+    #[test]
+    fn tenants_deploy_every_modality() {
+        let compiled = small(Venue::TrainRush).compile().expect("compiles");
+        let tenants = compiled.make_tenants(9).expect("non-empty pools");
+        assert_eq!(tenants.len(), 4);
+        let names: Vec<&str> = tenants.iter().map(|t| t.spec.name.as_str()).collect();
+        assert_eq!(names, ["congestion", "counting", "csi", "cnn"]);
+        for tenant in &tenants {
+            assert_eq!(tenant.sample(0).1, compiled.truth[0]);
+        }
+    }
+}

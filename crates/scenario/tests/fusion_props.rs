@@ -1,0 +1,162 @@
+//! Property coverage for the fusion engine (`zeiot_scenario::fusion`)
+//! — the determinism and graceful-fallback arguments E14 rests on.
+//!
+//! Pinned properties:
+//!
+//! * **uniform pooling is the exact joint likelihood** — fusing
+//!   naive-Bayes modalities under unit weights produces, bit for bit,
+//!   the sum of the per-modality class log-likelihoods (the
+//!   independent-evidence joint the X2 harness computes by hand);
+//! * **zero weight ≡ absence** — a modality with weight exactly `0.0`
+//!   leaves the fused scores byte-identical to dropping it from the
+//!   evidence list, even when its scores are `−∞` or garbage;
+//! * **fusion is total and label-safe** — any non-empty contributing
+//!   evidence set yields an argmax inside the shared class space, for
+//!   every policy.
+
+use proptest::prelude::*;
+use zeiot_core::rng::SeedRng;
+use zeiot_scenario::{fuse, Evidence, FusionEngine, FusionPolicy};
+use zeiot_sensing::GaussianNb;
+
+const CLASSES: usize = 3;
+const DIMS: usize = 2;
+
+/// A deterministic classifier from a seed: three well-spread Gaussian
+/// blobs in 2-D.
+fn nb_from_seed(seed: u64) -> GaussianNb {
+    let mut rng = SeedRng::new(seed);
+    let training: Vec<(Vec<f64>, usize)> = (0..CLASSES)
+        .flat_map(|class| (0..8).map(move |i| (class, i)).collect::<Vec<_>>())
+        .map(|(class, _)| {
+            let centre = class as f64 * 4.0;
+            (
+                (0..DIMS)
+                    .map(|_| centre + rng.normal_with(0.0, 1.0))
+                    .collect(),
+                class,
+            )
+        })
+        .collect();
+    GaussianNb::fit(&training, CLASSES).expect("non-empty training")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unit-weight fusion of real naive-Bayes modalities is bitwise
+    /// the sum of their per-class log-likelihoods.
+    #[test]
+    fn uniform_weights_pool_to_the_exact_log_likelihood_sum(
+        seeds in proptest::collection::vec(0u64..1 << 48, 1..5),
+        features in proptest::collection::vec(-8.0f64..16.0, DIMS..DIMS + 1),
+    ) {
+        let models: Vec<GaussianNb> = seeds.iter().map(|&s| nb_from_seed(s)).collect();
+        let evidence: Vec<Evidence> = models
+            .iter()
+            .map(|nb| Evidence {
+                log_scores: nb.log_likelihoods(&features),
+                weight: 1.0,
+            })
+            .collect();
+        let fused = fuse(&evidence).expect("all modalities contribute");
+        prop_assert_eq!(fused.class_count(), CLASSES);
+        for class in 0..CLASSES {
+            let by_hand: f64 = models
+                .iter()
+                .map(|nb| nb.log_likelihood(&features, class))
+                .sum();
+            prop_assert_eq!(
+                fused.log_scores()[class].to_bits(),
+                by_hand.to_bits(),
+                "class {} diverged: fused {} vs sum {}",
+                class,
+                fused.log_scores()[class],
+                by_hand
+            );
+        }
+    }
+
+    /// A zero-weight modality is byte-identical to an absent one, no
+    /// matter what its scores hold — including `−∞` (a class its
+    /// classifier never saw) and extreme magnitudes.
+    #[test]
+    fn zero_weight_modality_is_byte_identical_to_dropping_it(
+        scores in proptest::collection::vec(
+            proptest::collection::vec(-1e12f64..1e12, CLASSES..CLASSES + 1),
+            1..5,
+        ),
+        weights in proptest::collection::vec(0.01f64..3.0, 1..5),
+        dead_slot in 0usize..5,
+        dead_is_ninf in proptest::bool::ANY,
+    ) {
+        let live: Vec<Evidence> = scores
+            .iter()
+            .zip(weights.iter().cycle())
+            .map(|(s, &w)| Evidence { log_scores: s.clone(), weight: w })
+            .collect();
+        let dead = Evidence {
+            log_scores: if dead_is_ninf {
+                vec![f64::NEG_INFINITY; CLASSES]
+            } else {
+                vec![9e99; CLASSES]
+            },
+            weight: 0.0,
+        };
+        let mut with_dead = live.clone();
+        with_dead.insert(dead_slot % (live.len() + 1), dead);
+
+        let fused_without = fuse(&live).expect("live evidence present");
+        let fused_with = fuse(&with_dead).expect("live evidence present");
+        for (a, b) in fused_without
+            .log_scores()
+            .iter()
+            .zip(fused_with.log_scores())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // The engine agrees under every policy, and books the dead
+        // modality as a fallback, not an abstention.
+        for policy in FusionPolicy::ALL {
+            let mut with_engine = FusionEngine::new(policy);
+            let mut without_engine = FusionEngine::new(policy);
+            prop_assert_eq!(
+                with_engine.estimate(&with_dead),
+                without_engine.estimate(&live),
+                "{} diverged on a zero-weight modality",
+                policy.label()
+            );
+            prop_assert_eq!(with_engine.stats().fallback, 1);
+            prop_assert_eq!(with_engine.stats().abstained, 0);
+        }
+    }
+
+    /// Every policy answers any contributing evidence set with a class
+    /// index inside the shared label space.
+    #[test]
+    fn policies_are_total_over_contributing_evidence(
+        scores in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, CLASSES..CLASSES + 1),
+            1..6,
+        ),
+        weights in proptest::collection::vec(0.0f64..2.0, 1..6),
+    ) {
+        let evidence: Vec<Evidence> = scores
+            .iter()
+            .zip(weights.iter().cycle())
+            .map(|(s, &w)| Evidence { log_scores: s.clone(), weight: w })
+            .collect();
+        let contributing = evidence.iter().filter(|e| e.weight > 0.0).count();
+        for policy in FusionPolicy::ALL {
+            let mut engine = FusionEngine::new(policy);
+            match engine.estimate(&evidence) {
+                Some(class) => {
+                    prop_assert!(contributing > 0);
+                    prop_assert!(class < CLASSES, "{} escaped the label space", class);
+                }
+                None => prop_assert_eq!(contributing, 0),
+            }
+        }
+    }
+}

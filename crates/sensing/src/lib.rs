@@ -19,7 +19,10 @@
 //!   collected by area-limited base stations);
 //! - [`trajectory`] — blob tracking and human/animal intrusion
 //!   classification from perimeter IR arrays (scenario (iii));
-//! - [`knn`] — the shared k-NN machinery.
+//! - [`knn`] — the shared k-NN machinery;
+//! - [`nb`] — the diagonal-Gaussian naive-Bayes backbone whose
+//!   additive class log-likelihoods make score-level modality fusion
+//!   (paper Fig. 3, §III.B) a one-line sum.
 //!
 //! # Example: fit and apply a people counter
 //!
@@ -41,6 +44,7 @@
 pub mod counting;
 pub mod csi;
 pub mod knn;
+pub mod nb;
 pub mod pem;
 pub mod sociogram;
 pub mod train;
@@ -49,6 +53,7 @@ pub mod trajectory;
 pub use counting::{CountingFeatures, PeopleCounter};
 pub use csi::CsiLocalizer;
 pub use knn::KnnClassifier;
+pub use nb::GaussianNb;
 pub use sociogram::{Sociogram, SociogramBuilder};
 pub use train::{CongestionEstimator, TrainObservation};
 pub use trajectory::{BlobTracker, IntruderVerdict, Trajectory};

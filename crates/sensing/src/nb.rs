@@ -1,0 +1,229 @@
+//! Diagonal-Gaussian naive Bayes — the score-level fusion backbone
+//! shared by the composite-scenario estimators and the X2 harness.
+//!
+//! Per-modality class log-likelihoods simply add, which is how
+//! independent evidence should combine (and what a trained fusion
+//! layer approximates); the paper's Fig. 3 integration concept rests
+//! on exactly this property. The model is deliberately tiny — per
+//! class a mean and a floored variance per dimension — so it fits on
+//! the zero-energy side of the system and trains from a handful of
+//! calibration rounds.
+
+use serde::{Deserialize, Serialize};
+use zeiot_core::error::{ConfigError, Result};
+
+/// Per-class sufficient statistics: one mean and one (floored)
+/// variance per feature dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClassModel {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+/// A diagonal-Gaussian naive-Bayes classifier over fixed-length `f64`
+/// feature vectors with a dense `0..class_count` label space.
+///
+/// Classes absent from the training set stay representable (they
+/// score [`f64::NEG_INFINITY`]) so estimators calibrated on a partial
+/// day can still be fused against estimators that saw every class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNb {
+    /// Per class: the fitted model, or `None` if no training sample
+    /// carried that label.
+    classes: Vec<Option<ClassModel>>,
+    dims: usize,
+}
+
+impl GaussianNb {
+    /// Fits per-class means and variances from `(features, label)`
+    /// pairs. Variances are floored at `1e-3` so a constant feature
+    /// cannot produce an infinite density.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the training set is empty, when
+    /// `class_count` is zero, when a label falls outside
+    /// `0..class_count`, or when feature vectors disagree in length.
+    pub fn fit(training: &[(Vec<f64>, usize)], class_count: usize) -> Result<Self> {
+        if training.is_empty() {
+            return Err(ConfigError::new("training", "must be non-empty"));
+        }
+        if class_count == 0 {
+            return Err(ConfigError::new("class_count", "must be positive"));
+        }
+        let dims = training[0].0.len();
+        if dims == 0 {
+            return Err(ConfigError::new("training", "features must be non-empty"));
+        }
+        for (features, label) in training {
+            if features.len() != dims {
+                return Err(ConfigError::new(
+                    "training",
+                    "feature vectors must share one length",
+                ));
+            }
+            if *label >= class_count {
+                return Err(ConfigError::new("training", "label outside 0..class_count"));
+            }
+        }
+        let mut classes = Vec::with_capacity(class_count);
+        for c in 0..class_count {
+            let samples: Vec<&Vec<f64>> = training
+                .iter()
+                .filter(|&&(_, label)| label == c)
+                .map(|(f, _)| f)
+                .collect();
+            if samples.is_empty() {
+                classes.push(None);
+                continue;
+            }
+            let n = samples.len() as f64;
+            let mut mean = vec![0.0; dims];
+            for s in &samples {
+                for (m, v) in mean.iter_mut().zip(s.iter()) {
+                    *m += v / n;
+                }
+            }
+            let mut var = vec![0.0; dims];
+            for s in &samples {
+                for ((v, m), x) in var.iter_mut().zip(&mean).zip(s.iter()) {
+                    *v += (x - m).powi(2) / n;
+                }
+            }
+            for v in &mut var {
+                *v = v.max(1e-3);
+            }
+            classes.push(Some(ClassModel { mean, var }));
+        }
+        Ok(Self { classes, dims })
+    }
+
+    /// The size of the label space the model was fitted over.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The feature dimensionality the model was fitted over.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The (unnormalized) class log-likelihood of `features` under
+    /// `class`; [`f64::NEG_INFINITY`] for a class absent from
+    /// training, or when `class` is out of range.
+    #[must_use]
+    pub fn log_likelihood(&self, features: &[f64], class: usize) -> f64 {
+        match self.classes.get(class) {
+            None | Some(None) => f64::NEG_INFINITY,
+            Some(Some(model)) => features
+                .iter()
+                .zip(&model.mean)
+                .zip(&model.var)
+                .map(|((x, m), v)| -0.5 * ((x - m).powi(2) / v + v.ln()))
+                .sum(),
+        }
+    }
+
+    /// All class log-likelihoods, in class order — the score vector a
+    /// fusion layer pools across modalities.
+    #[must_use]
+    pub fn log_likelihoods(&self, features: &[f64]) -> Vec<f64> {
+        (0..self.classes.len())
+            .map(|c| self.log_likelihood(features, c))
+            .collect()
+    }
+
+    /// The maximum-likelihood class; first class wins ties (and the
+    /// degenerate all-`NEG_INFINITY` case), matching the workspace's
+    /// first-tie-wins argmax convention.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let scores = self.log_likelihoods(features);
+        let mut best = 0usize;
+        for (c, score) in scores.iter().enumerate().skip(1) {
+            if score.total_cmp(&scores[best]) == std::cmp::Ordering::Greater {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_training() -> Vec<(Vec<f64>, usize)> {
+        vec![
+            (vec![0.0, 0.0], 0),
+            (vec![0.2, -0.1], 0),
+            (vec![-0.2, 0.1], 0),
+            (vec![5.0, 5.0], 1),
+            (vec![5.3, 4.8], 1),
+            (vec![4.7, 5.2], 1),
+        ]
+    }
+
+    #[test]
+    fn separable_blobs_classify_exactly() {
+        let nb = GaussianNb::fit(&two_blob_training(), 2).unwrap();
+        assert_eq!(nb.class_count(), 2);
+        assert_eq!(nb.dims(), 2);
+        assert_eq!(nb.predict(&[0.1, 0.1]), 0);
+        assert_eq!(nb.predict(&[4.9, 5.1]), 1);
+    }
+
+    #[test]
+    fn absent_class_scores_neg_infinity_and_never_wins() {
+        let nb = GaussianNb::fit(&two_blob_training(), 3).unwrap();
+        assert_eq!(nb.log_likelihood(&[0.0, 0.0], 2), f64::NEG_INFINITY);
+        assert_eq!(nb.predict(&[100.0, 100.0]), 1);
+    }
+
+    #[test]
+    fn variance_floor_keeps_constant_features_finite() {
+        let training = vec![(vec![1.0], 0), (vec![1.0], 0), (vec![2.0], 1)];
+        let nb = GaussianNb::fit(&training, 2).unwrap();
+        assert!(nb.log_likelihood(&[1.0], 0).is_finite());
+        assert_eq!(nb.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn log_likelihoods_agrees_with_per_class_queries() {
+        let nb = GaussianNb::fit(&two_blob_training(), 2).unwrap();
+        let features = [1.3, 2.1];
+        let scores = nb.log_likelihoods(&features);
+        assert_eq!(scores.len(), 2);
+        for (c, &s) in scores.iter().enumerate() {
+            assert_eq!(s, nb.log_likelihood(&features, c));
+        }
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(GaussianNb::fit(&[], 2).is_err());
+        assert!(GaussianNb::fit(&[(vec![1.0], 0)], 0).is_err());
+        assert!(GaussianNb::fit(&[(vec![], 0)], 1).is_err());
+        assert!(GaussianNb::fit(&[(vec![1.0], 0), (vec![1.0, 2.0], 0)], 1).is_err());
+        assert!(GaussianNb::fit(&[(vec![1.0], 5)], 2).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let nb = GaussianNb::fit(&two_blob_training(), 2).unwrap();
+        let json = serde_json::to_string(&nb).unwrap();
+        let back: GaussianNb = serde_json::from_str(&json).unwrap();
+        assert_eq!(nb, back);
+    }
+
+    #[test]
+    fn tie_breaks_to_the_first_class() {
+        // Two identical classes: scores are bit-equal, so the argmax
+        // must stay on class 0.
+        let training = vec![(vec![0.0], 0), (vec![0.0], 1)];
+        let nb = GaussianNb::fit(&training, 2).unwrap();
+        assert_eq!(nb.predict(&[0.3]), 0);
+    }
+}

@@ -62,6 +62,7 @@
 //! ```
 
 pub mod arrival;
+pub mod model;
 pub mod request;
 pub mod server;
 pub mod shard;
@@ -70,9 +71,10 @@ pub mod tenant;
 pub mod windows;
 
 pub use arrival::ArrivalProcess;
+pub use model::ServeModel;
 pub use request::{Completion, Outcome, RejectReason, Request, ServiceMode, TenantId};
 pub use server::{DegradedServing, ServeConfig, ServeOutcome, Server};
 pub use shard::Shard;
-pub use stats::{ServeReport, TenantStats};
-pub use tenant::{QuantMode, Tenant, TenantSpec};
+pub use stats::{DwellState, DwellTimes, ServeReport, TenantStats};
+pub use tenant::{QuantMode, Tenant, TenantModel, TenantSpec};
 pub use windows::windowed_snapshots;

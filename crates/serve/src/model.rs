@@ -1,0 +1,40 @@
+//! The model interface a tenant serves behind.
+//!
+//! The serving layer originally hosted exactly one model family — the
+//! distributed CNN (f32 or frozen int8). Composite venue scenarios
+//! (`zeiot-scenario`) put *sensing estimators* behind the same shards,
+//! queues, and degradation ladder, so the executable surface is
+//! factored into this object-safe trait: anything that can turn an
+//! input tensor into a score vector — optionally gathering its
+//! features over the lossy fabric — can be a tenant.
+
+use zeiot_microdeep::lossy::LossyRuntime;
+use zeiot_nn::tensor::Tensor;
+use zeiot_obs::trace::SpanScope;
+
+/// A model the serving layer can execute for a tenant.
+///
+/// Implementations must be deterministic: the same input (and the same
+/// fabric state) must produce the same scores, because a serve run is
+/// a pure function of `(server, seed, horizon)`.
+pub trait ServeModel: std::fmt::Debug + Send {
+    /// The exact in-memory inference (no fabric): one score per class,
+    /// argmax'd by the shard with first-tie-wins semantics.
+    fn infer(&mut self, input: &Tensor) -> Vec<f32>;
+
+    /// The inference with every remote feature gather routed through
+    /// `rt` (typically via [`LossyRuntime::transport`] on stage
+    /// [`zeiot_microdeep::STAGE_SENSING`] or above). Returns `None`
+    /// when the fabric aborted the pass and the recovery policy does
+    /// not degrade — the shard then falls back to its stale cache or
+    /// counts the request failed, exactly like a CNN tenant.
+    ///
+    /// When `scope` is present the implementation may append
+    /// fabric-clock hop spans under the request's infer span.
+    fn infer_lossy(
+        &mut self,
+        input: &Tensor,
+        rt: &mut LossyRuntime,
+        scope: Option<&mut SpanScope<'_>>,
+    ) -> Option<Vec<f32>>;
+}

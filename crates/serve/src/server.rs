@@ -185,10 +185,17 @@ impl Server {
         mut tracer: Option<&mut Tracer>,
     ) -> ServeOutcome {
         // Install fresh re-placement engines for this run (stats and
-        // liveness memory start clean, like the shards' fabrics).
+        // liveness memory start clean, like the shards' fabrics). Only
+        // CNN tenants get one: the engine migrates DistributedCnn
+        // units, which custom models don't have.
         let engine_config = self.degraded.as_ref().and_then(|d| d.replace);
         for tenant in &mut self.tenants {
-            tenant.replace = engine_config.map(|cfg| ReplacementEngine::new(cfg, &self.topology));
+            tenant.replace = match tenant.model {
+                crate::tenant::TenantModel::Cnn { .. } => {
+                    engine_config.map(|cfg| ReplacementEngine::new(cfg, &self.topology))
+                }
+                crate::tenant::TenantModel::Custom(_) => None,
+            };
         }
 
         // Materialize every tenant's arrival stream.
@@ -261,6 +268,19 @@ impl Server {
             shard.drain(&mut self.tenants, &mut stats, tracer.as_deref_mut());
         }
 
+        // Close every tenant's dwell trajectory: the last completed
+        // request's state persists to the end of the horizon, and a
+        // tenant that never completed anything dwelt Full throughout.
+        let horizon_end = zeiot_core::time::SimTime::ZERO + horizon;
+        for shard in &mut shards {
+            shard.finalize_dwell(&mut stats, horizon_end);
+        }
+        for s in &mut stats {
+            if s.dwell.total().is_zero() {
+                s.dwell.add(crate::stats::DwellState::Full, horizon);
+            }
+        }
+
         let mut completions: Vec<Completion> = shards
             .iter_mut()
             .flat_map(Shard::take_completions)
@@ -305,7 +325,7 @@ impl Server {
                 for &latency in s.latencies() {
                     rec.observe("serve.latency", label.clone(), latency);
                 }
-                if let Some(q) = &tenant.quantized {
+                if let Some(q) = tenant.quantized_model() {
                     q.stats().record_to(rec, label.clone());
                 }
                 if let Some(engine) = &tenant.replace {
@@ -712,6 +732,56 @@ mod tests {
         let stats = outcome.report.tenant(0).unwrap();
         assert_eq!(stats.failed, 0, "{stats:?}");
         assert!(stats.degraded > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn dwell_times_tile_the_horizon_and_track_the_ladder() {
+        use crate::stats::DwellState;
+        let horizon = SimDuration::from_secs(4);
+        // Clean serving: every tenant dwells Full for the whole run.
+        let mut clean = server(1, 2, 32, vec![tenant("t", ArrivalProcess::poisson(6.0))]);
+        let outcome = clean.run(21, horizon, None);
+        let dwell = outcome.report.tenant(0).unwrap().dwell;
+        assert!(dwell.total() >= horizon, "{dwell:?}");
+        assert_eq!(dwell.degraded, SimDuration::ZERO);
+        assert!((dwell.fraction(DwellState::Full) - 1.0).abs() < 1e-12);
+        // Lossy serving: the ladder's Degraded rung shows up as dwell
+        // time, and the buckets still tile at least the horizon (drain
+        // may run past it).
+        let degraded = DegradedServing {
+            plan: FaultPlan::uniform(9, 0.1).unwrap(),
+            policy: RecoveryPolicy::Degrade {
+                mode: DegradeMode::ZeroFill,
+            },
+            pass_period: SimDuration::from_millis(100),
+            stale_cache: true,
+            replace: None,
+        };
+        let mut lossy = server(1, 2, 32, vec![tenant("t", ArrivalProcess::poisson(6.0))])
+            .with_degraded(degraded);
+        let outcome = lossy.run(21, horizon, None);
+        let stats = outcome.report.tenant(0).unwrap();
+        assert!(stats.degraded > 0, "{stats:?}");
+        assert!(
+            stats.dwell.degraded > SimDuration::ZERO,
+            "{:?}",
+            stats.dwell
+        );
+        assert!(stats.dwell.total() >= horizon, "{:?}", stats.dwell);
+        // An idle tenant (no arrivals within the horizon) is credited a
+        // full-horizon Full dwell rather than an empty trajectory.
+        let mut idle = server(
+            1,
+            1,
+            8,
+            vec![tenant("idle", ArrivalProcess::poisson(0.001))],
+        );
+        let outcome = idle.run(3, horizon, None);
+        let report_stats = outcome.report.tenant(0).unwrap();
+        assert_eq!(report_stats.served, 0, "{report_stats:?}");
+        assert_eq!(report_stats.dwell.full, horizon, "{report_stats:?}");
+        let text = outcome.report.to_string();
+        assert!(text.contains("dwell"), "{text}");
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //! prefers degraded answers over silence.
 
 use crate::request::{Completion, Outcome, RejectReason, Request, ServiceMode, TenantId};
-use crate::stats::TenantStats;
-use crate::tenant::Tenant;
+use crate::stats::{DwellState, TenantStats};
+use crate::tenant::{Tenant, TenantModel};
 use std::collections::BTreeMap;
 use zeiot_core::time::{SimDuration, SimTime};
 use zeiot_fault::FaultStats;
@@ -59,6 +59,10 @@ pub struct Shard {
     fabric: Option<LossyRuntime>,
     stale_enabled: bool,
     stale: BTreeMap<TenantId, Vec<f32>>,
+    /// Per tenant: the degradation state it currently dwells in and
+    /// when it entered it (the previous completion instant). Tenants
+    /// start `Full` at `t = 0`; sheds do not transition the state.
+    dwell: BTreeMap<TenantId, (DwellState, SimTime)>,
     completions: Vec<Completion>,
 }
 
@@ -87,6 +91,7 @@ impl Shard {
             fabric,
             stale_enabled,
             stale: BTreeMap::new(),
+            dwell: BTreeMap::new(),
             completions: Vec::new(),
         }
     }
@@ -210,6 +215,23 @@ impl Shard {
     /// Takes the completion log (sorted later by the server).
     pub(crate) fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Closes every tenant's open dwell interval at the end of a run:
+    /// the state its last completion left it in persists until
+    /// `horizon_end` (or until that completion, when the drain ran past
+    /// the horizon). Tenants that never completed a request have no
+    /// entry here; the server credits them a full-horizon `Full` dwell.
+    pub(crate) fn finalize_dwell(&mut self, stats: &mut [TenantStats], horizon_end: SimTime) {
+        for (&tenant, &(state, since)) in &self.dwell {
+            let end = if horizon_end > since {
+                horizon_end
+            } else {
+                since
+            };
+            stats[tenant].dwell.add(state, end.duration_since(since));
+        }
+        self.dwell.clear();
     }
 
     /// Writes the shard's fabric counters into `recorder` under its
@@ -341,6 +363,26 @@ impl Shard {
                     Outcome::Failed
                 }
             };
+            // Close out the dwell interval that ends at this
+            // completion: the tenant was in its previous state from the
+            // last transition until now. Completions on one shard are
+            // monotone (the worker frees up forward in time), so the
+            // interval is never negative.
+            let next_state = match &outcome {
+                Outcome::Served { mode, .. } => match mode {
+                    ServiceMode::Full => DwellState::Full,
+                    ServiceMode::Degraded => DwellState::Degraded,
+                    ServiceMode::Stale => DwellState::Stale,
+                },
+                Outcome::Failed => DwellState::Failed,
+                Outcome::Shed { .. } => DwellState::Full, // unreachable in dispatch
+            };
+            let entry = self
+                .dwell
+                .entry(req.tenant)
+                .or_insert((DwellState::Full, SimTime::ZERO));
+            s.dwell.add(entry.0, completion.duration_since(entry.1));
+            *entry = (next_state, completion);
             if let Some(tr) = tracer.as_deref_mut() {
                 let t = req.tenant as u64;
                 if let Some(root) = tr.root(t, req.seq) {
@@ -391,19 +433,21 @@ impl Shard {
         mut scope: Option<SpanScope<'_>>,
     ) -> Option<(ServiceMode, Vec<f32>)> {
         let tenant = &mut tenants[req.tenant];
-        let (net, quantized, replace) =
-            (&mut tenant.net, &mut tenant.quantized, &mut tenant.replace);
-        match &mut self.fabric {
+        let replace = &mut tenant.replace;
+        let (substituted_before, logits) = match (&mut tenant.model, &mut self.fabric) {
             // No fabric: the exact in-memory pass, byte-identical to
             // calling the model's forward directly.
-            None => {
+            (TenantModel::Cnn { net, quantized }, None) => {
                 let logits = match quantized {
                     Some(q) => q.forward_quantized(&req.input),
                     None => net.forward(&req.input),
                 };
-                Some((ServiceMode::Full, logits.data().to_vec()))
+                return Some((ServiceMode::Full, logits.data().to_vec()));
             }
-            Some(rt) => {
+            (TenantModel::Custom(model), None) => {
+                return Some((ServiceMode::Full, model.infer(&req.input)));
+            }
+            (TenantModel::Cnn { net, quantized }, Some(rt)) => {
                 // Re-place between requests: poll liveness and migrate
                 // units off dark nodes before this inference runs. Done
                 // ahead of the substitution snapshot so handoff-frame
@@ -423,31 +467,54 @@ impl Shard {
                     None => net.forward_lossy_traced(&req.input, rt, scope.as_mut()),
                 };
                 rt.advance_pass();
-                match out {
-                    Some(logits) => {
-                        let substituted_after = rt.stats().degraded + rt.stats().corrupted;
-                        let mode = if substituted_after > substituted_before {
-                            ServiceMode::Degraded
-                        } else {
-                            ServiceMode::Full
-                        };
-                        let logits = logits.data().to_vec();
-                        if self.stale_enabled {
-                            self.stale.insert(req.tenant, logits.clone());
-                        }
-                        Some((mode, logits))
-                    }
-                    None => {
-                        rt.note_aborted();
-                        if self.stale_enabled {
-                            self.stale
-                                .get(&req.tenant)
-                                .cloned()
-                                .map(|logits| (ServiceMode::Stale, logits))
-                        } else {
-                            None
-                        }
-                    }
+                (substituted_before, out.map(|t| t.data().to_vec()))
+            }
+            (TenantModel::Custom(model), Some(rt)) => {
+                // Custom models walk the very same ladder: their remote
+                // feature gathers go through `rt`, substitutions mark
+                // the answer Degraded, and an aborted pass falls back to
+                // the stale cache.
+                let substituted_before = rt.stats().degraded + rt.stats().corrupted;
+                let out = model.infer_lossy(&req.input, rt, scope.as_mut());
+                rt.advance_pass();
+                (substituted_before, out)
+            }
+        };
+        self.settle_lossy(req.tenant, substituted_before, logits)
+    }
+
+    /// The shared tail of a lossy execution: classify the completed
+    /// pass as Full/Degraded from the fabric's substitution delta, feed
+    /// the stale cache, or — on an aborted pass — fall back to it.
+    fn settle_lossy(
+        &mut self,
+        tenant: TenantId,
+        substituted_before: u64,
+        logits: Option<Vec<f32>>,
+    ) -> Option<(ServiceMode, Vec<f32>)> {
+        let rt = self.fabric.as_mut()?;
+        match logits {
+            Some(logits) => {
+                let substituted_after = rt.stats().degraded + rt.stats().corrupted;
+                let mode = if substituted_after > substituted_before {
+                    ServiceMode::Degraded
+                } else {
+                    ServiceMode::Full
+                };
+                if self.stale_enabled {
+                    self.stale.insert(tenant, logits.clone());
+                }
+                Some((mode, logits))
+            }
+            None => {
+                rt.note_aborted();
+                if self.stale_enabled {
+                    self.stale
+                        .get(&tenant)
+                        .cloned()
+                        .map(|logits| (ServiceMode::Stale, logits))
+                } else {
+                    None
                 }
             }
         }

@@ -5,6 +5,92 @@ use zeiot_core::time::SimDuration;
 use zeiot_fault::FaultStats;
 use zeiot_microdeep::replace::ReplaceStats;
 
+/// One rung of the degradation ladder, as a *state* a tenant dwells
+/// in: the [`crate::ServiceMode`] of its most recently completed
+/// request (or `Failed` when that request could not be answered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DwellState {
+    /// Last answer was exact.
+    Full,
+    /// Last answer completed through degrade substitution.
+    Degraded,
+    /// Last answer came from the stale-result cache.
+    Stale,
+    /// Last request failed outright.
+    Failed,
+}
+
+impl DwellState {
+    /// Stable lowercase label for reports and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DwellState::Full => "full",
+            DwellState::Degraded => "degraded",
+            DwellState::Stale => "stale",
+            DwellState::Failed => "failed",
+        }
+    }
+}
+
+/// How long a tenant spent in each degradation state over a run — the
+/// piecewise-constant trajectory of [`DwellState`] integrated over the
+/// horizon. A tenant starts in `Full`; each completed request moves it
+/// to the state its outcome implies. Fusion layers weight modalities
+/// by these fractions: a tenant that spent half the day answering
+/// stale is half as trustworthy as its calibration accuracy suggests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DwellTimes {
+    /// Time dwelt in [`DwellState::Full`].
+    pub full: SimDuration,
+    /// Time dwelt in [`DwellState::Degraded`].
+    pub degraded: SimDuration,
+    /// Time dwelt in [`DwellState::Stale`].
+    pub stale: SimDuration,
+    /// Time dwelt in [`DwellState::Failed`].
+    pub failed: SimDuration,
+}
+
+impl DwellTimes {
+    /// Accumulates `d` into `state`'s bucket.
+    pub fn add(&mut self, state: DwellState, d: SimDuration) {
+        match state {
+            DwellState::Full => self.full += d,
+            DwellState::Degraded => self.degraded += d,
+            DwellState::Stale => self.stale += d,
+            DwellState::Failed => self.failed += d,
+        }
+    }
+
+    /// Total accounted time (the served horizon, once finalized).
+    pub fn total(&self) -> SimDuration {
+        self.full + self.degraded + self.stale + self.failed
+    }
+
+    /// The fraction of accounted time spent in `state` (`0.0` when
+    /// nothing is accounted yet).
+    pub fn fraction(&self, state: DwellState) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            return 0.0;
+        }
+        let part = match state {
+            DwellState::Full => self.full,
+            DwellState::Degraded => self.degraded,
+            DwellState::Stale => self.stale,
+            DwellState::Failed => self.failed,
+        };
+        part.as_secs_f64() / total.as_secs_f64()
+    }
+
+    /// Adds `other` into `self`, bucket by bucket.
+    pub fn merge(&mut self, other: &DwellTimes) {
+        self.full += other.full;
+        self.degraded += other.degraded;
+        self.stale += other.stale;
+        self.failed += other.failed;
+    }
+}
+
 /// Counters and latency samples for one tenant (or, merged, for the
 /// whole run).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -31,6 +117,8 @@ pub struct TenantStats {
     pub correct: u64,
     /// Served requests that carried a ground-truth label.
     pub labelled: u64,
+    /// Time spent in each degradation state over the run.
+    pub dwell: DwellTimes,
     /// End-to-end latency (arrival → completion) of every served
     /// request, in seconds, in completion order.
     latencies: Vec<f64>,
@@ -125,6 +213,7 @@ impl TenantStats {
         self.deadline_misses += other.deadline_misses;
         self.correct += other.correct;
         self.labelled += other.labelled;
+        self.dwell.merge(&other.dwell);
         self.latencies.extend_from_slice(&other.latencies);
     }
 }
@@ -182,6 +271,19 @@ impl std::fmt::Display for ServeReport {
                 s.p99_latency().unwrap_or(0.0) * 1e3,
             )?;
         }
+        for (name, s) in &self.tenants {
+            if s.dwell.total().is_zero() {
+                continue;
+            }
+            writeln!(
+                f,
+                "dwell {name:<12} full {:.2} degraded {:.2} stale {:.2} failed {:.2}",
+                s.dwell.fraction(DwellState::Full),
+                s.dwell.fraction(DwellState::Degraded),
+                s.dwell.fraction(DwellState::Stale),
+                s.dwell.fraction(DwellState::Failed),
+            )?;
+        }
         if let Some(fault) = &self.fault {
             writeln!(
                 f,
@@ -221,6 +323,31 @@ mod tests {
             s.push_latency(SimDuration::from_secs_f64(l));
         }
         s
+    }
+
+    #[test]
+    fn dwell_times_accumulate_and_merge() {
+        let mut d = DwellTimes::default();
+        assert_eq!(d.total(), SimDuration::ZERO);
+        assert_eq!(d.fraction(DwellState::Full), 0.0);
+        d.add(DwellState::Full, SimDuration::from_secs(3));
+        d.add(DwellState::Stale, SimDuration::from_secs(1));
+        assert_eq!(d.total(), SimDuration::from_secs(4));
+        assert!((d.fraction(DwellState::Full) - 0.75).abs() < 1e-12);
+        assert!((d.fraction(DwellState::Stale) - 0.25).abs() < 1e-12);
+        let mut other = DwellTimes::default();
+        other.add(DwellState::Degraded, SimDuration::from_secs(2));
+        d.merge(&other);
+        assert_eq!(d.total(), SimDuration::from_secs(6));
+        assert_eq!(d.degraded, SimDuration::from_secs(2));
+        // TenantStats::merge carries dwell along.
+        let mut a = TenantStats::default();
+        a.dwell.add(DwellState::Full, SimDuration::from_secs(1));
+        let mut b = TenantStats::default();
+        b.dwell.add(DwellState::Failed, SimDuration::from_secs(5));
+        a.merge(&b);
+        assert_eq!(a.dwell.failed, SimDuration::from_secs(5));
+        assert_eq!(a.dwell.total(), SimDuration::from_secs(6));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Tenants: who a request belongs to and what model answers it.
 
 use crate::arrival::ArrivalProcess;
+use crate::model::ServeModel;
 use zeiot_core::time::SimDuration;
 use zeiot_microdeep::{DistributedCnn, QuantizedCnn, ReplacementEngine};
 use zeiot_nn::tensor::Tensor;
@@ -79,6 +80,26 @@ impl TenantSpec {
     }
 }
 
+/// What answers a tenant's requests: the distributed CNN family the
+/// layer was built around, or any custom [`ServeModel`] (sensing
+/// estimators in composite venue scenarios).
+#[derive(Debug)]
+pub enum TenantModel {
+    /// A distributed CNN deployment; `quantized` holds the frozen
+    /// integer model iff the tenant serves in [`QuantMode::Int8`].
+    /// This is the only variant the runtime re-placement engine
+    /// migrates (custom models own their placement, if any).
+    Cnn {
+        /// The f32 deployment (boxed: a deployment is orders of
+        /// magnitude larger than the `Custom` variant's fat pointer).
+        net: Box<DistributedCnn>,
+        /// The frozen int8 model, calibrated on the sample pool.
+        quantized: Option<Box<QuantizedCnn>>,
+    },
+    /// A custom model behind the [`ServeModel`] interface.
+    Custom(Box<dyn ServeModel>),
+}
+
 /// A tenant: its spec, its deployed model, and the labelled sample pool
 /// its requests draw from (request `seq` uses `pool[seq % pool.len()]`,
 /// so a request stream is reproducible without storing every input
@@ -87,24 +108,22 @@ impl TenantSpec {
 pub struct Tenant {
     /// The tenant's identity and contracts.
     pub spec: TenantSpec,
-    pub(crate) net: DistributedCnn,
-    /// The frozen integer model, present iff the spec asks for
-    /// [`QuantMode::Int8`]; calibrated on the sample pool at
-    /// construction.
-    pub(crate) quantized: Option<QuantizedCnn>,
+    /// What answers this tenant's requests.
+    pub(crate) model: TenantModel,
     /// The tenant's re-placement engine, installed by the server at the
     /// start of each run when [`crate::DegradedServing::replace`] is
-    /// configured. Polled by the tenant's shard before every inference;
-    /// migrations mutate `net` (and resync `quantized`), so re-placement
-    /// outlives the requests that triggered it.
+    /// configured and the tenant hosts a CNN. Polled by the tenant's
+    /// shard before every inference; migrations mutate the deployment
+    /// (and resync the int8 model), so re-placement outlives the
+    /// requests that triggered it.
     pub(crate) replace: Option<ReplacementEngine>,
     pool: Vec<(Tensor, usize)>,
 }
 
 impl Tenant {
-    /// Builds a tenant. Under [`QuantMode::Int8`] the model is frozen
-    /// here: the tenant's sample pool serves as the calibration set for
-    /// activation-scale selection.
+    /// Builds a CNN tenant. Under [`QuantMode::Int8`] the model is
+    /// frozen here: the tenant's sample pool serves as the calibration
+    /// set for activation-scale selection.
     ///
     /// # Errors
     ///
@@ -119,12 +138,37 @@ impl Tenant {
         }
         let quantized = (spec.quant == QuantMode::Int8).then(|| {
             let calibration: Vec<Tensor> = pool.iter().map(|(x, _)| x.clone()).collect();
-            QuantizedCnn::new(&mut net, &calibration)
+            Box::new(QuantizedCnn::new(&mut net, &calibration))
         });
         Ok(Self {
             spec,
-            net,
-            quantized,
+            model: TenantModel::Cnn {
+                net: Box::new(net),
+                quantized,
+            },
+            replace: None,
+            pool,
+        })
+    }
+
+    /// Builds a tenant around a custom [`ServeModel`]. The spec's
+    /// [`QuantMode`] is ignored — a custom model owns its own numeric
+    /// format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pool` is empty.
+    pub fn with_model(
+        spec: TenantSpec,
+        model: Box<dyn ServeModel>,
+        pool: Vec<(Tensor, usize)>,
+    ) -> Result<Self, String> {
+        if pool.is_empty() {
+            return Err(format!("tenant {}: empty sample pool", spec.name));
+        }
+        Ok(Self {
+            spec,
+            model: TenantModel::Custom(model),
             replace: None,
             pool,
         })
@@ -136,15 +180,21 @@ impl Tenant {
         (input, *label)
     }
 
-    /// The tenant's deployed model.
-    pub fn model(&self) -> &DistributedCnn {
-        &self.net
+    /// The tenant's deployed CNN, when it hosts one.
+    pub fn model(&self) -> Option<&DistributedCnn> {
+        match &self.model {
+            TenantModel::Cnn { net, .. } => Some(&**net),
+            TenantModel::Custom(_) => None,
+        }
     }
 
-    /// The tenant's frozen integer model, when serving in
+    /// The tenant's frozen integer model, when serving a CNN in
     /// [`QuantMode::Int8`].
     pub fn quantized_model(&self) -> Option<&QuantizedCnn> {
-        self.quantized.as_ref()
+        match &self.model {
+            TenantModel::Cnn { quantized, .. } => quantized.as_deref(),
+            TenantModel::Custom(_) => None,
+        }
     }
 }
 
