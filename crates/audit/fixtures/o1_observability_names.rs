@@ -1,0 +1,39 @@
+//! o1 fixture: every literal flowing into a recorder or tracer API
+//! must name a registered metric/span. Registered names and dynamic
+//! families pass; typos draw a "did you mean" hint; inventions fail
+//! flat; an allow annotation suppresses with its justification.
+
+pub fn record(rec: &mut Recorder) {
+    rec.add("serve.offered", Label::Global, 1);
+    rec.add("serve.offerd", Label::Global, 1);
+    rec.add("made.up.metric", Label::Global, 1);
+    rec.observe("audit.findings.active", Label::Global, 1.0);
+}
+
+pub fn spans(tr: &mut Tracer, t: u64, seq: u64, parent: SpanId) {
+    let _ = tr.push_span(
+        t,
+        seq,
+        parent,
+        SpanLayer::Infer,
+        "serve.infer",
+        ClockDomain::Serve,
+        start,
+        end,
+    );
+    let _ = tr.push_span(t, seq, parent, SpanLayer::Infer, "serve.inferr", domain, a, b);
+}
+
+pub fn justified(rec: &mut Recorder) {
+    // zeiot-audit: allow(o1) -- fixture: a deliberately off-registry name with a written-down reason
+    rec.add("fixture.only", Label::Global, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_scratch_names() {
+        let mut rec = Recorder::new();
+        rec.add("scratch.name", Label::Global, 1);
+    }
+}

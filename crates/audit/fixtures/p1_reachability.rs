@@ -1,0 +1,33 @@
+//! p1 fixture: panic reachability through the intra-file call graph.
+//! A public API that panics only transitively, a justified allow on a
+//! provably-in-bounds index, and a dead private fn that panics but is
+//! unreachable from any public root.
+
+/// Public entry point: never panics itself, but reaches `inner`'s
+/// unwrap one call away.
+pub fn entry(values: &[f32]) -> f32 {
+    inner(values)
+}
+
+fn inner(values: &[f32]) -> f32 {
+    values.first().copied().unwrap()
+}
+
+/// Public root whose only panic site carries a justification.
+pub fn guarded(values: &[f32]) -> f32 {
+    // zeiot-audit: allow(p1) -- fixture: caller guarantees a non-empty slice by construction
+    values[0]
+}
+
+fn never_called() -> usize {
+    let empty: Vec<usize> = Vec::new();
+    empty[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        assert_eq!(super::entry(&[1.0]), 1.0);
+    }
+}

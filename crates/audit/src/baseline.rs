@@ -91,6 +91,7 @@ mod tests {
             snippet: String::new(),
             message: String::new(),
             status: AllowStatus::Active,
+            chain: Vec::new(),
         }
     }
 

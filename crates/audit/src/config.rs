@@ -14,10 +14,24 @@ pub enum Rule {
     /// Float accumulation over parallel-iterator results without a
     /// documented total-order merge.
     D3,
+    /// RNG discipline: fresh or literal-seeded `SeedRng` construction
+    /// in library code of deterministic crates, outside the blessed
+    /// root crates — derived streams (`for_point`, `with_stream` from a
+    /// passed seed, `split`, `splitmix64`) are the only sanctioned way
+    /// to mint randomness mid-stack.
+    D4,
     /// `unwrap()`/`expect()` in library code of typed-error crates.
     H1,
     /// `pub fn … -> Result` without a `# Errors` doc section.
     H2,
+    /// Panic reachability: a potential panic site (unwrap/expect/
+    /// panicking macro/indexing) transitively reachable from a public
+    /// API of a typed-error crate, reported with the call chain.
+    P1,
+    /// Observability-name registry: every metric/span name flowing into
+    /// recorder/tracer APIs must be declared in `zeiot-obs::registry`,
+    /// and every declared name must be emitted somewhere.
+    O1,
     /// An allow annotation that suppressed nothing.
     UnusedAllow,
     /// An allow annotation with a missing justification or unknown rule.
@@ -25,12 +39,15 @@ pub enum Rule {
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
+    Rule::D4,
     Rule::H1,
     Rule::H2,
+    Rule::P1,
+    Rule::O1,
     Rule::UnusedAllow,
     Rule::MalformedAllow,
 ];
@@ -42,8 +59,11 @@ impl Rule {
             Rule::D1 => "d1",
             Rule::D2 => "d2",
             Rule::D3 => "d3",
+            Rule::D4 => "d4",
             Rule::H1 => "h1",
             Rule::H2 => "h2",
+            Rule::P1 => "p1",
+            Rule::O1 => "o1",
             Rule::UnusedAllow => "unused-allow",
             Rule::MalformedAllow => "malformed-allow",
         }
@@ -94,6 +114,17 @@ pub struct AuditConfig {
     pub typed_error_crates: Vec<String>,
     /// Crates whose `pub fn … -> Result` APIs must document `# Errors`.
     pub errors_doc_crates: Vec<String>,
+    /// Crates whose panic sites P1 *reports* when reachable. The call
+    /// graph still traverses every crate; limiting the reporting scope
+    /// keeps the rule's findings on the serving/fault/re-placement
+    /// surface the paper's claims ride on (nn kernel indexing is
+    /// shape-checked at the model boundary — a documented
+    /// under-approximation, see DESIGN.md §7b).
+    pub panic_scope_crates: Vec<String>,
+    /// Crates allowed to construct fresh root RNGs (`SeedRng::new`)
+    /// in library code: the experiment harness mints master seeds;
+    /// everything downstream must derive.
+    pub rng_root_crates: Vec<String>,
     /// Per-rule action, indexed by [`ALL_RULES`] order.
     actions: [Action; ALL_RULES.len()],
 }
@@ -114,6 +145,12 @@ impl Default for AuditConfig {
             deterministic_crates: dets.iter().map(|s| s.to_string()).collect(),
             typed_error_crates: vec!["zeiot-serve".into(), "zeiot-fault".into()],
             errors_doc_crates: vec!["zeiot-serve".into(), "zeiot-fault".into()],
+            panic_scope_crates: vec![
+                "zeiot-serve".into(),
+                "zeiot-fault".into(),
+                "zeiot-microdeep".into(),
+            ],
+            rng_root_crates: vec!["zeiot-bench".into()],
             actions: [Action::Deny; ALL_RULES.len()],
         }
     }
@@ -154,6 +191,16 @@ impl AuditConfig {
     /// Whether H2 applies to `crate_name`.
     pub fn wants_errors_doc(&self, crate_name: &str) -> bool {
         self.errors_doc_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether P1 reports reachable panic sites inside `crate_name`.
+    pub fn in_panic_scope(&self, crate_name: &str) -> bool {
+        self.panic_scope_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether `crate_name` may construct fresh root RNGs (D4).
+    pub fn is_rng_root(&self, crate_name: &str) -> bool {
+        self.rng_root_crates.iter().any(|c| c == crate_name)
     }
 }
 

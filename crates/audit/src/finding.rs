@@ -48,6 +48,10 @@ pub struct Finding {
     pub message: String,
     /// Allow/baseline status.
     pub status: AllowStatus,
+    /// For graph rules (p1): the call chain from a public API to the
+    /// offending site, outermost first, as `crate::fn (file:line)`
+    /// steps. Empty for per-line rules.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -61,7 +65,11 @@ impl fmt::Display for Finding {
             self.message,
             self.status.tag(),
             self.snippet
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via {}", self.chain.join("\n     -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -78,6 +86,7 @@ mod tests {
             snippet: "use std::collections::HashMap;".into(),
             message: "hash collection in a deterministic crate".into(),
             status: AllowStatus::Active,
+            chain: Vec::new(),
         };
         let json = serde_json::to_string(&f).unwrap();
         for field in [
@@ -89,6 +98,31 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+        let back: Finding = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn chains_render_and_round_trip_without_bloating_flat_findings() {
+        let mut f = Finding {
+            file: "crates/serve/src/shard.rs".into(),
+            line: 40,
+            rule: "p1".into(),
+            snippet: "let v = xs[i];".into(),
+            message: "indexing reachable from public API".into(),
+            status: AllowStatus::Active,
+            chain: Vec::new(),
+        };
+        // A chain-less finding renders flat — no `via` trailer.
+        assert!(!f.to_string().contains("via"));
+        f.chain = vec![
+            "zeiot-serve::Server::run (crates/serve/src/server.rs:163)".into(),
+            "zeiot-serve::Shard::poll (crates/serve/src/shard.rs:30)".into(),
+        ];
+        let text = f.to_string();
+        assert!(text.contains("via zeiot-serve::Server::run"));
+        assert!(text.contains("-> zeiot-serve::Shard::poll"));
+        let json = serde_json::to_string(&f).unwrap();
         let back: Finding = serde_json::from_str(&json).unwrap();
         assert_eq!(back, f);
     }

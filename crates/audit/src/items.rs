@@ -1,0 +1,345 @@
+//! Item-level parsing: functions, impl blocks, and visibility.
+//!
+//! Built on the [`crate::lexer`] line classification — no `syn`, no
+//! token stream. The parser tracks brace depth across lexed `code`
+//! lines, recognises `impl` headers (to qualify methods with their
+//! self type) and `fn` headers (with their visibility), and records
+//! each function's body as a line range. Nested functions are items of
+//! their own; a line belongs to its *innermost* enclosing function.
+//!
+//! The parse is deliberately conservative in the directions the rules
+//! need: a function it cannot attribute (macro-generated items, exotic
+//! signatures) simply produces no item, which can only *miss* findings
+//! (p1 under-approximates), never invent them.
+
+use crate::lexer::Line;
+
+/// One parsed function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` for methods, `name` for free functions.
+    pub qualified: String,
+    /// Self type when declared inside an `impl` block.
+    pub self_type: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// `pub` without a restriction — visible outside the crate.
+    pub is_pub: bool,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// 0-based body line range (header line through closing brace),
+    /// empty for bodyless trait declarations.
+    pub body_start: usize,
+    /// Exclusive end of the body range.
+    pub body_end: usize,
+}
+
+/// A file's parsed items plus the line → innermost-function map.
+#[derive(Debug, Clone, Default)]
+pub struct ItemMap {
+    /// Every function item, in source order.
+    pub fns: Vec<FnItem>,
+    /// For each line, the index into `fns` of the innermost function
+    /// whose body contains it.
+    pub owner: Vec<Option<usize>>,
+}
+
+/// Tokens that may precede `fn` in a declaration header.
+fn is_fn_prefix_token(tok: &str) -> bool {
+    tok.starts_with("pub")
+        || matches!(
+            tok,
+            "const" | "async" | "unsafe" | "extern" | "default" | "\"\""
+        )
+}
+
+/// Extracts the self type from an `impl` header line: the last path
+/// segment of the implemented type, generics stripped.
+fn impl_self_type(code: &str) -> Option<String> {
+    let after = code.trim_start().strip_prefix("impl")?;
+    if after.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+        return None; // an identifier like `implement`
+    }
+    // Skip the generic parameter list of the impl itself.
+    let mut rest = after;
+    if rest.starts_with('<') {
+        let mut depth = 0usize;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[cut..];
+    }
+    // `impl Trait for Type` — the self type is after the last ` for `.
+    let target = match rest.find(" for ") {
+        Some(pos) => &rest[pos + 5..],
+        None => rest,
+    };
+    let target = target.trim_start().trim_start_matches('&');
+    let name: String = target
+        .chars()
+        .skip_while(|c| *c == '\'' || c.is_whitespace())
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+        .collect();
+    let last = name.rsplit("::").next().unwrap_or(&name).to_string();
+    (!last.is_empty()).then_some(last)
+}
+
+/// Finds a `fn` header on `code`: returns (name, is_pub) when the line
+/// declares a function (only visibility/qualifier tokens before `fn`).
+fn fn_header(code: &str) -> Option<(String, bool)> {
+    let at = crate::lexer::find_word(code, "fn")?;
+    let prefix = code[..at].trim();
+    if !prefix.is_empty() && !prefix.split_whitespace().all(is_fn_prefix_token) {
+        return None;
+    }
+    let name: String = code[at + 2..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let is_pub = prefix.split_whitespace().any(|t| t == "pub");
+    Some((name, is_pub))
+}
+
+/// Parses every function item in a lexed file.
+pub fn parse_items(lines: &[Line], in_test: &[bool]) -> ItemMap {
+    let mut map = ItemMap {
+        fns: Vec::new(),
+        owner: vec![None; lines.len()],
+    };
+    // (depth the block opened at, self type) for open impl blocks, and
+    // (fn index, depth just inside its body) for open fn bodies.
+    let mut impls: Vec<(i64, String)> = Vec::new();
+    let mut open_fns: Vec<(usize, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+
+    let mut i = 0;
+    let mut col = 0usize; // byte offset to resume scanning at on line i
+    while i < lines.len() {
+        let code = lines[i].code.as_str();
+        if col == 0 {
+            if let Some(ty) = impl_self_type(code) {
+                impls.push((depth, ty));
+            }
+            if let Some((name, is_pub)) = fn_header(code) {
+                // Locate the body-opening `{` (or `;` for a bodyless
+                // trait declaration): (line, byte position).
+                let mut paren = 0i64;
+                let mut open_at = None;
+                'sig: for (j, l) in lines.iter().enumerate().skip(i).take(30) {
+                    for (pos, c) in l.code.char_indices() {
+                        match c {
+                            '(' | '[' => paren += 1,
+                            ')' | ']' => paren -= 1,
+                            '{' if paren == 0 => {
+                                open_at = Some((j, pos));
+                                break 'sig;
+                            }
+                            ';' if paren == 0 => break 'sig,
+                            _ => {}
+                        }
+                    }
+                }
+                let self_type = impls.last().map(|(_, t)| t.clone());
+                let qualified = match &self_type {
+                    Some(t) => format!("{t}::{name}"),
+                    None => name.clone(),
+                };
+                let idx = map.fns.len();
+                map.fns.push(FnItem {
+                    name,
+                    qualified,
+                    self_type,
+                    line: i,
+                    is_pub,
+                    in_test: in_test.get(i).copied().unwrap_or(false),
+                    body_start: i,
+                    body_end: i + 1, // grown when the body closes
+                });
+                if let Some((open_line, pos)) = open_at {
+                    // Signature lines belong to the new fn; the body
+                    // brace raises the depth the fn stays open at.
+                    for o in map.owner.iter_mut().take(open_line + 1).skip(i) {
+                        *o = Some(idx);
+                    }
+                    depth += 1;
+                    open_fns.push((idx, depth));
+                    i = open_line;
+                    col = pos + 1;
+                    continue;
+                }
+                // Bodyless declaration: header-only item; fall through
+                // so enclosing-block tracking still sees this line.
+            }
+        }
+        if map.owner[i].is_none() {
+            if let Some(&(fn_idx, _)) = open_fns.last() {
+                map.owner[i] = Some(fn_idx);
+            }
+        }
+        for c in code[col.min(code.len())..].chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    while let Some(&(fn_idx, d)) = open_fns.last() {
+                        if depth < d {
+                            map.fns[fn_idx].body_end = i + 1;
+                            open_fns.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    while impls.last().is_some_and(|&(d, _)| depth <= d) {
+                        impls.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+        col = 0;
+    }
+    // Close anything left open at EOF.
+    while let Some((fn_idx, _)) = open_fns.pop() {
+        map.fns[fn_idx].body_end = lines.len();
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{split_lines, test_mask};
+
+    fn parse(src: &str) -> ItemMap {
+        let lines = split_lines(src);
+        let mask = test_mask(&lines);
+        parse_items(&lines, &mask)
+    }
+
+    #[test]
+    fn free_and_method_items_with_visibility() {
+        let src = "\
+pub fn alpha() -> u32 { 1 }
+fn beta() {}
+struct S;
+impl S {
+    pub fn gamma(&self) { beta(); }
+    pub(crate) fn delta() {}
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+";
+        let map = parse(src);
+        let names: Vec<(&str, &str, bool)> = map
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.qualified.as_str(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha", "alpha", true),
+                ("beta", "beta", false),
+                ("gamma", "S::gamma", true),
+                ("delta", "S::delta", false), // pub(crate) is not pub
+                ("fmt", "S::fmt", false),
+            ]
+        );
+        assert_eq!(map.fns[2].self_type.as_deref(), Some("S"));
+        assert_eq!(map.fns[4].self_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn bodies_and_line_ownership_track_nesting() {
+        let src = "\
+pub fn outer() {
+    let x = 1;
+    fn inner() {
+        let y = 2;
+    }
+    let z = 3;
+}
+";
+        let map = parse(src);
+        assert_eq!(map.fns.len(), 2);
+        let outer = &map.fns[0];
+        let inner = &map.fns[1];
+        assert_eq!((outer.body_start, outer.body_end), (0, 7));
+        assert_eq!((inner.body_start, inner.body_end), (2, 5));
+        assert_eq!(map.owner[1], Some(0)); // `let x` → outer
+        assert_eq!(map.owner[3], Some(1)); // `let y` → inner
+        assert_eq!(map.owner[5], Some(0)); // `let z` → outer
+    }
+
+    #[test]
+    fn multiline_signatures_and_test_items() {
+        let src = "\
+pub fn long(
+    a: usize,
+    b: usize,
+) -> usize {
+    a + b
+}
+#[cfg(test)]
+mod tests {
+    fn helper() { let _ = 1; }
+}
+";
+        let map = parse(src);
+        assert_eq!(map.fns.len(), 2);
+        assert_eq!((map.fns[0].body_start, map.fns[0].body_end), (0, 6));
+        assert_eq!(map.owner[4], Some(0));
+        assert!(map.fns[1].in_test);
+        assert!(!map.fns[0].in_test);
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_header_only() {
+        let src = "\
+trait T {
+    fn required(&self) -> usize;
+    fn provided(&self) -> usize { 1 }
+}
+";
+        let map = parse(src);
+        assert_eq!(map.fns.len(), 2);
+        assert_eq!(map.fns[0].body_end, map.fns[0].body_start + 1);
+        assert_eq!((map.fns[1].body_start, map.fns[1].body_end), (2, 3));
+    }
+
+    #[test]
+    fn impl_headers_resolve_generics_and_trait_impls() {
+        assert_eq!(
+            impl_self_type("impl<T: Clone> Foo<T> {"),
+            Some("Foo".into())
+        );
+        assert_eq!(
+            impl_self_type("impl fmt::Display for Rule {"),
+            Some("Rule".into())
+        );
+        assert_eq!(
+            impl_self_type("impl SpanScope<'_> {"),
+            Some("SpanScope".into())
+        );
+        assert_eq!(impl_self_type("let implemented = 3;"), None);
+    }
+}

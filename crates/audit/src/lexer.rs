@@ -24,6 +24,12 @@ pub struct Line {
     pub code: String,
     /// The concatenated comment text of the line (markers kept).
     pub comment: String,
+    /// Each string literal that *opens* on this line: the byte offset
+    /// of its opening quote within `code`, and its interior text
+    /// (escapes kept verbatim, minus the backslash). The o1 rule reads
+    /// metric/span names from here, so blanking interiors in `code`
+    /// loses nothing.
+    pub strings: Vec<(usize, String)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,9 +64,14 @@ fn raw_string_open(chars: &[char], i: usize) -> Option<usize> {
 /// Splits `src` into classified [`Line`]s.
 pub fn split_lines(src: &str) -> Vec<Line> {
     let chars: Vec<char> = src.chars().collect();
-    let mut lines = Vec::new();
+    let mut lines: Vec<Line> = Vec::new();
     let mut line = Line::default();
     let mut state = State::Code;
+    // The string literal currently open: (line index it opened on —
+    // `lines.len()` means the current line — offset of its opening
+    // quote in that line's `code`) plus the interior accumulated so far.
+    let mut open_str: Option<(usize, usize)> = None;
+    let mut str_buf = String::new();
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
@@ -84,11 +95,15 @@ pub fn split_lines(src: &str) -> Vec<Line> {
                     i += 2;
                 } else if c == '"' {
                     state = State::Str;
+                    open_str = Some((lines.len(), line.code.len()));
+                    str_buf.clear();
                     line.code.push('"');
                     i += 1;
                 } else if c == 'r' && !prev_is_ident_except_b(&chars, i) {
                     if let Some(hashes) = raw_string_open(&chars, i) {
                         state = State::RawStr(hashes);
+                        open_str = Some((lines.len(), line.code.len() + 1));
+                        str_buf.clear();
                         line.code.push_str("r\"");
                         i += 2 + hashes;
                     } else {
@@ -141,25 +156,32 @@ pub fn split_lines(src: &str) -> Vec<Line> {
                     // Skip the escaped character — except an escaped
                     // newline (line continuation), which the outer loop
                     // must still see so line numbers stay aligned.
-                    i += if chars.get(i + 1) == Some(&'\n') {
-                        1
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
                     } else {
-                        2
-                    };
+                        if let Some(&esc) = chars.get(i + 1) {
+                            str_buf.push(esc);
+                        }
+                        i += 2;
+                    }
                 } else if c == '"' {
                     line.code.push('"');
                     state = State::Code;
+                    close_string(&mut lines, &mut line, &mut open_str, &mut str_buf);
                     i += 1;
                 } else {
-                    i += 1; // blank the interior
+                    str_buf.push(c);
+                    i += 1; // blank the interior of `code`
                 }
             }
             State::RawStr(hashes) => {
                 if c == '"' && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
                     line.code.push('"');
                     state = State::Code;
+                    close_string(&mut lines, &mut line, &mut open_str, &mut str_buf);
                     i += 1 + hashes;
                 } else {
+                    str_buf.push(c);
                     i += 1;
                 }
             }
@@ -180,6 +202,25 @@ pub fn split_lines(src: &str) -> Vec<Line> {
         lines.push(line);
     }
     lines
+}
+
+/// Attaches a just-closed string literal's interior to the line its
+/// opening quote sits on (which may be an earlier line for multi-line
+/// literals).
+fn close_string(
+    lines: &mut [Line],
+    current: &mut Line,
+    open: &mut Option<(usize, usize)>,
+    buf: &mut String,
+) {
+    if let Some((line_idx, offset)) = open.take() {
+        let target = if line_idx == lines.len() {
+            current
+        } else {
+            &mut lines[line_idx]
+        };
+        target.strings.push((offset, std::mem::take(buf)));
+    }
 }
 
 /// True when the character before `i` continues an identifier other
@@ -300,6 +341,30 @@ mod tests {
         let lines = split_lines(src);
         let mask = test_mask(&lines);
         assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn string_literal_interiors_are_captured_with_offsets() {
+        let src = "rec.add(\"mac.grants\", Label::Global, 1);\nlet r = r#\"raw.name\"#;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].strings, vec![(8, "mac.grants".to_string())]);
+        assert_eq!(lines[0].code.as_bytes()[8], b'"');
+        assert_eq!(lines[1].strings, vec![(9, "raw.name".to_string())]);
+    }
+
+    #[test]
+    fn multiline_string_content_attaches_to_the_opening_line() {
+        let src = "let s = \"first\nsecond\";\nlet t = \"x\";\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].strings, vec![(8, "firstsecond".to_string())]);
+        assert!(lines[1].strings.is_empty());
+        assert_eq!(lines[2].strings, vec![(8, "x".to_string())]);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_captured_literal() {
+        let lines = split_lines("f(\"a\\\"b\");\n");
+        assert_eq!(lines[0].strings, vec![(2, "a\"b".to_string())]);
     }
 
     #[test]

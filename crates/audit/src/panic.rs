@@ -1,0 +1,274 @@
+//! Rule `p1`: panic reachability over the workspace call graph.
+//!
+//! A typed-error crate promises its callers a `Result`, not an abort —
+//! so any `unwrap`/`expect`/panicking-macro/indexing site that a public
+//! API of such a crate can reach transitively is a broken promise,
+//! even when the site lives in another crate. This pass walks the
+//! conservative [`SymbolGraph`] (edges over-approximate real calls,
+//! see [`crate::graph`]) from every public, non-test, library-layer
+//! function of the typed-error crates and reports each reachable panic
+//! site together with the shortest call chain that proves
+//! reachability.
+//!
+//! Reporting is limited to the [`AuditConfig::panic_scope_crates`]:
+//! the graph traverses everything, but only sites on the
+//! serve/fault/re-placement surface become findings — one per
+//! (function, panic kind), anchored at the first site so an
+//! `allow(p1)` annotation on that line covers the function's sites of
+//! that kind.
+
+use crate::config::{Action, AuditConfig, Layer, Rule};
+use crate::graph::{FileFacts, PanicKind, SymbolGraph};
+use crate::rules::RawFinding;
+use std::collections::VecDeque;
+
+/// All panic kinds, in report order.
+const KINDS: [PanicKind; 4] = [
+    PanicKind::Unwrap,
+    PanicKind::Expect,
+    PanicKind::Macro,
+    PanicKind::Indexing,
+];
+
+/// Scans the built graph for reachable panic sites. `facts` and
+/// `layers` are parallel (one entry per scanned file, in graph build
+/// order); returns `(file_index, finding)` pairs so the caller can
+/// route each finding through its file's annotation pipeline.
+pub(crate) fn scan(
+    config: &AuditConfig,
+    facts: &[FileFacts],
+    layers: &[Layer],
+    graph: &SymbolGraph,
+) -> Vec<(usize, RawFinding)> {
+    if config.action(Rule::P1) == Action::Off {
+        return Vec::new();
+    }
+    // Node → file index (nodes were pushed in facts order).
+    let mut node_file = Vec::with_capacity(graph.nodes.len());
+    for (fi, f) in facts.iter().enumerate() {
+        node_file.extend(std::iter::repeat_n(fi, f.items.fns.len()));
+    }
+    debug_assert_eq!(node_file.len(), graph.nodes.len());
+
+    // Roots: the promise-making surface.
+    let roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(id, n)| {
+            n.is_pub
+                && !n.in_test
+                && config.is_typed_error(&n.crate_name)
+                && layers[node_file[*id]] == Layer::Lib
+        })
+        .map(|(id, _)| id)
+        .collect();
+
+    // BFS that never routes a chain through test code: a `#[cfg(test)]`
+    // helper calling a panicking fn proves nothing about release paths.
+    let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut queue = VecDeque::new();
+    for &r in &roots {
+        if parent[r].is_none() {
+            parent[r] = Some(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &m in &graph.edges[n] {
+            if parent[m].is_none() && !graph.nodes[m].in_test {
+                parent[m] = Some(n);
+                queue.push_back(m);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if parent[id].is_none()
+            || node.panics.is_empty()
+            || !config.in_panic_scope(&node.crate_name)
+            || layers[node_file[id]] != Layer::Lib
+        {
+            continue;
+        }
+        let chain = graph.chain_to(&parent, id);
+        let root = chain.first().cloned().unwrap_or_default();
+        for kind in KINDS {
+            let sites: Vec<usize> = node
+                .panics
+                .iter()
+                .filter(|p| p.kind == kind)
+                .map(|p| p.line)
+                .collect();
+            let Some(&first) = sites.first() else {
+                continue;
+            };
+            let mut f = RawFinding::new(
+                Rule::P1,
+                first,
+                format!(
+                    "{} site{} ({} in `{}::{}`) reachable from public API {}: \
+                     return a typed error, or prove unreachability with an \
+                     allow(p1) annotation on this line",
+                    kind.label(),
+                    if sites.len() == 1 { "" } else { "s" },
+                    sites.len(),
+                    node.crate_name,
+                    node.qualified,
+                    root,
+                ),
+            );
+            f.chain = chain.clone();
+            out.push((node_file[id], f));
+        }
+    }
+    // Deterministic order: file, then line, then message.
+    out.sort_by(|a, b| (a.0, a.1.line, &a.1.message).cmp(&(b.0, b.1.line, &b.1.message)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::file_facts;
+    use crate::items::parse_items;
+    use crate::lexer::{split_lines, test_mask};
+
+    fn facts(crate_name: &str, rel: &str, src: &str) -> FileFacts {
+        let lines = split_lines(src);
+        let mask = test_mask(&lines);
+        let items = parse_items(&lines, &mask);
+        file_facts(crate_name, rel, &lines, items)
+    }
+
+    #[test]
+    fn reachable_panics_report_with_the_full_chain() {
+        // zeiot-serve is typed-error; zeiot-microdeep is in panic scope.
+        let serve = facts(
+            "zeiot-serve",
+            "crates/serve/src/lib.rs",
+            "pub fn admit(x: u32) -> Result<(), ()> {\n    replace_poll(x);\n    Ok(())\n}\n",
+        );
+        let micro = facts(
+            "zeiot-microdeep",
+            "crates/microdeep/src/replace.rs",
+            "pub fn replace_poll(x: u32) {\n    inner(x);\n}\n\
+             fn inner(x: u32) {\n    let v = [1, 2][x as usize];\n    let _ = v;\n}\n",
+        );
+        let all = [serve, micro];
+        let graph = SymbolGraph::build(&all);
+        let hits = scan(
+            &AuditConfig::default(),
+            &all,
+            &[Layer::Lib, Layer::Lib],
+            &graph,
+        );
+        // `inner` has the only panic site (indexing).
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        let (file, f) = &hits[0];
+        assert_eq!(*file, 1);
+        assert_eq!(f.rule, Rule::P1);
+        assert_eq!(f.line, 4); // 0-based: the indexing line
+        assert!(f.message.contains("indexing"), "{}", f.message);
+        assert!(f.message.contains("zeiot-serve::admit"), "{}", f.message);
+        assert_eq!(f.chain.len(), 3, "{:?}", f.chain);
+        assert!(f.chain[0].starts_with("zeiot-serve::admit"));
+        assert!(f.chain[2].starts_with("zeiot-microdeep::inner"));
+    }
+
+    #[test]
+    fn unreachable_and_out_of_scope_panics_stay_silent() {
+        // Reachable only from a private fn → no root reaches it.
+        let private = facts(
+            "zeiot-serve",
+            "crates/serve/src/lib.rs",
+            "fn hidden() {\n    helper();\n}\nfn helper() {\n    x.unwrap();\n}\n",
+        );
+        let graph = SymbolGraph::build(std::slice::from_ref(&private));
+        assert!(scan(
+            &AuditConfig::default(),
+            std::slice::from_ref(&private),
+            &[Layer::Lib],
+            &graph
+        )
+        .is_empty());
+
+        // A reachable panic in a crate outside panic_scope_crates
+        // (zeiot-nn is not in scope) is traversed but not reported.
+        let serve = facts(
+            "zeiot-serve",
+            "crates/serve/src/lib.rs",
+            "pub fn admit() {\n    kernel();\n}\n",
+        );
+        let nn = facts(
+            "zeiot-nn",
+            "crates/nn/src/conv.rs",
+            "pub fn kernel() {\n    w[0];\n}\n",
+        );
+        let all = [serve, nn];
+        let graph = SymbolGraph::build(&all);
+        assert!(scan(
+            &AuditConfig::default(),
+            &all,
+            &[Layer::Lib, Layer::Lib],
+            &graph
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn chains_never_route_through_test_helpers() {
+        let src = "\
+pub fn entry() -> Result<(), ()> {
+    Ok(())
+}
+#[cfg(test)]
+mod tests {
+    fn entry() {
+        boom();
+    }
+}
+fn boom() {
+    panic!(\"no\");
+}
+";
+        let f = facts("zeiot-serve", "crates/serve/src/lib.rs", src);
+        let graph = SymbolGraph::build(std::slice::from_ref(&f));
+        // The only path to `boom` goes through the test-mod `entry`;
+        // the pub `entry` itself calls nothing. No finding.
+        let hits = scan(
+            &AuditConfig::default(),
+            std::slice::from_ref(&f),
+            &[Layer::Lib],
+            &graph,
+        );
+        assert!(hits.is_empty(), "{hits:#?}");
+    }
+
+    #[test]
+    fn one_finding_per_function_and_kind_counts_all_sites() {
+        let serve = facts(
+            "zeiot-serve",
+            "crates/serve/src/lib.rs",
+            "pub fn admit(xs: &[u32]) {\n    let a = xs[0];\n    let b = xs[1];\n    \
+             let c = xs.first().unwrap();\n    let _ = (a, b, c);\n}\n",
+        );
+        let graph = SymbolGraph::build(std::slice::from_ref(&serve));
+        let hits = scan(
+            &AuditConfig::default(),
+            std::slice::from_ref(&serve),
+            &[Layer::Lib],
+            &graph,
+        );
+        // Two findings: one Indexing (2 sites, anchored at the first),
+        // one Unwrap.
+        assert_eq!(hits.len(), 2, "{hits:#?}");
+        let idx = hits
+            .iter()
+            .find(|(_, f)| f.message.contains("indexing"))
+            .unwrap();
+        assert_eq!(idx.1.line, 1);
+        assert!(idx.1.message.contains("(2 in"), "{}", idx.1.message);
+    }
+}

@@ -92,6 +92,7 @@ mod tests {
                     snippet: "use std::collections::HashMap;".into(),
                     message: "hash collection".into(),
                     status: AllowStatus::Active,
+                    chain: Vec::new(),
                 },
                 Finding {
                     file: "crates/obs/src/span.rs".into(),
@@ -102,6 +103,7 @@ mod tests {
                     status: AllowStatus::Suppressed {
                         justification: "profiling only".into(),
                     },
+                    chain: Vec::new(),
                 },
             ],
             files_scanned: 2,

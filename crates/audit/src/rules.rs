@@ -9,8 +9,17 @@
 //! | `d1` | deterministic crates | `HashMap` / `HashSet` (iteration order is seed-dependent) |
 //! | `d2` | every crate, library layer | `Instant::now` / `SystemTime` / `thread_rng` / `thread::current` / `env::var` |
 //! | `d3` | deterministic crates | `.sum(` / `.reduce(` / `.fold(` within 5 lines of a `par_iter`-family call; integer turbofish sums (`.sum::<i32>()` …) are exempt — integer addition is associative, so reduction order cannot change the result |
+//! | `d4` | deterministic crates, library layer | `SeedRng::new(` / `SeedRng::with_stream(` with a literal seed, or any fresh construction outside the blessed RNG-root crates — derived streams (`for_point`, `split`) keep the seed tree rooted at the master seed |
 //! | `h1` | typed-error crates, library layer | `.unwrap()` / `.expect(` outside tests |
 //! | `h2` | serve/fault | `pub fn … -> Result` without a `# Errors` doc section |
+//!
+//! Two further rules operate on the whole workspace rather than single
+//! lines — `p1` (panic reachability over the [`crate::graph`] call
+//! graph) and `o1` (the [observability-name registry] round-trip, see
+//! [`crate::obsnames`]) — and feed their hits through the same
+//! annotation/baseline pipeline via [`finalize`].
+//!
+//! [observability-name registry]: ../../obs/src/registry.rs
 //!
 //! A site that is deliberate carries a trailing or preceding
 //! `// zeiot-audit: allow(<rule>) -- <justification>` comment; the
@@ -80,10 +89,24 @@ pub fn parse_annotations(lines: &[Line]) -> Vec<Annotation> {
 }
 
 /// A rule hit before annotation/baseline matching.
-struct RawFinding {
-    rule: Rule,
-    line: usize, // 0-based
-    message: String,
+#[derive(Debug, Clone)]
+pub(crate) struct RawFinding {
+    pub(crate) rule: Rule,
+    pub(crate) line: usize, // 0-based
+    pub(crate) message: String,
+    /// Call chain for graph rules (p1); empty otherwise.
+    pub(crate) chain: Vec<String>,
+}
+
+impl RawFinding {
+    pub(crate) fn new(rule: Rule, line: usize, message: String) -> Self {
+        Self {
+            rule,
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 fn d2_patterns() -> [&'static str; 6] {
@@ -135,6 +158,20 @@ fn strip_exempt_integer_sums(code: &str) -> String {
     out
 }
 
+/// The `SeedRng` constructors that start a fresh stream from a raw seed
+/// (as opposed to deriving one from an existing stream).
+const D4_CONSTRUCTORS: [&str; 2] = ["SeedRng::new(", "SeedRng::with_stream("];
+
+/// Whether the first argument after `open` (a byte offset just past the
+/// `(`) is an integer literal on the same line.
+fn first_arg_is_int_literal(code: &str, open: usize) -> bool {
+    code[open..]
+        .trim_start()
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit())
+}
+
 fn scan_rules(
     config: &AuditConfig,
     crate_name: &str,
@@ -148,6 +185,7 @@ fn scan_rules(
     let d1 = enabled(Rule::D1) && config.is_deterministic(crate_name);
     let d2 = enabled(Rule::D2) && layer == Layer::Lib;
     let d3 = enabled(Rule::D3) && config.is_deterministic(crate_name);
+    let d4 = enabled(Rule::D4) && config.is_deterministic(crate_name) && layer == Layer::Lib;
     let h1 = enabled(Rule::H1) && config.is_typed_error(crate_name) && layer == Layer::Lib;
 
     let mut par_reach = 0usize; // lines remaining in the current D3 window
@@ -160,28 +198,28 @@ fn scan_rules(
         if d1 {
             for word in ["HashMap", "HashSet"] {
                 if find_word(code, word).is_some() {
-                    raw.push(RawFinding {
-                        rule: Rule::D1,
-                        line: i,
-                        message: format!(
+                    raw.push(RawFinding::new(
+                        Rule::D1,
+                        i,
+                        format!(
                             "{word} in deterministic crate {crate_name}: iteration order \
                              is seed-dependent; use BTreeMap/BTreeSet or sorted iteration"
                         ),
-                    });
+                    ));
                 }
             }
         }
         if d2 {
             for pat in d2_patterns() {
                 if find_word(code, pat).is_some() {
-                    raw.push(RawFinding {
-                        rule: Rule::D2,
-                        line: i,
-                        message: format!(
+                    raw.push(RawFinding::new(
+                        Rule::D2,
+                        i,
+                        format!(
                             "`{pat}` outside the CLI layer: wall-clock, thread identity, \
                              OS randomness, and env branching break replay determinism"
                         ),
-                    });
+                    ));
                     break; // one D2 finding per line is enough
                 }
             }
@@ -192,29 +230,57 @@ fn scan_rules(
             }
             let acc_code = strip_exempt_integer_sums(code);
             if par_reach > 0 && ACC_PATTERNS.iter().any(|p| acc_code.contains(p)) {
-                raw.push(RawFinding {
-                    rule: Rule::D3,
-                    line: i,
-                    message: "accumulation over a parallel iterator: float reduction \
-                              order must be fixed by a total-order merge"
+                raw.push(RawFinding::new(
+                    Rule::D3,
+                    i,
+                    "accumulation over a parallel iterator: float reduction \
+                     order must be fixed by a total-order merge"
                         .into(),
-                });
+                ));
                 par_reach = 0; // attribute one accumulator per parallel call
             } else {
                 par_reach = par_reach.saturating_sub(1);
             }
         }
+        if d4 {
+            for ctor in D4_CONSTRUCTORS {
+                let Some(at) = code.find(ctor) else { continue };
+                let open = at + ctor.len();
+                let name = &ctor[..ctor.len() - 1];
+                if first_arg_is_int_literal(code, open) {
+                    raw.push(RawFinding::new(
+                        Rule::D4,
+                        i,
+                        format!(
+                            "`{name}` with a literal seed in library code: hard-coded \
+                             seeds shadow the experiment's master seed; derive the \
+                             stream via SeedRng::for_point or split()"
+                        ),
+                    ));
+                } else if !config.is_rng_root(crate_name) {
+                    raw.push(RawFinding::new(
+                        Rule::D4,
+                        i,
+                        format!(
+                            "`{name}` outside an RNG-root crate: fresh streams fork the \
+                             seed tree; derive from the caller's SeedRng via for_point \
+                             or split() so replay stays a function of one master seed"
+                        ),
+                    ));
+                }
+            }
+        }
         if h1 {
             for pat in [".unwrap()", ".expect("] {
                 if code.contains(pat) {
-                    raw.push(RawFinding {
-                        rule: Rule::H1,
-                        line: i,
-                        message: format!(
+                    raw.push(RawFinding::new(
+                        Rule::H1,
+                        i,
+                        format!(
                             "`{pat}…` in library code of {crate_name}: route the failure \
                              through the crate's typed errors"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -281,36 +347,64 @@ fn scan_errors_docs(lines: &[Line], in_test: &[bool]) -> Vec<RawFinding> {
             }
         }
         if !has_errors_doc {
-            raw.push(RawFinding {
-                rule: Rule::H2,
-                line: i,
-                message: "`pub fn` returning Result without a `# Errors` doc section".into(),
-            });
+            raw.push(RawFinding::new(
+                Rule::H2,
+                i,
+                "`pub fn` returning Result without a `# Errors` doc section".into(),
+            ));
         }
     }
     raw
 }
 
-/// Runs the full rule set over one source file.
-///
-/// `rel_path` is the workspace-relative path reported in findings;
-/// `crate_name` and `layer` select which rules apply. Returns every
-/// finding — suppressed and malformed-annotation ones included — in
-/// line order.
-pub fn analyze_source(
+/// Everything the per-line pass extracts from one file, kept around so
+/// the workspace-level rules (`p1`, `o1`) can append their raw hits
+/// before [`finalize`] runs the shared annotation pipeline.
+pub(crate) struct FileScan {
+    /// Trimmed source lines, for finding snippets.
+    pub(crate) snippets: Vec<String>,
+    /// Lexed lines (comments/strings separated from code).
+    pub(crate) lines: Vec<Line>,
+    /// Per-line `#[cfg(test)]` mask.
+    pub(crate) in_test: Vec<bool>,
+    /// Parsed `// zeiot-audit: allow(…)` comments.
+    pub(crate) annotations: Vec<Annotation>,
+    /// Per-line rule hits collected so far.
+    pub(crate) raw: Vec<RawFinding>,
+}
+
+/// Lexes one file and runs every per-line rule over it.
+pub(crate) fn scan_file(
     config: &AuditConfig,
     crate_name: &str,
-    rel_path: &str,
     layer: Layer,
     src: &str,
-) -> Vec<Finding> {
-    let raw_lines: Vec<&str> = src.lines().collect();
+) -> FileScan {
+    let snippets = src.lines().map(|l| l.trim().to_string()).collect();
     let lines = split_lines(src);
     let in_test = test_mask(&lines);
     let annotations = parse_annotations(&lines);
     let raw = scan_rules(config, crate_name, layer, &lines, &in_test);
+    FileScan {
+        snippets,
+        lines,
+        in_test,
+        annotations,
+        raw,
+    }
+}
 
-    let snippet = |line: usize| raw_lines.get(line).map_or("", |l| l.trim()).to_string();
+/// Matches raw hits against allow annotations, reports stale or
+/// malformed annotations, and renders everything as [`Finding`]s in
+/// line order.
+pub(crate) fn finalize(config: &AuditConfig, rel_path: &str, scan: FileScan) -> Vec<Finding> {
+    let FileScan {
+        snippets,
+        annotations,
+        raw,
+        ..
+    } = scan;
+    let snippet = |line: usize| snippets.get(line).cloned().unwrap_or_default();
     let mut used = vec![false; annotations.len()];
     let mut findings = Vec::new();
 
@@ -334,6 +428,7 @@ pub fn analyze_source(
             snippet: snippet(f.line),
             message: f.message,
             status,
+            chain: f.chain,
         });
     }
 
@@ -352,6 +447,7 @@ pub fn analyze_source(
                 snippet: snippet(a.line),
                 message: format!("malformed allow annotation: {what}"),
                 status: AllowStatus::Active,
+                chain: Vec::new(),
             });
         } else if !malformed && !used[idx] && config.action(Rule::UnusedAllow) != Action::Off {
             findings.push(Finding {
@@ -364,12 +460,42 @@ pub fn analyze_source(
                     a.rule.expect("well-formed").id()
                 ),
                 status: AllowStatus::Active,
+                chain: Vec::new(),
             });
         }
     }
 
     findings.sort_by_key(|f| (f.line, f.rule.clone()));
     findings
+}
+
+/// Runs the full single-file rule set over one source file.
+///
+/// `rel_path` is the workspace-relative path reported in findings;
+/// `crate_name` and `layer` select which rules apply. The graph rules
+/// run against a one-file call graph here (chains cannot cross files);
+/// [`crate::audit_workspace`] runs them over the whole workspace
+/// instead. Returns every finding — suppressed and
+/// malformed-annotation ones included — in line order.
+pub fn analyze_source(
+    config: &AuditConfig,
+    crate_name: &str,
+    rel_path: &str,
+    layer: Layer,
+    src: &str,
+) -> Vec<Finding> {
+    let mut scan = scan_file(config, crate_name, layer, src);
+    let items = crate::items::parse_items(&scan.lines, &scan.in_test);
+    let facts = crate::graph::file_facts(crate_name, rel_path, &scan.lines, items);
+    let facts = std::slice::from_ref(&facts);
+    let graph = crate::graph::SymbolGraph::build(facts);
+    for (file, f) in crate::panic::scan(config, facts, &[layer], &graph) {
+        debug_assert_eq!(file, 0);
+        scan.raw.push(f);
+    }
+    let membership = crate::obsnames::scan_membership(config, &scan);
+    scan.raw.extend(membership);
+    finalize(config, rel_path, scan)
 }
 
 #[cfg(test)]
@@ -412,6 +538,32 @@ mod tests {
         // lexical pass, so the conservative answer is to fire.
         let untyped = "fn f(xs: &[i32]) -> i32 { xs.par_iter().map(|x| x * 2).sum() }\n";
         assert_eq!(audit("zeiot-sim", untyped).len(), 1);
+    }
+
+    #[test]
+    fn d4_flags_literal_seeds_and_fresh_streams_outside_rng_roots() {
+        // A literal seed in library code fires even in an RNG-root crate.
+        let literal = "fn f() { let rng = SeedRng::new(42); }\n";
+        let hits = audit("zeiot-sim", literal);
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert_eq!(hits[0].rule, "d4");
+        assert!(hits[0].message.contains("literal seed"));
+
+        // A fresh stream from a runtime seed fires outside RNG roots…
+        let fresh = "fn f(seed: u64) { let rng = SeedRng::with_stream(seed, 1); }\n";
+        let hits = audit("zeiot-sim", fresh);
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert!(hits[0].message.contains("RNG-root"));
+
+        // …but not inside one (zeiot-bench owns the master seed), and
+        // derived streams never fire anywhere.
+        assert!(audit("zeiot-bench", fresh).is_empty());
+        let derived = "fn f(rng: &SeedRng) { let s = SeedRng::for_point(rng.seed(), 3); }\n";
+        assert!(audit("zeiot-sim", derived).is_empty());
+
+        // Test code is exempt like every other rule.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn f() { let r = SeedRng::new(7); }\n}\n";
+        assert!(audit("zeiot-sim", test_only).is_empty());
     }
 
     #[test]

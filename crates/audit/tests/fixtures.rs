@@ -92,7 +92,12 @@ fn h1_fires_on_unwrap_and_expect_in_typed_error_crates() {
     // One `.unwrap()`, one `.expect(` — the total `unwrap_or` and the
     // test-module unwrap stay silent.
     assert_eq!(h1.len(), 2, "{findings:#?}");
-    assert_eq!(findings.len(), h1.len());
+    // The same sites double as p1 hits: each pub fn reaches its own
+    // panic with a one-step chain.
+    let p1 = active(&findings, "p1");
+    assert_eq!(p1.len(), 2, "{findings:#?}");
+    assert!(p1.iter().all(|f| f.chain.len() == 1), "{p1:#?}");
+    assert_eq!(findings.len(), h1.len() + p1.len());
     // The same file in a crate without typed errors is silent.
     assert!(audit_as("zeiot-nn", "fixtures/h1_unwrap.rs", src).is_empty());
 }
@@ -159,4 +164,111 @@ fn baselines_grandfather_without_silencing_the_report() {
         .iter()
         .all(|f| f.status == zeiot_audit::AllowStatus::Baselined));
     assert_eq!(findings.len(), 4);
+}
+
+#[test]
+fn p1_reports_transitive_panics_with_their_call_chain() {
+    let src = include_str!("../fixtures/p1_reachability.rs");
+    let findings = audit_as("zeiot-serve", "fixtures/p1_reachability.rs", src);
+    // `inner` panics and is reachable from the public root `entry`:
+    // one active p1 finding carrying the two-step chain.
+    let p1 = active(&findings, "p1");
+    assert_eq!(p1.len(), 1, "{findings:#?}");
+    assert_eq!(p1[0].chain.len(), 2, "{p1:#?}");
+    assert!(p1[0].chain[0].contains("entry"), "{:?}", p1[0].chain);
+    assert!(p1[0].chain[1].contains("inner"), "{:?}", p1[0].chain);
+    assert!(p1[0].message.contains("unwrap"), "{}", p1[0].message);
+    // The dead `never_called` indexes out of bounds but no public root
+    // reaches it: silent.
+    assert!(
+        findings.iter().all(|f| !f.snippet.contains("empty[0]")),
+        "{findings:#?}"
+    );
+    // `guarded`'s indexing is justified: suppressed, not active.
+    let suppressed: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "p1" && !f.status.is_active())
+        .collect();
+    assert_eq!(suppressed.len(), 1, "{findings:#?}");
+    assert!(suppressed[0].snippet.contains("values[0]"));
+    // The unwrap doubles as h1; nothing else fires.
+    assert_eq!(active(&findings, "h1").len(), 1);
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+}
+
+#[test]
+fn p1_is_scoped_to_typed_error_crates() {
+    let src = include_str!("../fixtures/p1_reachability.rs");
+    let findings = audit_as("zeiot-nn", "fixtures/p1_reachability.rs", src);
+    // No typed-error contract, no roots — only the now-stale allow
+    // annotation surfaces.
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "unused-allow");
+}
+
+#[test]
+fn d4_distinguishes_literal_seeds_derivation_and_rng_roots() {
+    let src = include_str!("../fixtures/d4_rng_discipline.rs");
+    let findings = audit_as("zeiot-sim", "fixtures/d4_rng_discipline.rs", src);
+    let d4 = active(&findings, "d4");
+    // Two literal seeds plus one fresh stream outside an RNG root; the
+    // `for_point` derivation and the test-module seed stay silent.
+    assert_eq!(d4.len(), 3, "{findings:#?}");
+    let literals = d4
+        .iter()
+        .filter(|f| f.message.contains("literal seed"))
+        .count();
+    assert_eq!(literals, 2, "{d4:#?}");
+    assert_eq!(findings.len(), d4.len() + 1, "{findings:#?}");
+    // The justified independent stream is suppressed, not active.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "d4" && !f.status.is_active()));
+}
+
+#[test]
+fn d4_permits_fresh_streams_inside_rng_root_crates() {
+    let src = include_str!("../fixtures/d4_rng_discipline.rs");
+    let findings = audit_as("zeiot-bench", "fixtures/d4_rng_discipline.rs", src);
+    // An RNG root may mint fresh streams, but literal seeds still
+    // fire, and the now-unneeded allow annotation is flagged stale.
+    let d4 = active(&findings, "d4");
+    assert_eq!(d4.len(), 2, "{findings:#?}");
+    assert!(d4.iter().all(|f| f.message.contains("literal seed")));
+    assert_eq!(active(&findings, "unused-allow").len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn o1_checks_emitted_names_against_the_registry() {
+    let src = include_str!("../fixtures/o1_observability_names.rs");
+    let findings = audit_as("zeiot-scenario", "fixtures/o1_observability_names.rs", src);
+    let o1 = active(&findings, "o1");
+    // Two bad metric names and one bad span name; the registered
+    // names, the dynamic family, and the test-module scratch name all
+    // pass.
+    assert_eq!(o1.len(), 3, "{findings:#?}");
+    let typo = o1
+        .iter()
+        .find(|f| f.message.contains("serve.offerd"))
+        .expect("typo finding");
+    assert!(
+        typo.message.contains("did you mean \"serve.offered\""),
+        "{}",
+        typo.message
+    );
+    let span_typo = o1
+        .iter()
+        .find(|f| f.message.contains("serve.inferr"))
+        .expect("span typo finding");
+    assert!(
+        span_typo.message.contains("did you mean \"serve.infer\""),
+        "{}",
+        span_typo.message
+    );
+    assert!(o1.iter().any(|f| f.message.contains("made.up.metric")));
+    // The justified off-registry name is suppressed, not active.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "o1" && !f.status.is_active()));
+    assert_eq!(findings.len(), o1.len() + 1, "{findings:#?}");
 }

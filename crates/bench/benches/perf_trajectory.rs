@@ -2,12 +2,12 @@
 //! MicroDeep forward pass (f32 lossless, f32 through a degraded
 //! fabric, and the deployed int8 path), the blocked i8 dense kernel,
 //! the incremental re-placement planner, the serving layer's
-//! admission/dispatch loop, and the scenario fusion step — timed by
-//! the vendored criterion stub and exported as `BENCH_9.json` for the
-//! CI `perf` job to archive.
+//! admission/dispatch loop, the scenario fusion step, and the audit's
+//! full workspace scan — timed by the vendored criterion stub and
+//! exported as `BENCH_10.json` for the CI `perf` job to archive.
 //!
 //! Usage: `cargo bench -p zeiot-bench --bench perf_trajectory --
-//! [--out PATH]` (default `BENCH_9.json` in the working directory).
+//! [--out PATH]` (default `BENCH_10.json` in the working directory).
 //! `ZEIOT_BENCH_ITERS` overrides the per-bench iteration count (CI's
 //! smoke profile uses a small value; the default is the stub's 10).
 //!
@@ -193,6 +193,18 @@ fn bench_scenario_fuse_step(c: &mut Criterion) {
     });
 }
 
+fn bench_audit_workspace_scan(c: &mut Criterion) {
+    // The audit's end-to-end cost: walk every workspace source, lex,
+    // parse items, build the symbol graph, and run all ten rules. This
+    // bounds the latency the audit adds to CI and local gates.
+    use zeiot_audit::{audit_workspace, AuditConfig};
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = AuditConfig::default();
+    c.bench_function("audit_workspace_scan", |b| {
+        b.iter(|| black_box(audit_workspace(black_box(&root), &config, None).expect("scan runs")))
+    });
+}
+
 fn results_json(c: &Criterion) -> String {
     let mut out =
         String::from("{\n  \"schema\": \"zeiot-bench-trajectory/1\",\n  \"benches\": [\n");
@@ -221,7 +233,7 @@ fn main() {
             eprintln!("--out requires a path");
             std::process::exit(2);
         }
-        None => "BENCH_9.json".to_string(),
+        None => "BENCH_10.json".to_string(),
     };
     let iters: u32 = std::env::var("ZEIOT_BENCH_ITERS")
         .ok()
@@ -235,6 +247,7 @@ fn main() {
     bench_replace_incremental(&mut criterion);
     bench_serve_dispatch(&mut criterion);
     bench_scenario_fuse_step(&mut criterion);
+    bench_audit_workspace_scan(&mut criterion);
     let json = results_json(&criterion);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");

@@ -332,7 +332,7 @@ pub fn run_with_traces(params: &Params, runner: &SweepRunner) -> (ExperimentRepo
                                 let current = net.assignment().clone();
                                 plan_incremental(&graph, &topo, &current, &union_down, usize::MAX)
                             };
-                            apply_offline(&mut net, &outcome.migrations, &union_down);
+                            apply_offline(&mut net, &graph, &outcome.migrations, &union_down);
                         }
                         Tenant::new(ts, net, pool.clone()).expect("non-empty pool")
                     })

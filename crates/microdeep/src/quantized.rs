@@ -668,7 +668,7 @@ mod tests {
         let down = vec![NodeId::new(4)];
         let (_, outcome) = plan_incremental(&graph, &topo, &net.assignment, &down, usize::MAX);
         assert!(!outcome.migrations.is_empty(), "center node hosted nothing");
-        apply_offline(&mut net, &outcome.migrations, &down);
+        apply_offline(&mut net, &graph, &outcome.migrations, &down);
 
         qnet.resync_placement(&net);
         assert_eq!(qnet.assignment, net.assignment);
@@ -693,7 +693,7 @@ mod tests {
         let graph = net.config.unit_graph().unwrap();
         let down = vec![NodeId::new(4)];
         let (_, outcome) = plan_incremental(&graph, &topo, &net.assignment, &down, usize::MAX);
-        apply_offline(&mut net, &outcome.migrations, &down);
+        apply_offline(&mut net, &graph, &outcome.migrations, &down);
         qnet.resync_placement(&net);
 
         for (node, qrep) in &qnet.replicas {

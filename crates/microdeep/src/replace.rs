@@ -206,6 +206,7 @@ pub fn plan_incremental(
     budget: usize,
 ) -> (Assignment, ReplanOutcome) {
     let surviving: Vec<NodeId> = topo.node_ids().filter(|n| !down.contains(n)).collect();
+    // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
     assert!(!surviving.is_empty(), "all nodes down");
 
     // Routes over the degraded mesh (dark nodes cannot relay).
@@ -220,6 +221,7 @@ pub fn plan_incremental(
         for u in 0..graph.units_in_layer(l) {
             let h = assignment.host_of(l, u);
             if !down.contains(&h) {
+                // zeiot-audit: allow(p1) -- hosts come from the assignment over this topology, so index() < topo.len()
                 load[h.index()] += 1;
             }
         }
@@ -317,6 +319,7 @@ pub fn plan_full_resolve(
     let mut load = vec![0usize; topo.len()];
     for l in 1..graph.layer_count() {
         for u in 0..graph.units_in_layer(l) {
+            // zeiot-audit: allow(p1) -- hosts come from the assignment over this topology, so index() < topo.len()
             load[repaired.host_of(l, u).index()] += 1;
         }
     }
@@ -428,8 +431,13 @@ fn migration_scalars(net: &DistributedCnn, m: &Migration) -> usize {
 /// live node hosting a unit of the same layer that is nearest the
 /// destination (ties on id); falls back to the lowest-id survivor when
 /// the layer has no surviving host.
-fn state_source(net: &DistributedCnn, rt: &LossyRuntime, m: &Migration, down: &[NodeId]) -> NodeId {
-    let graph = net.config.unit_graph().expect("validated config");
+fn state_source(
+    net: &DistributedCnn,
+    graph: &UnitGraph,
+    rt: &LossyRuntime,
+    m: &Migration,
+    down: &[NodeId],
+) -> NodeId {
     let peer = (0..graph.units_in_layer(m.layer))
         .map(|u| net.assignment.host_of(m.layer, u))
         .filter(|h| !down.contains(h) && *h != m.to)
@@ -457,6 +465,7 @@ fn apply_one(net: &mut DistributedCnn, m: &Migration, source: NodeId) {
     if m.layer != 1 {
         return;
     }
+    // zeiot-audit: allow(p1) -- migrations come from a plan over this model's unit graph, so unit < conv_unit_host.len()
     net.conv_unit_host[m.unit] = m.to;
     if let Some(rep) = net.replicas.get_mut(&m.from) {
         rep.units -= 1;
@@ -475,6 +484,7 @@ fn apply_one(net: &mut DistributedCnn, m: &Migration, source: NodeId) {
         .replicas
         .get(&source)
         .or_else(|| net.replicas.values().next())
+        // zeiot-audit: allow(p1) -- a validated deployment always hosts layer-1 units, so the replica map is non-empty
         .expect("at least one replica survives");
     let fresh = ConvReplica {
         weights: template.weights.clone(),
@@ -490,12 +500,16 @@ fn apply_one(net: &mut DistributedCnn, m: &Migration, source: NodeId) {
 /// gateway-side repair. State is copied from the nearest surviving
 /// checkpoint peer for free; the static-recovery baseline and
 /// [`crate::resilience::reassign_after_failures`] deployments use this.
-pub fn apply_offline(net: &mut DistributedCnn, migrations: &[Migration], down: &[NodeId]) {
+pub fn apply_offline(
+    net: &mut DistributedCnn,
+    graph: &UnitGraph,
+    migrations: &[Migration],
+    down: &[NodeId],
+) {
     // Source selection needs hop distances; an offline repair measures
     // them over the healthy mesh is unavailable — use layer-peer id
     // order instead (deterministic, and cost-free offline).
     for m in migrations {
-        let graph = net.config.unit_graph().expect("validated config");
         let source = (0..graph.units_in_layer(m.layer))
             .map(|u| net.assignment.host_of(m.layer, u))
             .find(|h| !down.contains(h) && *h != m.from)
@@ -581,6 +595,7 @@ impl ReplacementEngine {
             self.last_down = down;
             return 0;
         }
+        // zeiot-audit: allow(p1) -- DistributedCnn construction requires a config whose unit graph builds
         let graph = net.config.unit_graph().expect("validated config");
         let outcome = match self.config.strategy {
             ReplaceStrategy::Incremental => {
@@ -605,7 +620,7 @@ impl ReplacementEngine {
 
         let mut applied = 0usize;
         for m in &outcome.migrations {
-            let source = state_source(net, rt, m, &down);
+            let source = state_source(net, &graph, rt, m, &down);
             let scalars = migration_scalars(net, m);
             // One placement-control frame (the destination learns it now
             // owns the unit) plus the state payload — so even a

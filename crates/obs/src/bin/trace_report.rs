@@ -49,6 +49,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A dump with names outside the registry is not analyzable — the
+    // rollup would silently misattribute it — so reject it typed.
+    if let Err(e) = zeiot_obs::registry::validate_traces(&traces) {
+        eprintln!("trace-report: {}: {e}", args[0]);
+        return ExitCode::FAILURE;
+    }
     print!("{}", report(&traces, top));
     ExitCode::SUCCESS
 }

@@ -183,12 +183,18 @@ pub fn from_jsonl(text: &str) -> Result<Vec<JsonlRecord>, JsonlError> {
         .collect()
 }
 
-/// Writes a snapshot's JSONL dump to `path`.
+/// Writes a snapshot's JSONL dump to `path`, validating every metric
+/// name against [`crate::registry`] first — a dump with a typo'd name
+/// is a hole in every downstream report, so the exporter refuses to
+/// produce one.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Fails with `InvalidData` when a metric name is not registered, and
+/// propagates filesystem errors.
 pub fn write_jsonl(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
+    crate::registry::validate_snapshot(snapshot)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let mut file = std::fs::File::create(path)?;
     file.write_all(to_jsonl(snapshot).as_bytes())
 }

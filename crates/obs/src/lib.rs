@@ -15,6 +15,7 @@ pub mod jsonl;
 pub mod label;
 pub mod probe;
 pub mod recorder;
+pub mod registry;
 pub mod slo;
 pub mod snapshot;
 pub mod span;
@@ -25,6 +26,9 @@ pub use jsonl::{from_jsonl, to_jsonl, write_jsonl, JsonlError, JsonlRecord};
 pub use label::Label;
 pub use probe::{EngineProbe, EventClassifier};
 pub use recorder::{Recorder, Severity, TraceEvent};
+pub use registry::{
+    is_registered_metric, is_registered_span, validate_snapshot, validate_traces, UnknownName,
+};
 pub use slo::{evaluate_all, SloBreach, SloObjective, SloSpec};
 pub use snapshot::{CounterEntry, GaugeEntry, HistogramEntry, SeriesEntry, Snapshot, TraceEntry};
 pub use span::{SimSpan, WallSpan};

@@ -57,9 +57,9 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 /// use zeiot_core::id::NodeId;
 ///
 /// let mut rec = Recorder::new();
-/// rec.add("net.tx_messages", Label::node(NodeId::new(0)), 3);
-/// rec.observe("net.hop_count", Label::Global, 2.0);
-/// assert_eq!(rec.counter_value("net.tx_messages", &Label::node(NodeId::new(0))), 3);
+/// rec.add("microdeep.tx_messages", Label::node(NodeId::new(0)), 3);
+/// rec.observe("fault.recovery_latency_hops", Label::Global, 2.0);
+/// assert_eq!(rec.counter_value("microdeep.tx_messages", &Label::node(NodeId::new(0))), 3);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Recorder {

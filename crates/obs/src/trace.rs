@@ -501,12 +501,16 @@ pub fn traces_from_jsonl(text: &str) -> Result<Vec<Trace>, JsonlError> {
         .collect()
 }
 
-/// Writes traces as JSONL to `path`.
+/// Writes traces as JSONL to `path`, validating every span name
+/// against [`crate::registry`] first.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Fails with `InvalidData` when a span name is not registered, and
+/// propagates filesystem errors.
 pub fn write_traces_jsonl(path: &Path, traces: &[Trace]) -> std::io::Result<()> {
+    crate::registry::validate_traces(traces)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let mut file = std::fs::File::create(path)?;
     file.write_all(traces_to_jsonl(traces).as_bytes())
 }

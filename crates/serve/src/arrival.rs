@@ -46,6 +46,7 @@ impl ArrivalProcess {
     ///
     /// Panics if `rate_hz` is not finite and positive.
     pub fn poisson(rate_hz: f64) -> Self {
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
         assert!(
             rate_hz.is_finite() && rate_hz > 0.0,
             "rate must be positive, got {rate_hz}"
@@ -59,6 +60,7 @@ impl ArrivalProcess {
     ///
     /// Panics if `period` is zero.
     pub fn periodic(period: SimDuration) -> Self {
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
         assert!(!period.is_zero(), "period must be non-zero");
         Self::Periodic {
             period,
@@ -72,6 +74,7 @@ impl ArrivalProcess {
     ///
     /// Panics if `burst` is zero or `mean_gap` is zero.
     pub fn bursts(burst: usize, spacing: SimDuration, mean_gap: SimDuration) -> Self {
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guards
         assert!(burst > 0, "burst must be non-empty");
         assert!(!mean_gap.is_zero(), "mean gap must be non-zero");
         Self::Bursts {
@@ -88,6 +91,7 @@ impl ArrivalProcess {
     ///
     /// Panics if `k` is not finite and positive.
     pub fn scaled(&self, k: f64) -> Self {
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
         assert!(k.is_finite() && k > 0.0, "load factor must be positive");
         match *self {
             Self::Poisson { rate_hz } => Self::Poisson {

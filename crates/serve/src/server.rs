@@ -225,6 +225,7 @@ impl Server {
 
         let mut stats = vec![TenantStats::default(); self.tenants.len()];
         for r in &requests {
+            // zeiot-audit: allow(p1) -- requests are generated from self.tenants, so ids are < stats.len()
             stats[r.tenant].offered += 1;
         }
 

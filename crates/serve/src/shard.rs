@@ -35,10 +35,15 @@ use zeiot_obs::{Label, Recorder};
 /// `argmax` with the same first-tie-wins rule as
 /// [`zeiot_nn::tensor::Tensor::argmax`].
 fn argmax(values: &[f32]) -> usize {
+    let Some(&first) = values.first() else {
+        return 0;
+    };
     let mut best = 0;
-    for (i, &v) in values.iter().enumerate() {
-        if v > values[best] {
+    let mut best_v = first;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > best_v {
             best = i;
+            best_v = v;
         }
     }
     best
@@ -134,6 +139,7 @@ impl Shard {
         let queued = self.queued_per_tenant.get(&tenant).copied().unwrap_or(0);
         let reject = if self.queue.len() >= self.queue_capacity {
             Some(RejectReason::ShardQueueFull)
+        // zeiot-audit: allow(p1) -- tenant ids are dense server-allocated indices, always < tenants.len()
         } else if queued >= tenants[tenant].spec.max_queued {
             Some(RejectReason::TenantLimit)
         } else {
@@ -229,6 +235,7 @@ impl Shard {
             } else {
                 since
             };
+            // zeiot-audit: allow(p1) -- dwell keys are admitted tenant ids, always < stats.len()
             stats[tenant].dwell.add(state, end.duration_since(since));
         }
         self.dwell.clear();
@@ -329,6 +336,7 @@ impl Shard {
                 _ => None,
             };
             let answer = self.execute(&req, tenants, scope);
+            // zeiot-audit: allow(p1) -- queued requests carry server-allocated tenant ids < stats.len()
             let s = &mut stats[req.tenant];
             let outcome = match answer {
                 Some((mode, logits)) => {
@@ -432,6 +440,7 @@ impl Shard {
         tenants: &mut [Tenant],
         mut scope: Option<SpanScope<'_>>,
     ) -> Option<(ServiceMode, Vec<f32>)> {
+        // zeiot-audit: allow(p1) -- queued requests carry server-allocated tenant ids < tenants.len()
         let tenant = &mut tenants[req.tenant];
         let replace = &mut tenant.replace;
         let (substituted_before, logits) = match (&mut tenant.model, &mut self.fabric) {

@@ -157,6 +157,7 @@ impl TenantStats {
     ///
     /// Panics if `horizon` is zero.
     pub fn throughput_hz(&self, horizon: SimDuration) -> f64 {
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
         assert!(!horizon.is_zero(), "zero horizon");
         self.served as f64 / horizon.as_secs_f64()
     }
@@ -171,17 +172,22 @@ impl TenantStats {
 
     /// Nearest-rank latency quantile in seconds (`q` in `[0, 1]`), or
     /// `None` if nothing was served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn latency_quantile(&self, q: f64) -> Option<f64> {
         if self.latencies.is_empty() {
             return None;
         }
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         let mut sorted = self.latencies.clone();
         // total_cmp: a total order over f64, so the sort neither panics
         // nor depends on NaN placement (determinism contract rule h1).
         sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        Some(sorted[rank - 1])
+        sorted.get(rank - 1).copied()
     }
 
     /// Median latency in seconds.

@@ -68,6 +68,7 @@ impl TenantSpec {
     ///
     /// Panics if `max_queued` is zero.
     pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
         assert!(max_queued > 0, "admission cap must be positive");
         self.max_queued = max_queued;
         self
@@ -176,6 +177,7 @@ impl Tenant {
 
     /// The input and ground-truth label request `seq` carries.
     pub fn sample(&self, seq: u64) -> (&Tensor, usize) {
+        // zeiot-audit: allow(p1) -- every constructor rejects an empty pool, and seq % len is in range by construction
         let (input, label) = &self.pool[(seq % self.pool.len() as u64) as usize];
         (input, *label)
     }

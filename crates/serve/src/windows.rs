@@ -35,6 +35,7 @@ use zeiot_obs::{Label, Recorder, Snapshot};
 ///
 /// Panics if `window` is zero.
 pub fn windowed_snapshots(outcome: &ServeOutcome, window: SimDuration) -> Vec<(SimTime, Snapshot)> {
+    // zeiot-audit: allow(p1) -- documented `# Panics` precondition guard
     assert!(!window.is_zero(), "SLO window must be non-zero");
     let w = window.as_nanos();
     let n = outcome.report.horizon.as_nanos().div_ceil(w).max(1);
@@ -48,6 +49,7 @@ pub fn windowed_snapshots(outcome: &ServeOutcome, window: SimDuration) -> Vec<(S
             .map_or("?", |(name, _)| name.as_str());
         let label = Label::part(name.to_string());
         let arrived = bucket(c.arrival);
+        // zeiot-audit: allow(p1) -- bucket() clamps to n-1, so every window index is in range
         recorders[arrived].add("serve.offered", label.clone(), 1);
         match &c.outcome {
             Outcome::Served {
